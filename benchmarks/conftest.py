@@ -1,0 +1,58 @@
+"""Benchmark-harness fixtures.
+
+Each ``benchmarks/test_fig*.py`` regenerates one paper figure's data
+series and prints it (run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables). Population size is controlled by environment
+variables so CI stays fast while a full regeneration remains one command:
+
+* ``REPRO_BENCH_PROGRAMS`` — number of programs (default 16; the full
+  population is used when set to 0).
+* ``REPRO_BENCH_SUITES`` — comma-separated suite filter.
+
+The shared ``Runner`` caches traces/profiles/plans across figures, so the
+suite cost is dominated by distinct timing runs, as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import Runner
+from repro.workloads import all_benchmarks
+
+
+def _population():
+    suites = os.environ.get("REPRO_BENCH_SUITES")
+    suite_list = suites.split(",") if suites else None
+    benches = all_benchmarks(suites=suite_list)
+    limit = int(os.environ.get("REPRO_BENCH_PROGRAMS", "16"))
+    if limit > 0:
+        # An even cross-section: interleave suites rather than truncating
+        # alphabetically.
+        by_suite: dict = {}
+        for bench in benches:
+            by_suite.setdefault(bench.suite, []).append(bench)
+        picked = []
+        while len(picked) < limit and any(by_suite.values()):
+            for suite in sorted(by_suite):
+                if by_suite[suite] and len(picked) < limit:
+                    picked.append(by_suite[suite].pop(0))
+        benches = picked
+    return benches
+
+
+@pytest.fixture(scope="session")
+def population():
+    return _population()
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner()
+
+
+def run_once(benchmark, fn):
+    """Time an experiment exactly once (experiments are minutes-scale)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,251 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These sweep the mini-graph support parameters of Table 1 around their
+paper values: MGT template budget, maximum mini-graph size, the third
+register input (§2 relaxes the original two-input limit), the per-cycle
+mini-graph issue restriction, and Slack-Dynamic's hysteresis threshold.
+"""
+
+import pytest
+
+from repro.harness import Runner
+from repro.minigraph import SlackProfileSelector, StructAll
+from repro.pipeline import full_config, reduced_config
+
+from benchmarks.conftest import run_once
+
+ABLATION_PROGRAMS = ["adpcm", "bzip2", "crc32", "drr", "epicfilt",
+                     "jpegdct", "sha", "synth01", "synth05", "synth09"]
+
+
+def _mean_rel(runner, programs, config, selector=None, budget=None,
+              max_size=None, **dynamic_kwargs):
+    local = runner
+    if budget is not None or max_size is not None:
+        local = Runner(budget=budget or 512, max_mg_size=max_size or 4)
+    total = 0.0
+    cov = 0.0
+    for name in programs:
+        base = local.baseline(name, full_config()).ipc
+        if selector is None:
+            run = local.run_slack_dynamic(name, config, **dynamic_kwargs)
+        else:
+            run = local.run_selector(name, selector, config)
+        total += run.ipc / base
+        cov += run.coverage
+    n = len(programs)
+    return total / n, cov / n
+
+
+def test_mgt_budget_sweep(benchmark, runner):
+    """Coverage (and performance) saturate well below 512 templates for
+    these small programs, but must be monotone in the budget."""
+    reduced = reduced_config()
+
+    def run():
+        rows = []
+        for budget in (1, 2, 4, 8, 32, 512):
+            perf, cov = _mean_rel(runner, ABLATION_PROGRAMS, reduced,
+                                  selector=StructAll(), budget=budget)
+            rows.append((budget, perf, cov))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'budget':>7s} {'rel perf':>9s} {'coverage':>9s}")
+    for budget, perf, cov in rows:
+        print(f"{budget:7d} {perf:9.3f} {cov:9.1%}")
+    coverages = [cov for _, _, cov in rows]
+    assert all(b <= a + 1e-9 for b, a in zip(coverages, coverages[1:]))
+    assert coverages[-1] > coverages[0]
+
+
+def test_max_size_sweep(benchmark, runner):
+    """Mini-graphs up to 4 instructions (Table 1) vs 2 and 3."""
+    reduced = reduced_config()
+
+    def run():
+        rows = []
+        for size in (2, 3, 4):
+            perf, cov = _mean_rel(runner, ABLATION_PROGRAMS, reduced,
+                                  selector=StructAll(), max_size=size)
+            rows.append((size, perf, cov))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'max size':>9s} {'rel perf':>9s} {'coverage':>9s}")
+    for size, perf, cov in rows:
+        print(f"{size:9d} {perf:9.3f} {cov:9.1%}")
+    # Larger aggregates embed strictly more instructions.
+    assert rows[0][2] < rows[2][2]
+
+
+def test_third_register_input(benchmark, runner):
+    """§2: supporting a third external input boosts coverage relative to
+    the original two-input mini-graphs."""
+    reduced = reduced_config()
+
+    def run():
+        rows = []
+        for max_inputs in (2, 3):
+            local = Runner()
+            cov = 0.0
+            perf = 0.0
+            for name in ABLATION_PROGRAMS:
+                program = local._bench(name).program("train")
+                trace = local.trace(name)
+                from repro.minigraph import enumerate_candidates, make_plan
+                from repro.minigraph.transform import fold_trace
+                from repro.pipeline.core import OoOCore
+                candidates = enumerate_candidates(
+                    program, max_ext_inputs=max_inputs)
+                plan = make_plan(program, trace.dynamic_count_of(),
+                                 StructAll(), candidates=candidates)
+                stats = OoOCore(reduced, fold_trace(trace, plan),
+                                warm_caches=True).run()
+                base = local.baseline(name, full_config()).ipc
+                cov += stats.coverage
+                perf += stats.ipc / base
+            n = len(ABLATION_PROGRAMS)
+            rows.append((max_inputs, perf / n, cov / n))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'ext inputs':>11s} {'rel perf':>9s} {'coverage':>9s}")
+    for inputs, perf, cov in rows:
+        print(f"{inputs:11d} {perf:9.3f} {cov:9.1%}")
+    assert rows[1][2] >= rows[0][2]  # 3 inputs never reduce coverage
+
+
+def test_mg_issue_restriction(benchmark, runner):
+    """Table 1 limits issue to 2 mini-graphs/cycle; sweep 1..3."""
+    def run():
+        rows = []
+        for mg_issue in (1, 2, 3):
+            config = reduced_config().scaled(
+                name=f"reduced-mg{mg_issue}", mg_max_issue=mg_issue,
+                mg_alu_pipelines=max(2, mg_issue))
+            perf, cov = _mean_rel(runner, ABLATION_PROGRAMS, config,
+                                  selector=StructAll())
+            rows.append((mg_issue, perf, cov))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'mg/cycle':>9s} {'rel perf':>9s} {'coverage':>9s}")
+    for mg_issue, perf, cov in rows:
+        print(f"{mg_issue:9d} {perf:9.3f} {cov:9.1%}")
+    # More mini-graph issue bandwidth never hurts on average.
+    assert rows[2][1] >= rows[0][1] - 0.01
+
+
+def test_hysteresis_threshold_sweep(benchmark, runner):
+    """Slack-Dynamic's disable threshold: rash disabling (low threshold)
+    pays outlining penalties; high thresholds tolerate serialization."""
+    reduced = reduced_config()
+
+    def run():
+        rows = []
+        for threshold in (1, 4, 16):
+            perf, cov = _mean_rel(runner, ABLATION_PROGRAMS, reduced,
+                                  threshold=threshold)
+            rows.append((threshold, perf, cov))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'threshold':>10s} {'rel perf':>9s} {'coverage':>9s}")
+    for threshold, perf, cov in rows:
+        print(f"{threshold:10d} {perf:9.3f} {cov:9.1%}")
+    # Coverage retained grows with the threshold.
+    assert rows[0][2] <= rows[2][2] + 1e-9
+
+
+def test_measured_latencies_extension(benchmark, runner):
+    """Future-work extension (§5.1 mcf footnote): rule #2 with profiled
+    cache-aware latencies. On this population it must never be worse than
+    the optimistic model on average, and it can only shrink coverage."""
+    reduced = reduced_config()
+    programs = ABLATION_PROGRAMS + ["mcf", "gzip"]
+
+    def run():
+        rows = []
+        for measured in (False, True):
+            selector = SlackProfileSelector(measured_latencies=measured)
+            perf, cov = _mean_rel(runner, programs, reduced,
+                                  selector=selector)
+            rows.append((selector.name, perf, cov))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'model':>24s} {'rel perf':>9s} {'coverage':>9s}")
+    for name, perf, cov in rows:
+        print(f"{name:>24s} {perf:9.3f} {cov:9.1%}")
+    (_, perf_nominal, cov_nominal), (_, perf_measured, cov_measured) = rows
+    assert cov_measured <= cov_nominal + 1e-9
+    assert perf_measured >= perf_nominal - 0.01
+
+
+def test_mgt_capacity_sweep(benchmark, runner):
+    """Finite-MGT sensitivity: templates evicted from a small MGT must be
+    re-filled from their outlined bodies at fetch (an L2-latency event)."""
+    def run():
+        rows = []
+        for entries in (2, 8, 32, 512):
+            config = reduced_config().scaled(name=f"mgt{entries}",
+                                             mgt_entries=entries)
+            perf, cov = _mean_rel(runner, ABLATION_PROGRAMS, config,
+                                  selector=StructAll())
+            rows.append((entries, perf, cov))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'MGT entries':>12s} {'rel perf':>9s} {'coverage':>9s}")
+    for entries, perf, cov in rows:
+        print(f"{entries:12d} {perf:9.3f} {cov:9.1%}")
+    # A full-size MGT is never slower than a tiny one.
+    assert rows[-1][1] >= rows[0][1] - 0.005
+
+
+def test_code_motion_coverage(benchmark, runner):
+    """The in-block scheduling pass (minigraph.schedule) de-interleaves
+    dataflow chains; measure its effect on coverage and performance."""
+    from repro.isa.interp import execute as _execute
+    from repro.minigraph import fold_trace, make_plan
+    from repro.minigraph.schedule import reschedule
+    from repro.pipeline.core import OoOCore
+
+    reduced = reduced_config()
+
+    def run():
+        rows = []
+        for moved in (False, True):
+            cov = perf = 0.0
+            for name in ABLATION_PROGRAMS:
+                program = runner._bench(name).program("train")
+                if moved:
+                    program = reschedule(program)
+                trace = _execute(program)
+                plan = make_plan(program, trace.dynamic_count_of(),
+                                 StructAll())
+                stats = OoOCore(reduced, fold_trace(trace, plan),
+                                warm_caches=True).run()
+                base = runner.baseline(name, full_config()).ipc
+                cov += stats.coverage
+                perf += stats.ipc / base
+            n = len(ABLATION_PROGRAMS)
+            rows.append(("scheduled" if moved else "original",
+                         perf / n, cov / n))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'binary':>10s} {'rel perf':>9s} {'coverage':>9s}")
+    for label, perf, cov in rows:
+        print(f"{label:>10s} {perf:9.3f} {cov:9.1%}")
+    # Code motion must not lose coverage on average.
+    assert rows[1][2] >= rows[0][2] - 0.02

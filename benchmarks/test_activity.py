@@ -1,0 +1,80 @@
+"""Activity amplification table — the "fewer resources" evidence.
+
+Not a paper figure, but the paper's core premise (§1): mini-graphs
+amplify bandwidth and capacity "throughout the pipeline". This bench
+quantifies it: per committed original instruction, how many
+fetch/rename/issue/commit events and register-file operations each
+selector's mini-graphs eliminate on the reduced machine.
+"""
+
+from repro.minigraph import SlackProfileSelector, StructAll
+from repro.pipeline import reduced_config
+
+from benchmarks.conftest import run_once
+
+
+def test_activity_amplification(benchmark, runner, population):
+    reduced = reduced_config()
+
+    def run():
+        events = ("fetch_slots", "rename_ops", "phys_allocations",
+                  "iq_insertions", "regfile_reads", "regfile_writes",
+                  "commit_slots")
+        totals = {"none": dict.fromkeys(events, 0.0),
+                  "struct-all": dict.fromkeys(events, 0.0),
+                  "slack-profile": dict.fromkeys(events, 0.0)}
+        occupancy = dict.fromkeys(totals, 0.0)
+        coverage = dict.fromkeys(totals, 0.0)
+        for bench in population:
+            base = runner.baseline(bench, reduced)
+            runs = {
+                "none": base,
+                "struct-all": runner.run_selector(
+                    bench, StructAll(), reduced).stats,
+                "slack-profile": runner.run_selector(
+                    bench, SlackProfileSelector(), reduced).stats,
+            }
+            for label, stats in runs.items():
+                per = stats.activity.per_instruction(
+                    stats.original_committed)
+                for event in events:
+                    totals[label][event] += per[event]
+                occupancy[label] += stats.activity.avg_iq_occupancy
+                coverage[label] += stats.coverage
+        n = len(population)
+        for label in totals:
+            for event in totals[label]:
+                totals[label][event] /= n
+            occupancy[label] /= n
+            coverage[label] /= n
+        return totals, occupancy, coverage
+
+    totals, occupancy, coverage = run_once(benchmark, run)
+    print()
+    print(f"{'event/inst':>18s} {'no-MG':>8s} {'struct-all':>11s} "
+          f"{'slack-profile':>14s}")
+    for event in totals["none"]:
+        print(f"{event:>18s} {totals['none'][event]:8.3f} "
+              f"{totals['struct-all'][event]:11.3f} "
+              f"{totals['slack-profile'][event]:14.3f}")
+    print(f"{'avg IQ occupancy':>18s} {occupancy['none']:8.2f} "
+          f"{occupancy['struct-all']:11.2f} "
+          f"{occupancy['slack-profile']:14.2f}")
+    print(f"{'coverage':>18s} {coverage['none']:8.1%} "
+          f"{coverage['struct-all']:11.1%} "
+          f"{coverage['slack-profile']:14.1%}")
+
+    # Every book-keeping event shrinks under mini-graphs.
+    for label in ("struct-all", "slack-profile"):
+        for event in ("fetch_slots", "rename_ops", "phys_allocations",
+                      "iq_insertions", "commit_slots", "regfile_writes"):
+            assert totals[label][event] < totals["none"][event], \
+                (label, event)
+    # Note: average IQ *occupancy* can rise even as insertions fall —
+    # handles wait for all of their external inputs (serialization), so
+    # per-entry residency grows. The capacity amplification claim is about
+    # entries consumed per instruction, which the assertion above covers.
+    print(f"\n(IQ entries/inst fall "
+          f"{1 - totals['struct-all']['iq_insertions']:.0%} under "
+          f"struct-all; residency effects keep occupancy at "
+          f"{occupancy['struct-all']:.2f} vs {occupancy['none']:.2f})")

@@ -1,0 +1,36 @@
+"""FIG1 — the headline S-curve (paper Figure 1).
+
+Slack-Profile mini-graphs on the reduced machine vs the two naive
+selectors, relative to the fully-provisioned baseline. Shape targets:
+Slack-Profile's curve dominates both naive selectors and its mean sits
+at or above 1.0 (the paper reports +2%).
+"""
+
+from repro.harness.experiments import fig1
+from repro.harness.plot import plot_scurves
+from repro.harness.scurve import render_scurves
+
+from benchmarks.conftest import run_once
+
+
+def test_fig1_headline(benchmark, runner, population):
+    result = run_once(benchmark, lambda: fig1(runner, population))
+    print()
+    group = "performance on reduced (rel. full baseline)"
+    print(render_scurves(result.groups[group], title=result.name))
+    print()
+    print(plot_scurves(result.groups[group],
+                       title="Figure 1 (terminal rendering)",
+                       reference=1.0))
+    for note in result.notes:
+        print(note)
+
+    curves = {c.label: c for c in result.groups[group]}
+    no_mg = curves["no-mini-graphs"]
+    slack = curves["slack-profile"]
+    # The reduced machine alone loses performance; Slack-Profile recovers
+    # (nearly) all of it on average and dominates the naive selectors.
+    assert no_mg.mean < 0.95
+    assert slack.mean >= curves["struct-all"].mean - 0.02
+    assert slack.mean >= curves["struct-none"].mean - 0.02
+    assert slack.mean >= no_mg.mean + 0.05

@@ -1,0 +1,60 @@
+"""FIG3 — serialization-blind selection (paper Figure 3).
+
+Struct-All vs Struct-None on the reduced machine (top graph) and the
+fully-provisioned machine (bottom graph). Shape targets: the two S-curves
+*cross* on the reduced machine (coverage wins on the right, serialization
+on the left); Struct-None never drops below the no-mini-graph line;
+Struct-All degrades some programs even on the full machine.
+"""
+
+from repro.harness.experiments import fig3
+from repro.harness.scurve import summarize
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_naive_selectors(benchmark, runner, population):
+    result = run_once(benchmark, lambda: fig3(runner, population))
+    print()
+    for group, curves in result.groups.items():
+        print(f"--- {group} ---")
+        print(summarize(curves))
+    for note in result.notes:
+        print(note)
+
+    reduced_group = "performance on reduced (rel. full baseline)"
+    curves = {c.label: c for c in result.groups[reduced_group]}
+    no_mg = curves["no-mini-graphs"]
+    struct_all = curves["struct-all"]
+    struct_none = curves["struct-none"]
+
+    # Both selectors improve the average over no mini-graphs.
+    assert struct_all.mean > no_mg.mean
+    assert struct_none.mean > no_mg.mean
+
+    # Struct-None is consistent: (almost) no program falls below its no-MG
+    # line. Shape-safe candidates can still serialize *internally* (a tree
+    # whose later constituent is independent of the earlier ones), so a
+    # small dip on isolated programs is possible; pathologies are not.
+    none_by_program = struct_none.by_program
+    dips = 0
+    for program, value in none_by_program.items():
+        assert value >= no_mg.by_program[program] * 0.95, program
+        if value < no_mg.by_program[program] * 0.99:
+            dips += 1
+    assert dips <= max(1, len(none_by_program) // 12)
+
+    # Struct-All admits pathologies: its worst program is far below
+    # Struct-None's worst.
+    assert struct_all.minimum < struct_none.minimum
+
+    # Coverage: Struct-All clearly exceeds Struct-None (paper: 38% vs 20%).
+    cov = {c.label: c for c in result.groups["coverage"]}
+    assert cov["struct-all"].mean > 1.25 * cov["struct-none"].mean
+
+    # On the full machine serialization is exposed: Struct-All loses to
+    # Struct-None on average there.
+    full_group = "performance on full (rel. full baseline)"
+    full_curves = {c.label: c for c in result.groups[full_group]}
+    assert full_curves["struct-none"].mean >= \
+        full_curves["struct-all"].mean - 0.01

@@ -1,0 +1,46 @@
+"""FIG7 — isolating the model components (paper Figure 7).
+
+Top: Slack-Profile vs its Delay-only and SIAL ablations. Bottom:
+Slack-Dynamic vs the idealized (no outlining penalty) variants. Shape
+targets: explicit delay accounting beats the SIAL operand-arrival
+heuristic; removing the outlining penalty recovers most of
+Slack-Dynamic's gap; full models are at least as good as their
+consumer-blind variants.
+"""
+
+from repro.harness.experiments import fig7
+from repro.harness.scurve import summarize
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_model_breakdown(benchmark, runner, population):
+    result = run_once(benchmark, lambda: fig7(runner, population))
+    print()
+    for group, curves in result.groups.items():
+        print(f"--- {group} ---")
+        print(summarize(curves))
+
+    profile = {c.label: c for c in
+               result.groups["slack-profile breakdown (reduced)"]}
+    dynamic = {c.label: c for c in
+               result.groups["slack-dynamic breakdown (reduced)"]}
+
+    # Delay accounting (rules #1-#3) provides the bulk of the benefit over
+    # the serialization-blind Struct-All.
+    assert profile["slack-profile-delay"].mean >= \
+        profile["struct-none"].mean - 0.03
+    # The full model (rule #4: consumer absorption) is at least as good as
+    # delay-only.
+    assert profile["slack-profile"].mean >= \
+        profile["slack-profile-delay"].mean - 0.01
+    # Explicit delay accounting is preferred to the SIAL heuristic (§5.2).
+    assert profile["slack-profile"].mean >= \
+        profile["slack-profile-sial"].mean - 0.01
+
+    # Removing the outlining penalty helps Slack-Dynamic (§5.3).
+    assert dynamic["ideal-slack-dynamic"].mean >= \
+        dynamic["slack-dynamic"].mean - 0.005
+    # Full dynamic model at least matches its SIAL ablation.
+    assert dynamic["ideal-slack-dynamic"].mean >= \
+        dynamic["ideal-slack-dynamic-sial"].mean - 0.02

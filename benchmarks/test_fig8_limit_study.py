@@ -1,0 +1,55 @@
+"""FIG8 — exhaustive limit study on the ADPCM coder (paper Figure 8).
+
+All 2^10 subsets of the 10 most frequent non-overlapping candidates are
+evaluated on the reduced machine; each selector's choice is placed on the
+coverage/performance scatter. Shape targets: Struct-All occupies the
+right-most (max coverage) point; Struct-None is the least-coverage
+selector; the slack-based selectors land near the exhaustive best's
+performance.
+
+Set ``REPRO_BENCH_FIG8_FULL=1`` for the complete 1024-subset sweep
+(default sweeps 256 subsets).
+"""
+
+import os
+
+from repro.analysis import run_limit_study
+from repro.harness.plot import plot_scatter
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_limit_study(benchmark, runner):
+    cap = None if os.environ.get("REPRO_BENCH_FIG8_FULL") else 256
+    result = run_once(benchmark,
+                      lambda: run_limit_study(runner, subset_cap=cap))
+    print()
+    print(result.render())
+    print()
+    print(plot_scatter(
+        [(p.coverage, p.relative_ipc) for p in result.points],
+        highlights={name: (pt.coverage, pt.relative_ipc)
+                    for name, pt in result.selector_points.items()},
+        title="Figure 8 (terminal rendering)",
+        xlabel="coverage", ylabel="relative performance"))
+
+    points = result.selector_points
+    struct_all = points["struct-all"]
+    struct_none = points["struct-none"]
+
+    # Struct-All includes all 10 candidates: right-most point.
+    assert struct_all.mask == (1 << 10) - 1
+    for point in points.values():
+        assert point.coverage <= struct_all.coverage + 1e-9
+
+    # Struct-None has the lowest coverage among the static selectors.
+    for name in ("struct-all", "struct-bounded", "slack-profile"):
+        assert struct_none.coverage <= points[name].coverage + 1e-9
+
+    # The slack selectors reach within a few percent of the best subset
+    # found by the (possibly truncated) exhaustive sweep.
+    best = result.best
+    assert points["slack-profile"].relative_ipc >= best.relative_ipc - 0.06
+
+    # The empty set reproduces the no-mini-graph baseline.
+    assert result.empty_set.coverage == 0.0

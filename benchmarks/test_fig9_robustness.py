@@ -1,0 +1,48 @@
+"""FIG9 — robustness of slack profiles (paper Figure 9).
+
+Top: profiles cross-trained on a 2-way machine, an 8-way machine, and a
+quarter-size data-memory machine, applied on the reduced machine.
+Bottom: profiles cross-trained on the ``ref`` input, applied to ``train``
+runs. Shape target: cross-trained means stay within a few percent of the
+self-trained mean (the paper reports <2% absolute for inputs).
+"""
+
+from repro.harness.experiments import fig9_inputs, fig9_machines
+from repro.harness.scurve import summarize
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_machine_robustness(benchmark, runner, population):
+    # The paper's top graph uses MediaBench + CommBench programs.
+    media_comm = [b for b in population if b.suite in ("media", "comm")] \
+        or population[:6]
+    result = run_once(benchmark, lambda: fig9_machines(runner, media_comm))
+    print()
+    for group, curves in result.groups.items():
+        print(f"--- {group} ---")
+        print(summarize(curves))
+    for note in result.notes:
+        print(note)
+
+    curves = next(iter(result.groups.values()))
+    self_curve = next(c for c in curves if c.label.startswith("self"))
+    for curve in curves:
+        assert abs(curve.mean - self_curve.mean) < 0.05, curve.label
+
+
+def test_fig9_input_robustness(benchmark, runner, population):
+    # The paper's bottom graph uses SPECint + MiBench programs.
+    spec_embedded = [b for b in population
+                     if b.suite in ("spec", "embedded")] or population[:6]
+    result = run_once(benchmark, lambda: fig9_inputs(runner, spec_embedded))
+    print()
+    for group, curves in result.groups.items():
+        print(f"--- {group} ---")
+        print(summarize(curves))
+    for note in result.notes:
+        print(note)
+
+    curves = next(iter(result.groups.values()))
+    self_curve, cross_curve = curves
+    assert abs(cross_curve.mean - self_curve.mean) < 0.04

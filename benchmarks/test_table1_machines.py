@@ -1,0 +1,44 @@
+"""TAB1 — machine-configuration characterization (paper Table 1).
+
+Table 1 is a configuration table, not a results table; this bench
+characterizes the simulated machines so the reduction's cost is visible:
+baseline IPC per configuration over the population, plus the §3.1 sizing
+claim (the baseline sits at the performance "knee": growing the IQ and
+register file further buys almost nothing).
+"""
+
+from repro.pipeline import full_config, reduced_config
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_machine_characterization(benchmark, runner, population):
+    full = full_config()
+    reduced = reduced_config()
+    # The paper's knee check: 40 IQ entries / 164 regs gains only ~1.5%.
+    enlarged = full.scaled(name="enlarged", issue_queue=40, phys_regs=164)
+
+    def run():
+        rows = []
+        for bench in population:
+            ipc_full = runner.baseline(bench, full).ipc
+            ipc_reduced = runner.baseline(bench, reduced).ipc
+            ipc_large = runner.baseline(bench, enlarged).ipc
+            rows.append((bench.name, ipc_full, ipc_reduced, ipc_large))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'program':>14s} {'full':>7s} {'reduced':>8s} {'enlarged':>9s} "
+          f"{'red/full':>9s}")
+    for name, ipc_full, ipc_reduced, ipc_large in rows:
+        print(f"{name:>14s} {ipc_full:7.3f} {ipc_reduced:8.3f} "
+              f"{ipc_large:9.3f} {ipc_reduced / ipc_full:9.3f}")
+
+    mean_loss = sum(r[2] / r[1] for r in rows) / len(rows)
+    mean_knee = sum(r[3] / r[1] for r in rows) / len(rows)
+    print(f"\nreduced/full mean: {mean_loss:.3f} (paper: 0.82)")
+    print(f"enlarged/full mean: {mean_knee:.3f} (paper: ~1.015)")
+
+    assert mean_loss < 0.95          # the reduction costs real performance
+    assert 0.98 < mean_knee < 1.06   # the baseline sits near the knee

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this shim enables the legacy editable path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,194 @@
+"""Top-level command-line interface.
+
+Subcommands::
+
+    python -m repro list                       # benchmark population
+    python -m repro run crc32 --selector slack-profile
+    python -m repro trace crc32 --first 20 --last 45
+    python -m repro validate all
+    python -m repro experiments fig1 ...       # figure regeneration
+    python -m repro limit-study                # Figure 8
+
+`experiments` forwards to :mod:`repro.harness.experiments`; everything
+else is a thin veneer over the library API so each command doubles as a
+usage example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness.runner import Runner
+from .minigraph.selectors import (
+    SlackProfileSelector, StructAll, StructBounded, StructNone,
+)
+from .pipeline.config import config_by_name
+from .workloads.suite import all_benchmarks, benchmark
+
+SELECTORS = {
+    "struct-all": StructAll,
+    "struct-none": StructNone,
+    "struct-bounded": StructBounded,
+    "slack-profile": SlackProfileSelector,
+}
+
+
+def _cmd_list(args) -> int:
+    benches = all_benchmarks(suites=args.suites or None)
+    print(f"{'name':<14s} {'suite':<9s} {'inputs':<18s} description")
+    print("-" * 72)
+    for bench in benches:
+        print(f"{bench.name:<14s} {bench.suite:<9s} "
+              f"{','.join(bench.inputs):<18s} {bench.description}")
+    print(f"\n{len(benches)} benchmarks")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    runner = Runner()
+    config = config_by_name(args.config)
+    full = config_by_name("full")
+    base_full = runner.baseline(args.benchmark, full, args.input)
+    base = runner.baseline(args.benchmark, config, args.input)
+    print(f"{args.benchmark} on {config.name} ({args.input} input)")
+    print(f"  no mini-graphs : IPC {base.ipc:.3f} "
+          f"({base.ipc / base_full.ipc:.3f}x of full baseline)")
+    if args.selector == "none":
+        return 0
+    if args.selector == "slack-dynamic":
+        run = runner.run_slack_dynamic(args.benchmark, config,
+                                       input_name=args.input)
+    else:
+        selector = SELECTORS[args.selector]()
+        run = runner.run_selector(args.benchmark, selector, config,
+                                  input_name=args.input)
+    stats = run.stats
+    print(f"  {run.selector:<15s}: IPC {stats.ipc:.3f} "
+          f"({stats.ipc / base_full.ipc:.3f}x), "
+          f"coverage {stats.coverage:.1%}, "
+          f"{stats.handles_committed} handles, "
+          f"{run.plan.n_templates} templates")
+    if stats.mg_serialized_instances:
+        print(f"  serialization  : {stats.mg_serialized_instances} "
+              f"serialized instances, {stats.mg_consumer_delays} "
+              f"propagated to consumers")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .pipeline.pipetrace import pipetrace
+    runner = Runner()
+    config = config_by_name(args.config)
+    if args.selector == "none":
+        records = runner.trace(args.benchmark, args.input).records
+    else:
+        from .minigraph.transform import fold_trace
+        selector = SELECTORS[args.selector]()
+        plan = runner.plan(args.benchmark, selector, input_name=args.input)
+        records = fold_trace(runner.trace(args.benchmark, args.input), plan)
+    print(pipetrace(config, records, first=args.first, last=args.last))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .isa.validate import ValidationError, check
+    names = [b.name for b in all_benchmarks()] \
+        if args.benchmark == "all" else [args.benchmark]
+    failures = 0
+    for name in names:
+        program = benchmark(name).program("train")
+        try:
+            warnings = check(program)
+        except ValidationError as error:
+            failures += 1
+            print(f"{name}: ERROR {error}")
+            continue
+        status = f"{len(warnings)} warnings" if warnings else "clean"
+        print(f"{name}: {status}")
+    return 1 if failures else 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import suite_report
+    selector = SELECTORS[args.selector]()
+    report = suite_report(Runner(), selector,
+                          limit_per_suite=args.limit_per_suite)
+    print(report.render())
+    return 0
+
+
+def _cmd_limit_study(args) -> int:
+    from .analysis.limit_study import run_limit_study
+    result = run_limit_study(Runner(), subset_cap=args.cap)
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        from .harness.experiments import main as experiments_main
+        return experiments_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serialization-aware mini-graphs (MICRO 2006 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the benchmark population")
+    p_list.add_argument("--suites", nargs="*")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--config", default="reduced")
+    p_run.add_argument("--input", default="train")
+    p_run.add_argument("--selector", default="slack-profile",
+                       choices=sorted(SELECTORS) + ["slack-dynamic",
+                                                    "none"])
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser("trace", help="pipetrace a benchmark window")
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("--config", default="reduced")
+    p_trace.add_argument("--input", default="train")
+    p_trace.add_argument("--selector", default="none",
+                         choices=sorted(SELECTORS) + ["none"])
+    p_trace.add_argument("--first", type=int, default=0)
+    p_trace.add_argument("--last", type=int, default=32)
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_val = sub.add_parser("validate", help="statically validate programs")
+    p_val.add_argument("benchmark", help="a benchmark name or 'all'")
+    p_val.set_defaults(fn=_cmd_validate)
+
+    p_report = sub.add_parser("report",
+                              help="per-suite headline breakdown")
+    p_report.add_argument("--selector", default="slack-profile",
+                          choices=sorted(SELECTORS))
+    p_report.add_argument("--limit-per-suite", type=int, default=None)
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_limit = sub.add_parser("limit-study",
+                             help="Figure 8 exhaustive study")
+    p_limit.add_argument("--cap", type=int, default=None,
+                         help="truncate the subset sweep")
+    p_limit.set_defaults(fn=_cmd_limit_study)
+
+    # "experiments" is documented here even though it is dispatched above.
+    sub.add_parser("experiments",
+                   help="regenerate paper figures "
+                        "(see repro.harness.experiments)")
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Global slack: the alternative §4.3 argues against.
+
+An instruction's *global* slack is the delay its value can absorb without
+lengthening the whole execution — apportioned along consumer chains down
+to the program's end — whereas *local* slack only protects the immediate
+consumers. The paper observes that global slack is more accurate for a
+single mini-graph but brittle: selecting one mini-graph moves the critical
+path, invalidating every other global number, so using it well would
+require re-profiling after every selection. Local slack is less sensitive
+and needs a single profile.
+
+This module computes per-static-instruction global slack with a backward
+dynamic program over the observed consumption graph:
+
+``G(u) = min over consumers c of (slack(u→c) + G(c))``, and
+``G(u) = end − ready(u)`` for values nobody consumes; a mispredicted
+control transfer pins ``G = 0`` (delaying its resolution delays the
+redirect and everything after it).
+
+:class:`GlobalSlackCollector` extends the local collector, so the
+resulting profile is a drop-in for :class:`SlackProfileSelector` — pass it
+instead of the local profile to get the paper's "global" strawman.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..isa.program import Program
+from ..minigraph.slack import SLACK_CAP, ProfileEntry, SlackCollector, \
+    SlackProfile
+
+
+class GlobalSlackCollector(SlackCollector):
+    """Like :class:`SlackCollector`, but the profile's ``slack`` field
+    holds *global* slack (capped at :data:`SLACK_CAP` for comparability)."""
+
+    def __init__(self, program: Program, config_name: str = "",
+                 input_name: str = "default"):
+        super().__init__(program, config_name=config_name,
+                         input_name=input_name)
+        # producer uop id -> list of (consumer uop, consume cycle)
+        self._consumers: Dict[int, List[Tuple[object, int]]] = {}
+        self._redirected: set = set()
+
+    # -- core callbacks (extend the local collector's) ----------------------
+
+    def on_consume(self, producer, consumer, cycle: int) -> None:
+        """Record the consumption edge for the global backward pass."""
+        super().on_consume(producer, consumer, cycle)
+        self._consumers.setdefault(id(producer), []).append(
+            (consumer, cycle))
+
+    def on_redirect(self, uop, resolve_cycle: int) -> None:
+        """Pin mispredicted control transfers at zero global slack."""
+        super().on_redirect(uop, resolve_cycle)
+        self._redirected.add(id(uop))
+
+    # -- global slack -------------------------------------------------------
+
+    def _value_ready(self, uop) -> int:
+        ready = uop.out_actual_ready
+        if ready >= (1 << 50):
+            ready = uop.store_resolve_cycle
+        if ready >= (1 << 50):
+            ready = uop.complete_cycle
+        return ready
+
+    def global_profile(self) -> SlackProfile:
+        """Backward-DP global slack, aggregated per static instruction."""
+        self.on_finish()
+        if not self._committed:
+            return SlackProfile(self.program.name, self.config_name,
+                                self.input_name, {})
+        end_time = max(u.complete_cycle for u in self._committed)
+        global_slack: Dict[int, float] = {}
+        # Consumers are always younger: process youngest-first.
+        for uop in reversed(self._committed):
+            key = id(uop)
+            if key in self._redirected:
+                global_slack[key] = 0.0
+                continue
+            ready = self._value_ready(uop)
+            samples = self._consumers.get(key)
+            if not samples:
+                g = float(end_time - ready)
+            else:
+                g = min(
+                    (cycle - ready) + global_slack.get(id(consumer),
+                                                       float(SLACK_CAP))
+                    for consumer, cycle in samples)
+            global_slack[key] = max(0.0, g)
+
+        # Aggregate per pc, reusing the local profile's issue/ready data.
+        local = self.profile()
+        sums: Dict[int, float] = {}
+        mins: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for uop in self._committed:
+            g = min(global_slack[id(uop)], float(SLACK_CAP))
+            pc = uop.pc
+            sums[pc] = sums.get(pc, 0.0) + g
+            mins[pc] = min(mins.get(pc, float(SLACK_CAP)), g)
+            counts[pc] = counts.get(pc, 0) + 1
+        entries: Dict[int, ProfileEntry] = {}
+        for pc, entry in local.entries.items():
+            entries[pc] = ProfileEntry(
+                pc, entry.count, entry.rel_issue, entry.src_ready,
+                entry.out_ready, sums[pc] / counts[pc], int(mins[pc]))
+        return SlackProfile(self.program.name, self.config_name,
+                            self.input_name, entries)
+
+
+def compare_profiles(local: SlackProfile,
+                     global_: SlackProfile) -> Dict[str, float]:
+    """Summary statistics of local vs global slack over shared PCs."""
+    shared = set(local.entries) & set(global_.entries)
+    if not shared:
+        return {"n": 0.0}
+    diffs = [global_.entries[pc].slack - local.entries[pc].slack
+             for pc in shared]
+    wider = sum(1 for d in diffs if d > 0.5)
+    return {
+        "n": float(len(shared)),
+        "mean_local": sum(local.entries[pc].slack for pc in shared)
+        / len(shared),
+        "mean_global": sum(global_.entries[pc].slack for pc in shared)
+        / len(shared),
+        "fraction_global_wider": wider / len(shared),
+    }

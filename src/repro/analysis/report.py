@@ -1,0 +1,126 @@
+"""Population reports: per-suite breakdowns of the headline comparison.
+
+The paper's S-curves aggregate four benchmark suites; this module slices
+the headline experiment by suite so suite-specific behaviour (e.g.
+MiBench-style embedded loops aggregating more readily than SPEC-style
+pointer code) is visible — the kind of table a paper's discussion section
+quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..harness.runner import Runner
+from ..minigraph.selectors import Selector, SlackProfileSelector, StructAll
+from ..pipeline.config import full_config, reduced_config
+from ..workloads.suite import all_benchmarks
+
+
+@dataclass
+class SuiteRow:
+    """Aggregates for one benchmark suite."""
+
+    suite: str
+    n: int
+    no_mg_rel: float
+    selector_rel: float
+    coverage: float
+    mg_serialized_rate: float   # serialized handle instances per handle
+
+    @property
+    def recovered(self) -> float:
+        """Fraction of the reduction loss the selector recovered."""
+        loss = 1.0 - self.no_mg_rel
+        if loss <= 0:
+            return 1.0
+        return min((self.selector_rel - self.no_mg_rel) / loss, 9.99)
+
+
+@dataclass
+class SuiteReport:
+    """Per-suite breakdown of one selector's headline run."""
+
+    selector: str
+    rows: List[SuiteRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Aligned text table, one row per suite plus the total."""
+        lines = [f"per-suite breakdown — {self.selector} on the reduced "
+                 f"machine (rel. full baseline)",
+                 f"{'suite':>10s} {'n':>3s} {'no-MG':>7s} {'with-MG':>8s} "
+                 f"{'recovered':>10s} {'coverage':>9s} {'serialized':>11s}"]
+        for row in self.rows:
+            lines.append(
+                f"{row.suite:>10s} {row.n:3d} {row.no_mg_rel:7.3f} "
+                f"{row.selector_rel:8.3f} {row.recovered:10.1%} "
+                f"{row.coverage:9.1%} {row.mg_serialized_rate:11.2%}")
+        return "\n".join(lines)
+
+
+def suite_report(runner: Optional[Runner] = None,
+                 selector: Optional[Selector] = None,
+                 suites: Optional[Sequence[str]] = None,
+                 limit_per_suite: Optional[int] = None) -> SuiteReport:
+    """Build the per-suite headline breakdown.
+
+    ``limit_per_suite`` bounds the programs per suite (tests use small
+    values); the default covers the whole population.
+    """
+    runner = runner or Runner()
+    selector = selector or SlackProfileSelector()
+    full = full_config()
+    reduced = reduced_config()
+    by_suite: Dict[str, List] = {}
+    for bench in all_benchmarks(suites=suites):
+        group = by_suite.setdefault(bench.suite, [])
+        if limit_per_suite is None or len(group) < limit_per_suite:
+            group.append(bench)
+
+    report = SuiteReport(selector.name)
+    totals = []
+    for suite in sorted(by_suite):
+        benches = by_suite[suite]
+        no_mg = mg = cov = serial = handles = 0.0
+        for bench in benches:
+            base = runner.baseline(bench, full).ipc
+            no_mg += runner.baseline(bench, reduced).ipc / base
+            run = runner.run_selector(bench, selector, reduced)
+            mg += run.ipc / base
+            cov += run.coverage
+            serial += run.stats.mg_serialized_instances
+            handles += max(run.stats.handles_committed, 1)
+        n = len(benches)
+        row = SuiteRow(suite, n, no_mg / n, mg / n, cov / n,
+                       serial / handles)
+        report.rows.append(row)
+        totals.append((n, row))
+
+    total_n = sum(n for n, _ in totals)
+    if total_n:
+        report.rows.append(SuiteRow(
+            "ALL", total_n,
+            sum(r.no_mg_rel * n for n, r in totals) / total_n,
+            sum(r.selector_rel * n for n, r in totals) / total_n,
+            sum(r.coverage * n for n, r in totals) / total_n,
+            sum(r.mg_serialized_rate * n for n, r in totals) / total_n))
+    return report
+
+
+def compare_selectors_by_suite(runner: Optional[Runner] = None,
+                               suites: Optional[Sequence[str]] = None,
+                               limit_per_suite: Optional[int] = None) -> str:
+    """Struct-All vs Slack-Profile per suite — where awareness pays."""
+    runner = runner or Runner()
+    blind = suite_report(runner, StructAll(), suites, limit_per_suite)
+    aware = suite_report(runner, SlackProfileSelector(), suites,
+                         limit_per_suite)
+    lines = [f"{'suite':>10s} {'struct-all':>11s} {'slack-profile':>14s} "
+             f"{'awareness gain':>15s}"]
+    for blind_row, aware_row in zip(blind.rows, aware.rows):
+        gain = aware_row.selector_rel - blind_row.selector_rel
+        lines.append(f"{blind_row.suite:>10s} "
+                     f"{blind_row.selector_rel:11.3f} "
+                     f"{aware_row.selector_rel:14.3f} {gain:+15.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Experiment harness: runner, S-curves, and per-figure drivers."""
+
+from .runner import Runner, SelectorRun
+from .scurve import SCurve, relative, render_scurves, summarize
+
+__all__ = ["Runner", "SCurve", "SelectorRun", "relative", "render_scurves",
+           "summarize"]

@@ -1,0 +1,121 @@
+"""Terminal plotting: S-curves and scatter plots as the paper draws them.
+
+The paper's figures are S-curves (per-experiment sorted program values)
+and one coverage/performance scatter (Figure 8). This module renders both
+as fixed-width text so the benchmark harness and CLI can *show* the
+curves, not just their summary statistics.
+
+No external plotting dependency: plots are plain character grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .scurve import SCurve
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = int((value - lo) / (hi - lo) * (cells - 1))
+    return max(0, min(cells - 1, pos))
+
+
+def _axis_labels(lo: float, hi: float, rows: int) -> List[str]:
+    labels = []
+    for row in range(rows):
+        value = hi - (hi - lo) * row / (rows - 1) if rows > 1 else hi
+        labels.append(f"{value:7.2f} ")
+    return labels
+
+
+def plot_scurves(curves: Sequence[SCurve], width: int = 64,
+                 height: int = 18, title: str = "",
+                 reference: Optional[float] = None) -> str:
+    """Render S-curves on one grid (x = rank, y = value).
+
+    ``reference`` draws a horizontal guide line (the paper's y=1 baseline).
+    """
+    curves = [c for c in curves if len(c)]
+    if not curves:
+        return "(no data)"
+    values = [v for c in curves for v in c.sorted_values]
+    lo, hi = min(values), max(values)
+    if reference is not None:
+        lo, hi = min(lo, reference), max(hi, reference)
+    pad = (hi - lo) * 0.05 or 0.5
+    lo, hi = lo - pad, hi + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    if reference is not None:
+        ref_row = height - 1 - _scale(reference, lo, hi, height)
+        for col in range(width):
+            grid[ref_row][col] = "-"
+    max_rank = max(len(c) for c in curves)
+    for index, curve in enumerate(curves):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for rank, value in enumerate(curve.sorted_values):
+            col = _scale(rank, 0, max(max_rank - 1, 1), width)
+            row = height - 1 - _scale(value, lo, hi, height)
+            grid[row][col] = marker
+
+    labels = _axis_labels(lo, hi, height)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        lines.append(labels[row] + "|" + "".join(grid[row]))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"programs sorted worst to best (n={max_rank})")
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]} {c.label}"
+                       for i, c in enumerate(curves))
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def plot_scatter(points: Sequence[Tuple[float, float]],
+                 highlights: Optional[Dict[str, Tuple[float, float]]] = None,
+                 width: int = 64, height: int = 18, title: str = "",
+                 xlabel: str = "coverage", ylabel: str = "perf") -> str:
+    """Render a scatter plot (Figure 8 style) with labelled highlights."""
+    highlights = highlights or {}
+    all_points = list(points) + list(highlights.values())
+    if not all_points:
+        return "(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = (x_hi - x_lo) * 0.05 or 0.05
+    y_pad = (y_hi - y_lo) * 0.05 or 0.05
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = "."
+    legend = []
+    for index, (label, (x, y)) in enumerate(sorted(highlights.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = marker
+        legend.append(f"{marker} {label}")
+
+    labels = _axis_labels(y_lo, y_hi, height)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        lines.append(labels[row] + "|" + "".join(grid[row]))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{xlabel}: {x_lo:.2f} .. {x_hi:.2f}   "
+                 f"(y: {ylabel})")
+    if legend:
+        lines.append(" " * 9 + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Result persistence and report formatting.
+
+Experiment drivers return in-memory :class:`ExperimentResult` objects;
+this module serializes them (JSON) so that long regenerations can be
+archived and diffed, and renders Markdown tables for EXPERIMENTS.md-style
+records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .experiments import ExperimentResult
+from .scurve import SCurve
+
+
+def experiment_to_dict(result: ExperimentResult) -> Dict:
+    """A JSON-serializable snapshot of an experiment's curves."""
+    return {
+        "name": result.name,
+        "notes": list(result.notes),
+        "groups": {
+            group: [
+                {
+                    "label": curve.label,
+                    "by_program": dict(sorted(curve.by_program.items())),
+                    "mean": curve.mean,
+                    "median": curve.median,
+                    "min": curve.minimum,
+                    "max": curve.maximum,
+                }
+                for curve in curves
+            ]
+            for group, curves in result.groups.items()
+        },
+    }
+
+
+def dict_to_experiment(payload: Dict) -> ExperimentResult:
+    """Inverse of :func:`experiment_to_dict` (summaries are recomputed)."""
+    result = ExperimentResult(payload["name"])
+    result.notes = list(payload.get("notes", ()))
+    for group, curves in payload.get("groups", {}).items():
+        result.groups[group] = [
+            SCurve(entry["label"], entry["by_program"]) for entry in curves
+        ]
+    return result
+
+
+def save_results(results: List[ExperimentResult],
+                 path: Union[str, Path]) -> Path:
+    """Write experiments to a JSON archive; returns the path."""
+    path = Path(path)
+    payload = [experiment_to_dict(result) for result in results]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
+    """Read experiments back from a JSON archive."""
+    payload = json.loads(Path(path).read_text())
+    return [dict_to_experiment(entry) for entry in payload]
+
+
+def markdown_table(result: ExperimentResult, group: str) -> str:
+    """A Markdown summary table (mean/median/min/max per curve)."""
+    curves = result.groups[group]
+    lines = [f"**{result.name} — {group}**", "",
+             "| curve | mean | median | min | max | n |",
+             "|---|---|---|---|---|---|"]
+    for curve in curves:
+        lines.append(
+            f"| {curve.label} | {curve.mean:.3f} | {curve.median:.3f} | "
+            f"{curve.minimum:.3f} | {curve.maximum:.3f} | {len(curve)} |")
+    return "\n".join(lines)

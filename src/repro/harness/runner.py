@@ -1,0 +1,229 @@
+"""Experiment runner: composes tracing, profiling, selection, and timing.
+
+A :class:`Runner` memoizes every expensive intermediate (functional traces,
+slack profiles, candidate enumerations, selection plans) so that the
+figure-regeneration experiments share work. All methods are keyed by
+benchmark name, input set, and machine configuration name.
+
+The mini-graph flow for one (program, selector, machine) run:
+
+1. functional trace of the program (architectural, machine-independent);
+2. slack profile, if the selector needs one — a singleton timing run on
+   the *profiling* machine and input with a :class:`SlackCollector`;
+3. candidate enumeration → template grouping → selector pool filter →
+   greedy budgeted selection (the plan);
+4. trace folding (outlining transform) and the timing run proper, with a
+   :class:`SlackDynamicPolicy` attached for dynamic selectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.interp import Trace, execute
+from ..minigraph.candidates import Candidate, enumerate_candidates
+from ..minigraph.dynamic import MiniGraphPolicy, SlackDynamicPolicy
+from ..minigraph.selection import MiniGraphPlan
+from ..minigraph.selectors import Selector, make_plan
+from ..minigraph.slack import SlackCollector, SlackProfile
+from ..minigraph.transform import fold_trace
+from ..pipeline.config import MachineConfig, config_by_name
+from ..pipeline.core import OoOCore
+from ..pipeline.stats import RunStats
+from ..workloads.suite import Benchmark, benchmark
+
+DEFAULT_INPUT = "train"
+DEFAULT_MAX_INSTS = 2_000_000
+
+
+@dataclass
+class SelectorRun:
+    """Outcome of one selector × machine × program timing run."""
+
+    program: str
+    selector: str
+    config: str
+    stats: RunStats
+    plan: MiniGraphPlan
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def coverage(self) -> float:
+        return self.stats.coverage
+
+
+class Runner:
+    """Caching orchestrator for all paper experiments."""
+
+    def __init__(self, budget: int = 512, max_mg_size: int = 4,
+                 warm_caches: bool = True,
+                 max_insts: int = DEFAULT_MAX_INSTS):
+        self.budget = budget
+        self.max_mg_size = max_mg_size
+        self.warm_caches = warm_caches
+        self.max_insts = max_insts
+        self._traces: Dict[Tuple[str, str], Trace] = {}
+        self._profiles: Dict[Tuple[str, str, str], SlackProfile] = {}
+        self._baselines: Dict[Tuple[str, str, str], RunStats] = {}
+        self._candidates: Dict[Tuple[str, str, int], List[Candidate]] = {}
+        self._plans: Dict[Tuple, MiniGraphPlan] = {}
+
+    # -- benchmark helpers -----------------------------------------------------
+
+    def _bench(self, bench) -> Benchmark:
+        return benchmark(bench) if isinstance(bench, str) else bench
+
+    def trace(self, bench, input_name: str = DEFAULT_INPUT) -> Trace:
+        """Functional (singleton) trace of a benchmark."""
+        bench = self._bench(bench)
+        key = (bench.name, input_name)
+        if key not in self._traces:
+            program = bench.program(input_name)
+            self._traces[key] = execute(program, max_insts=self.max_insts,
+                                        input_name=input_name)
+        return self._traces[key]
+
+    def candidates(self, bench,
+                   input_name: str = DEFAULT_INPUT) -> List[Candidate]:
+        """Memoized candidate enumeration for a benchmark program."""
+        bench = self._bench(bench)
+        key = (bench.name, input_name, self.max_mg_size)
+        if key not in self._candidates:
+            program = bench.program(input_name)
+            self._candidates[key] = enumerate_candidates(
+                program, max_size=self.max_mg_size)
+        return self._candidates[key]
+
+    # -- timing runs --------------------------------------------------------------
+
+    def baseline(self, bench, config: MachineConfig,
+                 input_name: str = DEFAULT_INPUT) -> RunStats:
+        """Singleton (no mini-graphs) timing run."""
+        bench = self._bench(bench)
+        key = (bench.name, input_name, config.name)
+        if key not in self._baselines:
+            trace = self.trace(bench, input_name)
+            core = OoOCore(config, trace.records,
+                           warm_caches=self.warm_caches)
+            stats = core.run()
+            stats.program_name = bench.name
+            self._baselines[key] = stats
+        return self._baselines[key]
+
+    def slack_profile(self, bench, config: MachineConfig,
+                      input_name: str = DEFAULT_INPUT,
+                      global_slack: bool = False) -> SlackProfile:
+        """Self- or cross-trained slack profile (singleton profiling run).
+
+        With ``global_slack`` the profile's slack field holds *global*
+        slack (see :mod:`repro.analysis.global_slack`) — the §4.3
+        alternative the paper argues against.
+        """
+        bench = self._bench(bench)
+        key = (bench.name, input_name, config.name, global_slack)
+        if key not in self._profiles:
+            trace = self.trace(bench, input_name)
+            if global_slack:
+                from ..analysis.global_slack import GlobalSlackCollector
+                collector = GlobalSlackCollector(
+                    bench.program(input_name), config_name=config.name,
+                    input_name=input_name)
+            else:
+                collector = SlackCollector(bench.program(input_name),
+                                           config_name=config.name,
+                                           input_name=input_name)
+            core = OoOCore(config, trace.records, collector=collector,
+                           warm_caches=self.warm_caches)
+            stats = core.run()
+            stats.program_name = bench.name
+            self._profiles[key] = collector.global_profile() \
+                if global_slack else collector.profile()
+        return self._profiles[key]
+
+    def plan(self, bench, selector: Selector,
+             input_name: str = DEFAULT_INPUT,
+             profile_config: Optional[MachineConfig] = None,
+             profile_input: Optional[str] = None,
+             global_slack: bool = False) -> MiniGraphPlan:
+        """Mini-graph selection for a benchmark under one selector.
+
+        Template frequencies and (for slack selectors) the slack profile
+        come from the *profiling* run: by default the same input on the
+        reduced machine ("self-trained", §5.5); pass ``profile_config`` /
+        ``profile_input`` to cross-train.
+        """
+        bench = self._bench(bench)
+        profile_input = profile_input or input_name
+        if profile_config is None:
+            profile_config = config_by_name("reduced")
+        key = (bench.name, selector.name, input_name, profile_config.name,
+               profile_input, self.budget, self.max_mg_size, global_slack)
+        if key not in self._plans:
+            profile = None
+            if selector.needs_profile:
+                profile = self.slack_profile(bench, profile_config,
+                                             profile_input,
+                                             global_slack=global_slack)
+            freq_trace = self.trace(bench, profile_input)
+            freq_counts = freq_trace.dynamic_count_of()
+            program = bench.program(input_name)
+            if profile_input != input_name:
+                # Cross-input training: programs are rebuilt per input but
+                # share static code structure only if the builder emits the
+                # same instruction sequence; candidate enumeration runs on
+                # the target program with frequencies from the profile run.
+                freq_counts = self._align_counts(program, freq_counts)
+            self._plans[key] = make_plan(
+                program, freq_counts, selector, profile=profile,
+                budget=self.budget, max_size=self.max_mg_size,
+                candidates=self.candidates(bench, input_name))
+        return self._plans[key]
+
+    @staticmethod
+    def _align_counts(program, counts: List[int]) -> List[int]:
+        """Pad/truncate profile counts to the target program length."""
+        if len(counts) < len(program):
+            return counts + [0] * (len(program) - len(counts))
+        return counts[:len(program)]
+
+    def run_selector(self, bench, selector: Selector, config: MachineConfig,
+                     input_name: str = DEFAULT_INPUT,
+                     profile_config: Optional[MachineConfig] = None,
+                     profile_input: Optional[str] = None,
+                     policy: Optional[MiniGraphPolicy] = None,
+                     global_slack: bool = False) -> SelectorRun:
+        """Full pipeline for one (program, selector, machine) point."""
+        bench = self._bench(bench)
+        plan = self.plan(bench, selector, input_name=input_name,
+                         profile_config=profile_config,
+                         profile_input=profile_input,
+                         global_slack=global_slack)
+        trace = self.trace(bench, input_name)
+        records = fold_trace(trace, plan)
+        core = OoOCore(config, records, policy=policy,
+                       warm_caches=self.warm_caches)
+        stats = core.run()
+        stats.program_name = bench.name
+        return SelectorRun(bench.name, selector.name, config.name, stats,
+                           plan)
+
+    def run_slack_dynamic(self, bench, config: MachineConfig,
+                          mode: str = "full",
+                          outlining_penalty: bool = True,
+                          input_name: str = DEFAULT_INPUT,
+                          **policy_kwargs) -> SelectorRun:
+        """Slack-Dynamic: Struct-All pool + run-time disabling policy."""
+        from ..minigraph.selectors import SlackDynamicSelector
+        policy = SlackDynamicPolicy(mode=mode,
+                                    outlining_penalty=outlining_penalty,
+                                    **policy_kwargs)
+        run = self.run_selector(bench, SlackDynamicSelector(), config,
+                                input_name=input_name, policy=policy)
+        suffix = "" if mode == "full" else f"-{mode}"
+        ideal = "" if outlining_penalty else "ideal-"
+        run.selector = f"{ideal}slack-dynamic{suffix}"
+        return run

@@ -1,0 +1,112 @@
+"""S-curve construction and text rendering.
+
+The paper displays most results as S-curves: for each experiment, programs
+are sorted from worst to best, so the same horizontal position can hold
+different programs in different experiments (§3.1). This module builds the
+sorted series and renders them as aligned text for terminal reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class SCurve:
+    """One experiment's per-program values, sorted worst→best."""
+
+    def __init__(self, label: str, values: Dict[str, float]):
+        self.label = label
+        self.by_program = dict(values)
+        self.sorted_values = sorted(values.values())
+
+    def __len__(self) -> int:
+        return len(self.sorted_values)
+
+    @property
+    def mean(self) -> float:
+        if not self.sorted_values:
+            return 0.0
+        return sum(self.sorted_values) / len(self.sorted_values)
+
+    @property
+    def median(self) -> float:
+        values = self.sorted_values
+        if not values:
+            return 0.0
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2
+
+    @property
+    def minimum(self) -> float:
+        return self.sorted_values[0] if self.sorted_values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self.sorted_values[-1] if self.sorted_values else 0.0
+
+    def fraction_below(self, threshold: float) -> float:
+        """Share of programs strictly below ``threshold``."""
+        if not self.sorted_values:
+            return 0.0
+        below = sum(1 for v in self.sorted_values if v < threshold)
+        return below / len(self.sorted_values)
+
+    def crossover_with(self, other: "SCurve") -> bool:
+        """True if the two sorted curves cross (neither dominates)."""
+        a_higher = b_higher = False
+        for va, vb in zip(self.sorted_values, other.sorted_values):
+            if va > vb:
+                a_higher = True
+            elif vb > va:
+                b_higher = True
+        return a_higher and b_higher
+
+
+def render_scurves(curves: Sequence[SCurve], title: str = "",
+                   fmt: str = "{:7.3f}") -> str:
+    """Aligned text table: one row per rank position, one column per curve."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "rank  " + "  ".join(f"{c.label:>12s}" for c in curves)
+    lines.append(header)
+    lines.append("-" * len(header))
+    length = max((len(c) for c in curves), default=0)
+    for rank in range(length):
+        row = [f"{rank:4d}  "]
+        for curve in curves:
+            if rank < len(curve):
+                row.append(f"{fmt.format(curve.sorted_values[rank]):>12s}")
+            else:
+                row.append(" " * 12)
+        lines.append("  ".join(row))
+    lines.append("-" * len(header))
+    summary = ["mean  "] + [f"{fmt.format(c.mean):>12s}" for c in curves]
+    lines.append("  ".join(summary))
+    summary = ["med   "] + [f"{fmt.format(c.median):>12s}" for c in curves]
+    lines.append("  ".join(summary))
+    return "\n".join(lines)
+
+
+def summarize(curves: Sequence[SCurve]) -> str:
+    """Compact per-curve summary (mean/median/min/max)."""
+    lines = [f"{'curve':>22s} {'mean':>8s} {'median':>8s} {'min':>8s} "
+             f"{'max':>8s} {'n':>4s}"]
+    for curve in curves:
+        lines.append(
+            f"{curve.label:>22s} {curve.mean:8.3f} {curve.median:8.3f} "
+            f"{curve.minimum:8.3f} {curve.maximum:8.3f} {len(curve):4d}")
+    return "\n".join(lines)
+
+
+def relative(values: Dict[str, float],
+             baselines: Dict[str, float]) -> Dict[str, float]:
+    """Per-program ratios value/baseline (programs missing either dropped)."""
+    out = {}
+    for name, value in values.items():
+        base = baselines.get(name)
+        if base:
+            out[name] = value / base
+    return out

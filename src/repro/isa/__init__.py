@@ -1,0 +1,22 @@
+"""The repro RISC ISA: opcodes, instructions, programs, and the assembler DSL."""
+
+from . import opcodes
+from .assembler import Assembler, parse_reg
+from .instruction import (
+    Instruction, NUM_ARCH_REGS, REG_GP, REG_RA, REG_SP, REG_ZERO,
+)
+from .program import BasicBlock, Program
+
+__all__ = [
+    "Assembler",
+    "BasicBlock",
+    "Instruction",
+    "NUM_ARCH_REGS",
+    "Program",
+    "REG_GP",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "opcodes",
+    "parse_reg",
+]

@@ -1,0 +1,326 @@
+"""A small assembler DSL for building :class:`~repro.isa.program.Program`.
+
+Workload kernels are written in Python against this builder::
+
+    a = Assembler("crc32")
+    table = a.data_words([...], label="table")
+    a.label("loop")
+    a.ld("r3", "r1", 0)
+    a.xor("r2", "r2", "r3")
+    a.addi("r1", "r1", 1)
+    a.bne("r1", "r4", "loop")
+    a.halt()
+    prog = a.build()
+
+Registers may be written as integers, ``"rN"``, or the aliases ``zero``,
+``ra``, ``gp``, ``sp``. Branch targets are labels, resolved at build time.
+Data words are laid out in declaration order; each ``data_*`` call returns
+the base address of its allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from . import opcodes as oc
+from .instruction import Instruction, NUM_ARCH_REGS, REG_GP, REG_RA, REG_SP
+from .program import Program
+
+Reg = Union[int, str]
+
+_ALIASES = {"zero": 0, "ra": REG_RA, "gp": REG_GP, "sp": REG_SP}
+
+
+def parse_reg(reg: Reg) -> int:
+    """Resolve a register designator to its architectural number."""
+    if isinstance(reg, int):
+        num = reg
+    elif reg in _ALIASES:
+        num = _ALIASES[reg]
+    elif reg.startswith("r") and reg[1:].isdigit():
+        num = int(reg[1:])
+    else:
+        raise ValueError(f"unknown register {reg!r}")
+    if not 0 <= num < NUM_ARCH_REGS:
+        raise ValueError(f"register number out of range: {reg!r}")
+    return num
+
+
+class Assembler:
+    """Incrementally builds a :class:`Program`."""
+
+    def __init__(self, name: str, memory_words: int = 1 << 16):
+        self.name = name
+        self.memory_words = memory_words
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data: List[int] = []
+        self._data_labels: Dict[str, int] = {}
+
+    # -- layout ------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define a code label at the current PC."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+
+    def here(self) -> int:
+        """The current PC."""
+        return len(self._insts)
+
+    def data_words(self, words: Sequence[int],
+                   label: Optional[str] = None) -> int:
+        """Append initialized data words; returns the base address."""
+        base = len(self._data)
+        self._data.extend(int(w) for w in words)
+        if label is not None:
+            self._data_labels[label] = base
+        return base
+
+    def data_zeros(self, count: int, label: Optional[str] = None) -> int:
+        """Append ``count`` zeroed data words; returns the base address."""
+        return self.data_words([0] * count, label=label)
+
+    def data_addr(self, label: str) -> int:
+        """Address of a previously declared data label."""
+        return self._data_labels[label]
+
+    # -- generic emitters ----------------------------------------------------
+
+    def _emit(self, inst: Instruction) -> None:
+        self._insts.append(inst)
+
+    def _rrr(self, op: int, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Instruction(op, parse_reg(rd),
+                               (parse_reg(rs1), parse_reg(rs2))))
+
+    def _rri(self, op: int, rd: Reg, rs1: Reg, imm: int) -> None:
+        self._emit(Instruction(op, parse_reg(rd), (parse_reg(rs1),),
+                               imm=int(imm)))
+
+    def _branch(self, op: int, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._emit(Instruction(op, None, (parse_reg(rs1), parse_reg(rs2)),
+                               target_label=target))
+
+    # -- ALU, register-register ---------------------------------------------
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 + rs2``"""
+        self._rrr(oc.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 - rs2``"""
+        self._rrr(oc.SUB, rd, rs1, rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 & rs2``"""
+        self._rrr(oc.AND, rd, rs1, rs2)
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 | rs2``"""
+        self._rrr(oc.OR, rd, rs1, rs2)
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 ^ rs2``"""
+        self._rrr(oc.XOR, rd, rs1, rs2)
+
+    def nor(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = ~(rs1 | rs2)``"""
+        self._rrr(oc.NOR, rd, rs1, rs2)
+
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 << (rs2 & 63)``"""
+        self._rrr(oc.SLL, rd, rs1, rs2)
+
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 >> (rs2 & 63)`` (logical)"""
+        self._rrr(oc.SRL, rd, rs1, rs2)
+
+    def sra(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 >> (rs2 & 63)`` (arithmetic)"""
+        self._rrr(oc.SRA, rd, rs1, rs2)
+
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = 1 if rs1 < rs2 else 0`` (signed)"""
+        self._rrr(oc.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = 1 if rs1 < rs2 else 0`` (unsigned)"""
+        self._rrr(oc.SLTU, rd, rs1, rs2)
+
+    def seq(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = 1 if rs1 == rs2 else 0``"""
+        self._rrr(oc.SEQ, rd, rs1, rs2)
+
+    def cmovz(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs2 == 0 ? rs1 : rd`` (reads rd as a third source)."""
+        self._emit(Instruction(oc.CMOVZ, parse_reg(rd),
+                               (parse_reg(rs1), parse_reg(rs2),
+                                parse_reg(rd))))
+
+    def cmovn(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs2 != 0 ? rs1 : rd`` (reads rd as a third source)."""
+        self._emit(Instruction(oc.CMOVN, parse_reg(rd),
+                               (parse_reg(rs1), parse_reg(rs2),
+                                parse_reg(rd))))
+
+    # -- ALU, register-immediate ----------------------------------------------
+
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 + imm``"""
+        self._rri(oc.ADDI, rd, rs1, imm)
+
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 & imm``"""
+        self._rri(oc.ANDI, rd, rs1, imm)
+
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 | imm``"""
+        self._rri(oc.ORI, rd, rs1, imm)
+
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 ^ imm``"""
+        self._rri(oc.XORI, rd, rs1, imm)
+
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 << imm``"""
+        self._rri(oc.SLLI, rd, rs1, imm)
+
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 >> imm`` (logical)"""
+        self._rri(oc.SRLI, rd, rs1, imm)
+
+    def srai(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = rs1 >> imm`` (arithmetic)"""
+        self._rri(oc.SRAI, rd, rs1, imm)
+
+    def slti(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = 1 if rs1 < imm else 0`` (signed)"""
+        self._rri(oc.SLTI, rd, rs1, imm)
+
+    def seqi(self, rd: Reg, rs1: Reg, imm: int) -> None:
+        """``rd = 1 if rs1 == imm else 0``"""
+        self._rri(oc.SEQI, rd, rs1, imm)
+
+    def li(self, rd: Reg, imm: int) -> None:
+        """``rd = imm``"""
+        self._emit(Instruction(oc.LI, parse_reg(rd), (), imm=int(imm)))
+
+    def mov(self, rd: Reg, rs1: Reg) -> None:
+        """Pseudo-op: ``addi rd, rs1, 0``."""
+        self.addi(rd, rs1, 0)
+
+    # -- complex ---------------------------------------------------------------
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 * rs2`` (low 64 bits; complex port, 3 cycles)"""
+        self._rrr(oc.MUL, rd, rs1, rs2)
+
+    def mulh(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = (rs1 * rs2) >> 64`` (signed high; complex port)"""
+        self._rrr(oc.MULH, rd, rs1, rs2)
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 / rs2`` (signed, truncating; 0 on divide-by-zero)"""
+        self._rrr(oc.DIV, rd, rs1, rs2)
+
+    def rem(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """``rd = rs1 % rs2`` (C-style sign; 0 on divide-by-zero)"""
+        self._rrr(oc.REM, rd, rs1, rs2)
+
+    def fadd(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """Fixed-point add on the complex/FP port (4 cycles)."""
+        self._rrr(oc.FADD, rd, rs1, rs2)
+
+    def fmul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        """Q16 fixed-point multiply on the complex/FP port."""
+        self._rrr(oc.FMUL, rd, rs1, rs2)
+
+    # -- memory ------------------------------------------------------------------
+
+    def ld(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        """``rd = MEM[base + offset]`` (word-addressed)."""
+        self._emit(Instruction(oc.LD, parse_reg(rd), (parse_reg(base),),
+                               imm=int(offset)))
+
+    def st(self, src: Reg, base: Reg, offset: int = 0) -> None:
+        """``MEM[base + offset] = src`` (word-addressed)."""
+        self._emit(Instruction(oc.ST, None,
+                               (parse_reg(base), parse_reg(src)),
+                               imm=int(offset)))
+
+    # -- control -------------------------------------------------------------------
+
+    def beq(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 == rs2``."""
+        self._branch(oc.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 != rs2``."""
+        self._branch(oc.BNE, rs1, rs2, target)
+
+    def blt(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 < rs2`` (signed)."""
+        self._branch(oc.BLT, rs1, rs2, target)
+
+    def bge(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 >= rs2`` (signed)."""
+        self._branch(oc.BGE, rs1, rs2, target)
+
+    def bltu(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 < rs2`` (unsigned)."""
+        self._branch(oc.BLTU, rs1, rs2, target)
+
+    def bgeu(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 >= rs2`` (unsigned)."""
+        self._branch(oc.BGEU, rs1, rs2, target)
+
+    def beqz(self, rs1: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 == 0``."""
+        self.beq(rs1, 0, target)
+
+    def bnez(self, rs1: Reg, target: str) -> None:
+        """Branch to ``target`` if ``rs1 != 0``."""
+        self.bne(rs1, 0, target)
+
+    def jmp(self, target: str) -> None:
+        """Unconditional direct jump to ``target``."""
+        self._emit(Instruction(oc.JMP, None, (), target_label=target))
+
+    def jal(self, target: str, rd: Reg = REG_RA) -> None:
+        """Call: ``rd = return address``; jump to ``target``."""
+        self._emit(Instruction(oc.JAL, parse_reg(rd), (),
+                               target_label=target))
+
+    def jr(self, rs1: Reg = REG_RA) -> None:
+        """Indirect jump to the address in ``rs1`` (return)."""
+        self._emit(Instruction(oc.JR, None, (parse_reg(rs1),)))
+
+    def ret(self) -> None:
+        """Return: ``jr ra``."""
+        self.jr(REG_RA)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def nop(self) -> None:
+        """No operation."""
+        self._emit(Instruction(oc.NOP))
+
+    def halt(self) -> None:
+        """Stop execution."""
+        self._emit(Instruction(oc.HALT))
+
+    # -- build ---------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and produce the final :class:`Program`."""
+        for pc, inst in enumerate(self._insts):
+            if inst.target_label is not None:
+                if inst.target_label not in self._labels:
+                    raise ValueError(
+                        f"undefined label {inst.target_label!r} at PC {pc}")
+                inst.imm = self._labels[inst.target_label]
+        return Program(self.name, self._insts, data=self._data,
+                       labels=dict(self._labels),
+                       memory_words=self.memory_words)

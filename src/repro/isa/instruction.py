@@ -1,0 +1,138 @@
+"""Instruction representation.
+
+An :class:`Instruction` is one static instruction of a
+:class:`~repro.isa.program.Program`. Instances are immutable after program
+construction; the simulators never mutate them.
+
+Register convention (32 architectural integer registers):
+
+=========  =======================================
+``r0``     hardwired zero (writes are discarded)
+``r1-r25`` general purpose
+``r26``    ``ra`` — return address (by convention)
+``r27``    ``gp`` — data-segment base (by convention)
+``r28``    ``sp`` — stack pointer (by convention)
+``r29-31`` general purpose / temporaries
+=========  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .opcodes import (
+    OC_BRANCH, OC_JUMP, OC_LOAD, OC_STORE, OP_INFO, JR, op_name,
+)
+
+NUM_ARCH_REGS = 32
+REG_ZERO = 0
+REG_RA = 26
+REG_GP = 27
+REG_SP = 28
+
+
+class Instruction:
+    """One static instruction.
+
+    Parameters
+    ----------
+    op:
+        Integer opcode (see :mod:`repro.isa.opcodes`).
+    rd:
+        Destination architectural register, or ``None``.
+    srcs:
+        Tuple of source architectural registers (may be empty).
+    imm:
+        Immediate operand (also holds branch/jump target PC after linking).
+    target_label:
+        Symbolic control-flow target; resolved to ``imm`` by the assembler.
+    """
+
+    __slots__ = ("op", "rd", "srcs", "imm", "target_label", "pc")
+
+    def __init__(self, op: int, rd: Optional[int] = None,
+                 srcs: Tuple[int, ...] = (), imm: int = 0,
+                 target_label: Optional[str] = None):
+        info = OP_INFO[op]
+        if len(srcs) != info.n_src:
+            raise ValueError(
+                f"{info.name} expects {info.n_src} sources, got {len(srcs)}")
+        if info.writes_reg and rd is None:
+            raise ValueError(f"{info.name} requires a destination register")
+        if not info.writes_reg and rd is not None:
+            raise ValueError(f"{info.name} does not write a register")
+        for r in srcs:
+            if not 0 <= r < NUM_ARCH_REGS:
+                raise ValueError(f"bad source register r{r}")
+        if rd is not None and not 0 <= rd < NUM_ARCH_REGS:
+            raise ValueError(f"bad destination register r{rd}")
+        self.op = op
+        self.rd = rd
+        self.srcs = srcs
+        self.imm = imm
+        self.target_label = target_label
+        self.pc = -1  # assigned when placed into a Program
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def opclass(self) -> int:
+        return OP_INFO[self.op].opclass
+
+    @property
+    def latency(self) -> int:
+        return OP_INFO[self.op].latency
+
+    @property
+    def writes_reg(self) -> bool:
+        return OP_INFO[self.op].writes_reg and self.rd != REG_ZERO
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional control transfer."""
+        return OP_INFO[self.op].opclass == OC_BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        """Unconditional control transfer."""
+        return OP_INFO[self.op].opclass == OC_JUMP
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (OC_BRANCH, OC_JUMP)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op == JR
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == OC_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == OC_STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in (OC_LOAD, OC_STORE)
+
+    # -- rendering ----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction pc={self.pc} {self.render()}>"
+
+    def render(self) -> str:
+        """Assembly-style rendering, e.g. ``add r3, r1, r2``."""
+        info = OP_INFO[self.op]
+        parts = []
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if info.has_imm:
+            if self.target_label is not None:
+                parts.append(self.target_label)
+            else:
+                parts.append(str(self.imm))
+        return f"{op_name(self.op)} " + ", ".join(parts) if parts \
+            else op_name(self.op)

@@ -1,0 +1,283 @@
+"""Functional execution: architectural interpreter and dynamic traces.
+
+The reproduction uses trace-driven timing simulation (see DESIGN.md §5):
+this module executes a program *architecturally*, producing a dynamic
+instruction trace with resolved branch outcomes and memory addresses. The
+cycle-level core in :mod:`repro.pipeline.core` then replays the trace
+against its own branch predictors and caches.
+
+Values are 64-bit; registers hold the unsigned representation and signed
+operations reinterpret as needed. Register ``r0`` is hardwired to zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import opcodes as oc
+from .program import Program
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Reinterpret a 64-bit unsigned value as signed."""
+    return value - (1 << 64) if value & _SIGN else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate a Python int to its 64-bit unsigned representation."""
+    return value & _MASK
+
+
+class TraceRecord:
+    """One dynamic instruction instance.
+
+    ``kind`` is 0 for singletons; mini-graph handle records (kind 1) are
+    defined in :mod:`repro.minigraph.transform` and share this interface.
+    """
+
+    __slots__ = ("pc", "op", "opclass", "latency", "rd", "srcs",
+                 "addr", "taken", "next_pc")
+    kind = 0
+
+    def __init__(self, pc: int, op: int, opclass: int, latency: int,
+                 rd: int, srcs: tuple, addr: int, taken: bool, next_pc: int):
+        self.pc = pc
+        self.op = op
+        self.opclass = opclass
+        self.latency = latency
+        self.rd = rd              # -1 if no register output
+        self.srcs = srcs          # architectural source registers
+        self.addr = addr          # -1 if not a memory operation
+        self.taken = taken        # control transfers only
+        self.next_pc = next_pc
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == oc.OC_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == oc.OC_STORE
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (oc.OC_BRANCH, oc.OC_JUMP)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceRecord pc={self.pc} {oc.op_name(self.op)} "
+                f"addr={self.addr} next={self.next_pc}>")
+
+
+class Trace:
+    """A complete dynamic execution of a program."""
+
+    def __init__(self, program: Program, records: List[TraceRecord],
+                 input_name: str = "default",
+                 final_memory: Optional[List[int]] = None):
+        self.program = program
+        self.records = records
+        self.input_name = input_name
+        #: Final memory image, present when executed with capture_memory.
+        self.final_memory = final_memory
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dynamic_count_of(self) -> List[int]:
+        """Per-static-PC dynamic execution counts."""
+        counts = [0] * len(self.program)
+        for rec in self.records:
+            counts[rec.pc] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Trace {self.program.name!r}/{self.input_name}: "
+                f"{len(self.records)} dynamic insts>")
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The interpreter hit its dynamic instruction budget (likely a loop bug)."""
+
+
+class MemoryFault(RuntimeError):
+    """A load or store accessed an address outside program memory."""
+
+
+def execute(program: Program, max_insts: int = 2_000_000,
+            input_name: str = "default",
+            regs_init: Optional[List[int]] = None,
+            capture_memory: bool = False) -> Trace:
+    """Architecturally execute ``program`` and return its dynamic trace.
+
+    Execution starts at PC 0 with zeroed registers (unless ``regs_init``
+    is given) and runs until a ``halt`` or until ``max_insts`` dynamic
+    instructions have retired, whichever comes first; exceeding the budget
+    raises :class:`ExecutionLimitExceeded`. With ``capture_memory`` the
+    final memory image is attached to the trace (used by transformation
+    passes to verify semantics preservation).
+    """
+    insts = program.instructions
+    n_insts = len(insts)
+    memory = list(program.data) + [0] * (program.memory_words
+                                         - len(program.data))
+    regs = list(regs_init) if regs_init is not None else [0] * 32
+    regs[0] = 0
+    records: List[TraceRecord] = []
+    append = records.append
+    pc = 0
+    retired = 0
+
+    while True:
+        if retired >= max_insts:
+            raise ExecutionLimitExceeded(
+                f"{program.name}: exceeded {max_insts} dynamic instructions")
+        if not 0 <= pc < n_insts:
+            raise MemoryFault(f"{program.name}: control left program at "
+                              f"PC {pc}")
+        inst = insts[pc]
+        op = inst.op
+        opclass = inst.opclass
+        srcs = inst.srcs
+        rd = inst.rd
+        imm = inst.imm
+        addr = -1
+        taken = False
+        next_pc = pc + 1
+        value = None
+
+        if opclass == oc.OC_SIMPLE:
+            if op == oc.ADD:
+                value = (regs[srcs[0]] + regs[srcs[1]]) & _MASK
+            elif op == oc.ADDI:
+                value = (regs[srcs[0]] + imm) & _MASK
+            elif op == oc.SUB:
+                value = (regs[srcs[0]] - regs[srcs[1]]) & _MASK
+            elif op == oc.AND:
+                value = regs[srcs[0]] & regs[srcs[1]]
+            elif op == oc.OR:
+                value = regs[srcs[0]] | regs[srcs[1]]
+            elif op == oc.XOR:
+                value = regs[srcs[0]] ^ regs[srcs[1]]
+            elif op == oc.NOR:
+                value = ~(regs[srcs[0]] | regs[srcs[1]]) & _MASK
+            elif op == oc.SLL:
+                value = (regs[srcs[0]] << (regs[srcs[1]] & 63)) & _MASK
+            elif op == oc.SRL:
+                value = regs[srcs[0]] >> (regs[srcs[1]] & 63)
+            elif op == oc.SRA:
+                value = to_unsigned(
+                    to_signed(regs[srcs[0]]) >> (regs[srcs[1]] & 63))
+            elif op == oc.SLT:
+                value = int(to_signed(regs[srcs[0]])
+                            < to_signed(regs[srcs[1]]))
+            elif op == oc.SLTU:
+                value = int(regs[srcs[0]] < regs[srcs[1]])
+            elif op == oc.SEQ:
+                value = int(regs[srcs[0]] == regs[srcs[1]])
+            elif op == oc.ANDI:
+                value = regs[srcs[0]] & to_unsigned(imm)
+            elif op == oc.ORI:
+                value = regs[srcs[0]] | to_unsigned(imm)
+            elif op == oc.XORI:
+                value = regs[srcs[0]] ^ to_unsigned(imm)
+            elif op == oc.SLLI:
+                value = (regs[srcs[0]] << (imm & 63)) & _MASK
+            elif op == oc.SRLI:
+                value = regs[srcs[0]] >> (imm & 63)
+            elif op == oc.SRAI:
+                value = to_unsigned(to_signed(regs[srcs[0]]) >> (imm & 63))
+            elif op == oc.SLTI:
+                value = int(to_signed(regs[srcs[0]]) < imm)
+            elif op == oc.SEQI:
+                value = int(to_signed(regs[srcs[0]]) == imm)
+            elif op == oc.LI:
+                value = to_unsigned(imm)
+            elif op == oc.CMOVZ:
+                value = regs[srcs[0]] if regs[srcs[1]] == 0 else regs[srcs[2]]
+            elif op == oc.CMOVN:
+                value = regs[srcs[0]] if regs[srcs[1]] != 0 else regs[srcs[2]]
+            else:  # pragma: no cover - exhaustive above
+                raise NotImplementedError(oc.op_name(op))
+        elif opclass == oc.OC_COMPLEX:
+            a, b = regs[srcs[0]], regs[srcs[1]]
+            if op == oc.MUL:
+                value = (a * b) & _MASK
+            elif op == oc.MULH:
+                value = to_unsigned((to_signed(a) * to_signed(b)) >> 64)
+            elif op == oc.DIV:
+                sb = to_signed(b)
+                value = 0 if sb == 0 else to_unsigned(
+                    int(to_signed(a) / sb))
+            elif op == oc.REM:
+                sb = to_signed(b)
+                sa = to_signed(a)
+                value = 0 if sb == 0 else to_unsigned(
+                    sa - int(sa / sb) * sb)
+            elif op == oc.FADD:
+                value = (a + b) & _MASK
+            elif op == oc.FMUL:
+                value = to_unsigned((to_signed(a) * to_signed(b)) >> 16)
+            else:  # pragma: no cover - exhaustive above
+                raise NotImplementedError(oc.op_name(op))
+        elif opclass == oc.OC_LOAD:
+            addr = (regs[srcs[0]] + imm) & _MASK
+            if addr >= len(memory):
+                raise MemoryFault(
+                    f"{program.name}: load from {addr} at PC {pc}")
+            value = memory[addr]
+        elif opclass == oc.OC_STORE:
+            addr = (regs[srcs[0]] + imm) & _MASK
+            if addr >= len(memory):
+                raise MemoryFault(
+                    f"{program.name}: store to {addr} at PC {pc}")
+            memory[addr] = regs[srcs[1]]
+        elif opclass == oc.OC_BRANCH:
+            a, b = regs[srcs[0]], regs[srcs[1]]
+            if op == oc.BEQ:
+                taken = a == b
+            elif op == oc.BNE:
+                taken = a != b
+            elif op == oc.BLT:
+                taken = to_signed(a) < to_signed(b)
+            elif op == oc.BGE:
+                taken = to_signed(a) >= to_signed(b)
+            elif op == oc.BLTU:
+                taken = a < b
+            elif op == oc.BGEU:
+                taken = a >= b
+            else:  # pragma: no cover - exhaustive above
+                raise NotImplementedError(oc.op_name(op))
+            if taken:
+                next_pc = imm
+        elif opclass == oc.OC_JUMP:
+            taken = True
+            if op == oc.JMP:
+                next_pc = imm
+            elif op == oc.JAL:
+                value = pc + 1
+                next_pc = imm
+            else:  # JR
+                next_pc = regs[srcs[0]]
+        elif opclass == oc.OC_NOP:
+            pass
+        elif opclass == oc.OC_HALT:
+            append(TraceRecord(pc, op, opclass, inst.latency, -1, srcs,
+                               -1, False, pc))
+            break
+        else:  # pragma: no cover - MGH never appears in source programs
+            raise NotImplementedError(oc.op_name(op))
+
+        if value is not None and rd is not None and rd != 0:
+            regs[rd] = value
+        append(TraceRecord(pc, op, opclass, inst.latency,
+                           rd if (rd is not None and rd != 0
+                                  and inst.writes_reg) else -1,
+                           srcs, addr, taken, next_pc))
+        retired += 1
+        pc = next_pc
+
+    return Trace(program, records, input_name=input_name,
+                 final_memory=memory if capture_memory else None)

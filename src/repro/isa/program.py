@@ -1,0 +1,131 @@
+"""Programs and basic blocks.
+
+A :class:`Program` is a linked list of instructions (PC = index into the
+instruction list), an initial data-segment image, and label metadata. The
+mini-graph machinery works on :class:`BasicBlock` views of the program;
+mini-graphs are confined to basic blocks (atomicity — §2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .instruction import Instruction
+from .opcodes import JR, OC_BRANCH, OC_HALT, OC_JUMP
+
+
+class BasicBlock:
+    """A maximal single-entry straight-line region ``[start, end)``."""
+
+    __slots__ = ("index", "start", "end")
+
+    def __init__(self, index: int, start: int, end: int):
+        self.index = index
+        self.start = start
+        self.end = end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock #{self.index} [{self.start}, {self.end})>"
+
+    def pcs(self) -> range:
+        """The PCs of this block, in order."""
+        return range(self.start, self.end)
+
+
+class Program:
+    """An executable program image.
+
+    Parameters
+    ----------
+    name:
+        Identifier used by the suite registry and caches.
+    instructions:
+        The static instruction sequence; ``pc`` attributes are assigned here.
+    data:
+        Initial data-segment image (word-addressed; address 0 is data word 0).
+    labels:
+        Map of label name to PC, for diagnostics.
+    memory_words:
+        Total memory size. Memory beyond ``len(data)`` starts zeroed and
+        serves as heap/stack.
+    """
+
+    def __init__(self, name: str, instructions: Sequence[Instruction],
+                 data: Optional[Sequence[int]] = None,
+                 labels: Optional[Dict[str, int]] = None,
+                 memory_words: int = 1 << 16):
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+        for pc, inst in enumerate(self.instructions):
+            inst.pc = pc
+        self.data: List[int] = list(data or ())
+        self.labels: Dict[str, int] = dict(labels or {})
+        if memory_words < len(self.data):
+            raise ValueError("memory_words smaller than data segment")
+        self.memory_words = memory_words
+        self._blocks: Optional[List[BasicBlock]] = None
+        self._block_of_pc: Optional[List[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- control-flow structure ---------------------------------------------
+
+    def basic_blocks(self) -> List[BasicBlock]:
+        """Partition the program into basic blocks.
+
+        Leaders are: PC 0, targets of control transfers, and instructions
+        following a control transfer or halt. Indirect jumps (``jr``) end a
+        block but contribute no static target; call/return discipline means
+        their dynamic targets are always leaders anyway (targets of ``jal``
+        or fall-throughs of calls).
+        """
+        if self._blocks is not None:
+            return self._blocks
+        n = len(self.instructions)
+        leaders = {0}
+        for pc, inst in enumerate(self.instructions):
+            cls = inst.opclass
+            if cls in (OC_BRANCH, OC_JUMP, OC_HALT):
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+                if cls != OC_HALT and inst.op != JR:
+                    leaders.add(inst.imm)
+        ordered = sorted(p for p in leaders if 0 <= p < n)
+        blocks: List[BasicBlock] = []
+        block_of_pc = [0] * n
+        for i, start in enumerate(ordered):
+            end = ordered[i + 1] if i + 1 < len(ordered) else n
+            blocks.append(BasicBlock(len(blocks), start, end))
+            for pc in range(start, end):
+                block_of_pc[pc] = len(blocks) - 1
+        self._blocks = blocks
+        self._block_of_pc = block_of_pc
+        return blocks
+
+    def block_of(self, pc: int) -> BasicBlock:
+        """The basic block containing ``pc``."""
+        self.basic_blocks()
+        assert self._blocks is not None and self._block_of_pc is not None
+        return self._blocks[self._block_of_pc[pc]]
+
+    # -- rendering ------------------------------------------------------------
+
+    def listing(self) -> str:
+        """Full assembly listing with labels, for diagnostics."""
+        by_pc: Dict[int, List[str]] = {}
+        for label, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(label)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for label in sorted(by_pc.get(pc, ())):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:5d}  {inst.render()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Program {self.name!r}: {len(self.instructions)} insts, "
+                f"{len(self.data)} data words>")

@@ -1,0 +1,128 @@
+"""Static program validation.
+
+Workload kernels are hand-written assembly; this linter catches the
+classic mistakes before they surface as weird simulation results:
+control transfers out of range, falls off the end of the program, reads
+of registers that no path has written (reads of zeroed registers are
+legal but usually unintended), and obviously wild r0-relative memory
+references.
+
+``validate(program)`` returns a list of :class:`Issue`;
+``check(program)`` raises :class:`ValidationError` on any error-severity
+issue. The workload test-suite runs ``check`` over every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from . import opcodes as oc
+from .program import Program
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str
+    pc: int
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.severity}] pc={self.pc}: {self.message}"
+
+
+class ValidationError(RuntimeError):
+    """The program has at least one error-severity issue."""
+
+    def __init__(self, issues: List[Issue]):
+        self.issues = issues
+        summary = "; ".join(str(issue) for issue in issues[:5])
+        super().__init__(summary)
+
+
+def _control_targets_in_range(program: Program,
+                              issues: List[Issue]) -> None:
+    n = len(program)
+    for pc, inst in enumerate(program.instructions):
+        if inst.opclass in (oc.OC_BRANCH, oc.OC_JUMP) \
+                and inst.op != oc.JR:
+            if not 0 <= inst.imm < n:
+                issues.append(Issue(
+                    ERROR, pc,
+                    f"control target {inst.imm} outside program"))
+
+
+def _terminates(program: Program, issues: List[Issue]) -> None:
+    """Every block must end in halt, a jump, a branch, or flow into a
+    successor; the final instruction must not fall off the end."""
+    n = len(program)
+    last = program.instructions[n - 1]
+    if last.opclass not in (oc.OC_HALT, oc.OC_JUMP) \
+            and not (last.opclass == oc.OC_BRANCH):
+        issues.append(Issue(ERROR, n - 1,
+                            "control can fall off the end of the program"))
+    if last.opclass == oc.OC_BRANCH:
+        issues.append(Issue(ERROR, n - 1,
+                            "final instruction is a conditional branch "
+                            "whose fall-through leaves the program"))
+    if not any(inst.opclass == oc.OC_HALT
+               for inst in program.instructions):
+        issues.append(Issue(WARNING, 0, "program contains no halt"))
+
+
+def _reads_of_never_written(program: Program,
+                            issues: List[Issue]) -> None:
+    """Registers read somewhere but written nowhere (r0 excluded)."""
+    written: Set[int] = {0}
+    read: Set[int] = set()
+    first_read_pc = {}
+    for pc, inst in enumerate(program.instructions):
+        for src in inst.srcs:
+            if src not in read:
+                read.add(src)
+                first_read_pc[src] = pc
+        if inst.writes_reg:
+            written.add(inst.rd)
+    for reg in sorted(read - written):
+        issues.append(Issue(
+            WARNING, first_read_pc[reg],
+            f"r{reg} is read but never written (reads as zero)"))
+
+
+def _wild_absolute_memory(program: Program, issues: List[Issue]) -> None:
+    """r0-relative memory accesses with out-of-range offsets are always
+    faults at run time; flag them statically."""
+    for pc, inst in enumerate(program.instructions):
+        if inst.is_memory and inst.srcs[0] == 0:
+            if not 0 <= inst.imm < program.memory_words:
+                issues.append(Issue(
+                    ERROR, pc,
+                    f"absolute memory access at {inst.imm} outside the "
+                    f"{program.memory_words}-word memory"))
+
+
+def validate(program: Program) -> List[Issue]:
+    """All findings for ``program`` (errors first, then warnings by pc)."""
+    if not len(program):
+        return [Issue(ERROR, 0, "empty program")]
+    issues: List[Issue] = []
+    _control_targets_in_range(program, issues)
+    _terminates(program, issues)
+    _reads_of_never_written(program, issues)
+    _wild_absolute_memory(program, issues)
+    issues.sort(key=lambda i: (i.severity != ERROR, i.pc))
+    return issues
+
+
+def check(program: Program) -> List[Issue]:
+    """Raise :class:`ValidationError` on errors; return any warnings."""
+    issues = validate(program)
+    errors = [issue for issue in issues if issue.severity == ERROR]
+    if errors:
+        raise ValidationError(errors)
+    return issues

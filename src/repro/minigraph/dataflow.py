@@ -1,0 +1,210 @@
+"""Register liveness and dataflow analysis.
+
+Mini-graph legality depends on liveness: register values produced inside a
+candidate group that are *dead* after the group are "interior" — they need
+no physical register, which is the source of the capacity amplification
+(§2 of the paper). Identifying interior values requires classic backward
+liveness analysis over the control-flow graph, performed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import JR, OC_BRANCH, OC_HALT, OC_JUMP
+from ..isa.program import Program
+
+ALL_REGS: FrozenSet[int] = frozenset(range(1, 32))
+
+
+def block_successors(program: Program) -> List[List[int]]:
+    """Successor block indices for each basic block.
+
+    Indirect jumps (``jr``) have statically unknown targets; the analysis
+    treats them conservatively (see :func:`liveness`).
+    """
+    blocks = program.basic_blocks()
+    successors: List[List[int]] = []
+    n = len(program.instructions)
+    for block in blocks:
+        last = program.instructions[block.end - 1]
+        succ: List[int] = []
+        cls = last.opclass
+        if cls == OC_BRANCH:
+            succ.append(program.block_of(last.imm).index)
+            if block.end < n:
+                succ.append(program.block_of(block.end).index)
+        elif cls == OC_JUMP:
+            if last.op != JR:
+                succ.append(program.block_of(last.imm).index)
+            # jr: unknown successors, handled conservatively in liveness
+        elif cls == OC_HALT:
+            pass
+        elif block.end < n:
+            succ.append(program.block_of(block.end).index)
+        successors.append(succ)
+    return successors
+
+
+def _uses_defs(inst: Instruction) -> Tuple[Set[int], Set[int]]:
+    uses = {r for r in inst.srcs if r != 0}
+    defs = {inst.rd} if inst.writes_reg else set()
+    return uses, defs
+
+
+def liveness(program: Program) -> List[FrozenSet[int]]:
+    """Live-out register set at each instruction.
+
+    ``result[pc]`` is the set of registers whose values may be read after
+    the instruction at ``pc`` executes. Blocks ending in indirect jumps
+    (and the block reached by falling off the end of the program) use the
+    fully-conservative live-out set of all registers.
+    """
+    blocks = program.basic_blocks()
+    insts = program.instructions
+    successors = block_successors(program)
+
+    # Per-block gen (upward-exposed uses) and kill (defs) sets.
+    gen: List[Set[int]] = []
+    kill: List[Set[int]] = []
+    for block in blocks:
+        g: Set[int] = set()
+        k: Set[int] = set()
+        for pc in range(block.start, block.end):
+            uses, defs = _uses_defs(insts[pc])
+            g |= uses - k
+            k |= defs
+        gen.append(g)
+        kill.append(k)
+
+    live_in: List[Set[int]] = [set(g) for g in gen]
+    live_out: List[Set[int]] = []
+    for block in blocks:
+        last = insts[block.end - 1]
+        if last.op == JR:
+            live_out.append(set(ALL_REGS))
+        else:
+            live_out.append(set())
+
+    # Iterate to fixpoint (reverse order converges quickly).
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(blocks) - 1, -1, -1):
+            out = live_out[index]
+            if insts[blocks[index].end - 1].op != JR:
+                new_out: Set[int] = set()
+                for succ in successors[index]:
+                    new_out |= live_in[succ]
+                if new_out != out:
+                    live_out[index] = new_out
+                    out = new_out
+                    changed = True
+            new_in = gen[index] | (out - kill[index])
+            if new_in != live_in[index]:
+                live_in[index] = new_in
+                changed = True
+
+    # Expand to per-instruction live-out sets.
+    result: List[FrozenSet[int]] = [frozenset()] * len(insts)
+    for index, block in enumerate(blocks):
+        live = set(live_out[index])
+        for pc in range(block.end - 1, block.start - 1, -1):
+            result[pc] = frozenset(live)
+            uses, defs = _uses_defs(insts[pc])
+            live -= defs
+            live |= uses
+    return result
+
+
+def group_interface(program: Program, start: int, end: int,
+                    live_out_sets: List[FrozenSet[int]]):
+    """External interface of the instruction group ``[start, end)``.
+
+    Returns ``(ext_inputs, outputs)`` where ``ext_inputs`` is an ordered
+    list of ``(reg, first_consumer_offset, operand_position)`` triples for
+    registers read from outside the group, and ``outputs`` is the list of
+    ``(reg, producer_offset)`` for registers written in the group that are
+    live after it. Offsets are relative to ``start``.
+    """
+    insts = program.instructions
+    defined: Dict[int, int] = {}
+    ext_inputs: List[Tuple[int, int, int]] = []
+    seen_ext: Set[int] = set()
+    for offset in range(end - start):
+        inst = insts[start + offset]
+        for position, src in enumerate(inst.srcs):
+            if src == 0 or src in defined:
+                continue
+            if src not in seen_ext:
+                seen_ext.add(src)
+                ext_inputs.append((src, offset, position))
+        if inst.writes_reg:
+            defined[inst.rd] = offset
+    live_after = live_out_sets[end - 1]
+    outputs = [(reg, offset) for reg, offset in defined.items()
+               if reg in live_after]
+    outputs.sort(key=lambda pair: pair[1])
+    return ext_inputs, outputs
+
+
+def internal_edges(program: Program, start: int,
+                   end: int) -> List[Tuple[int, int]]:
+    """Internal dataflow edges ``(producer_offset, consumer_offset)``.
+
+    An edge exists when a group instruction reads a register most recently
+    written by an *earlier* instruction of the same group.
+    """
+    insts = program.instructions
+    last_writer: Dict[int, int] = {}
+    edges: List[Tuple[int, int]] = []
+    for offset in range(end - start):
+        inst = insts[start + offset]
+        for src in inst.srcs:
+            if src in last_writer:
+                edges.append((last_writer[src], offset))
+        if inst.writes_reg:
+            last_writer[inst.rd] = offset
+    return sorted(set(edges))
+
+
+def is_connected(size: int, edges: List[Tuple[int, int]]) -> bool:
+    """True if the group's internal dataflow graph is weakly connected."""
+    if size <= 1:
+        return True
+    parent = list(range(size))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in edges:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    root = find(0)
+    return all(find(i) == root for i in range(size))
+
+
+def reaches(size: int, edges: List[Tuple[int, int]], source: int,
+            target: int) -> bool:
+    """True if dataflow can carry ``source``'s result into ``target``."""
+    if source == target:
+        return True
+    adjacency: Dict[int, List[int]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    frontier = [source]
+    seen = {source}
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency.get(node, ()):
+            if nxt == target:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False

@@ -1,0 +1,108 @@
+"""Greedy, budgeted mini-graph template selection (§2 "Selection").
+
+All selectors share this procedure. Given a starting pool of sites (the
+selector's serialization filter already applied), sites are grouped by
+template and each template scored ``(n - 1) * f`` — its singleton-slot
+savings times profiled frequency. The algorithm repeatedly commits the
+highest-scoring template, claims its (non-overlapping) sites, discounts
+templates whose sites overlap the claimed instructions, and stops at the
+MGT budget or when no positive-score template remains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .templates import MGSite, MGTemplate
+
+
+class MiniGraphPlan:
+    """The outcome of selection for one program: the sites to aggregate."""
+
+    def __init__(self, sites: List[MGSite], templates: List[MGTemplate]):
+        self.sites = sorted(sites, key=lambda s: s.start)
+        self.templates = templates
+        self._by_start = {site.start: site for site in self.sites}
+
+    def site_at(self, pc: int) -> Optional[MGSite]:
+        """The selected site starting at ``pc``, if any."""
+        return self._by_start.get(pc)
+
+    @property
+    def n_templates(self) -> int:
+        return len(self.templates)
+
+    def static_coverage(self, program_len: int) -> float:
+        """Fraction of static instructions embedded in selected sites."""
+        covered = sum(site.end - site.start for site in self.sites)
+        return covered / program_len if program_len else 0.0
+
+    def expected_dynamic_coverage(self, total_dynamic: int) -> float:
+        """Coverage predicted from profile frequencies."""
+        if not total_dynamic:
+            return 0.0
+        embedded = sum((site.end - site.start) * site.frequency
+                       for site in self.sites)
+        return embedded / total_dynamic
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MiniGraphPlan {len(self.sites)} sites, "
+                f"{len(self.templates)} templates>")
+
+
+def select(pool: List[MGSite], budget: int = 512) -> MiniGraphPlan:
+    """Greedy budgeted selection over a pool of sites.
+
+    Sites are grouped by template; overlap between a chosen template's
+    instances and remaining candidates is resolved by *discounting*: an
+    overlapped site contributes nothing to its template's score and is
+    never instantiated.
+    """
+    by_template: Dict[int, List[MGSite]] = {}
+    templates: Dict[int, MGTemplate] = {}
+    for site in pool:
+        by_template.setdefault(site.template.id, []).append(site)
+        templates[site.template.id] = site.template
+
+    claimed: Set[int] = set()  # static PCs already embedded
+    chosen_sites: List[MGSite] = []
+    chosen_templates: List[MGTemplate] = []
+
+    def live_sites(template_id: int) -> List[MGSite]:
+        return [site for site in by_template[template_id]
+                if not any(pc in claimed for pc in
+                           range(site.start, site.end))]
+
+    def score(sites: List[MGSite]) -> int:
+        return sum(site.score_contribution for site in sites)
+
+    remaining = set(by_template)
+    while remaining and len(chosen_templates) < budget:
+        best_id = -1
+        best_score = 0
+        best_sites: List[MGSite] = []
+        for template_id in remaining:
+            sites = live_sites(template_id)
+            if not sites:
+                continue
+            s = score(sites)
+            if s > best_score:
+                best_id, best_score, best_sites = template_id, s, sites
+        if best_id < 0:
+            break
+        remaining.discard(best_id)
+        chosen_templates.append(templates[best_id])
+        # Claim sites greedily in static order; same-template instances
+        # may overlap each other, in which case later ones are skipped.
+        for site in best_sites:
+            pcs = range(site.start, site.end)
+            if any(pc in claimed for pc in pcs):
+                continue
+            claimed.update(pcs)
+            chosen_sites.append(site)
+    return MiniGraphPlan(chosen_sites, chosen_templates)
+
+
+def empty_plan() -> MiniGraphPlan:
+    """A plan that aggregates nothing (the singleton baseline)."""
+    return MiniGraphPlan([], [])

@@ -1,0 +1,181 @@
+"""The five mini-graph selectors of the paper (§3, §4) plus ablations.
+
+Every selector produces a *starting pool* of sites; the shared greedy
+budgeted procedure in :mod:`repro.minigraph.selection` then picks templates.
+All selectors admit the shape-safe sites (no serialization potential) and
+differ only in their treatment of potentially-serializing ones:
+
+================  ==========================================================
+Struct-All        admit every potentially-serializing site
+Struct-None       admit none
+Struct-Bounded    admit those whose output delay is structurally bounded
+Slack-Profile     admit those rules #1–#4 predict to be harmless
+Slack-Dynamic     admit all (Struct-All pool) — harmful sites are disabled
+                  at run time by the hardware monitor
+================  ==========================================================
+
+Slack-Profile's ablation variants (Figure 7): ``delay`` ignores rule #4
+(rejects on any predicted output delay) and ``sial`` replaces delay
+accounting with the operand-arrival-order heuristic of macro-op scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from .candidates import Candidate, enumerate_candidates
+from .delay_model import assess
+from .selection import MiniGraphPlan, select
+from .serialization import SerializationClass
+from .slack import SlackProfile
+from .templates import MGSite, build_templates
+
+
+class Selector:
+    """Base selector: named filter over the candidate site pool."""
+
+    name = "base"
+    #: Selectors that consult a slack profile set this.
+    needs_profile = False
+
+    def admit(self, site: MGSite, profile: Optional[SlackProfile]) -> bool:
+        """Whether a potentially-serializing site joins the pool."""
+        raise NotImplementedError
+
+    def build_pool(self, sites: Iterable[MGSite],
+                   profile: Optional[SlackProfile]) -> List[MGSite]:
+        """Shape-safe sites plus the admitted serializing ones."""
+        pool = []
+        for site in sites:
+            if site.candidate.serialization is SerializationClass.NONE:
+                pool.append(site)
+            elif self.admit(site, profile):
+                pool.append(site)
+        return pool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Selector {self.name}>"
+
+
+class StructAll(Selector):
+    """Serialization-blind: maximize coverage (§3)."""
+
+    name = "struct-all"
+
+    def admit(self, site: MGSite, profile) -> bool:
+        """Admit everything."""
+        return True
+
+
+class StructNone(Selector):
+    """Conservative: reject all serialization potential (§3)."""
+
+    name = "struct-none"
+
+    def admit(self, site: MGSite, profile) -> bool:
+        """Admit nothing serializing."""
+        return False
+
+
+class StructBounded(Selector):
+    """Heuristic: admit only structurally bounded serialization (§4.2)."""
+
+    name = "struct-bounded"
+
+    def admit(self, site: MGSite, profile) -> bool:
+        """Admit only structurally bounded delay."""
+        return site.candidate.serialization is SerializationClass.BOUNDED
+
+
+class SlackProfileSelector(Selector):
+    """Quantitative selection from local slack profiles (§4.3).
+
+    ``variant`` selects the model: ``"full"`` applies rules #1–#4;
+    ``"delay"`` applies rules #1–#3 and rejects on any output delay
+    (Slack-Profile-Delay in Figure 7); ``"sial"`` applies the
+    operand-arrival heuristic (Slack-Profile-SIAL).
+
+    ``measured_latencies`` enables the future-work extension from the
+    paper's *mcf* footnote: rule #2 uses profiled (cache-aware) latencies
+    instead of optimistic hit latencies.
+    """
+
+    needs_profile = True
+
+    def __init__(self, variant: str = "full",
+                 unprofiled_ok: bool = True,
+                 measured_latencies: bool = False):
+        if variant not in ("full", "delay", "sial"):
+            raise ValueError(f"unknown Slack-Profile variant {variant!r}")
+        self.variant = variant
+        self.unprofiled_ok = unprofiled_ok
+        self.measured_latencies = measured_latencies
+        self.name = "slack-profile" if variant == "full" \
+            else f"slack-profile-{variant}"
+        if measured_latencies:
+            self.name += "-measured"
+
+    def admit(self, site: MGSite, profile: Optional[SlackProfile]) -> bool:
+        """Rules #1–#4 (or the variant) against the slack profile."""
+        if profile is None:
+            raise ValueError(f"{self.name} requires a slack profile")
+        assessment = assess(site.candidate, profile,
+                            measured_latencies=self.measured_latencies)
+        if assessment is None:
+            # Candidate code never ran during profiling: its selection
+            # frequency is zero anyway; admission is moot but configurable.
+            return self.unprofiled_ok
+        if self.variant == "full":
+            return not assessment.degrades
+        if self.variant == "delay":
+            return not assessment.degrades_delay_only
+        return not assessment.degrades_sial
+
+
+class SlackDynamicSelector(Selector):
+    """Static side of Slack-Dynamic (§4.4): the aggressive Struct-All pool.
+
+    Harmful mini-graphs are disabled at run time by
+    :class:`repro.minigraph.dynamic.SlackDynamicPolicy`, which the harness
+    attaches to the timing core when this selector is used.
+    """
+
+    name = "slack-dynamic"
+
+    def admit(self, site: MGSite, profile) -> bool:
+        """Admit everything; pruning happens at run time."""
+        return True
+
+
+class FixedSetSelector(Selector):
+    """Admits exactly the given candidate sites (limit-study support)."""
+
+    name = "fixed-set"
+
+    def __init__(self, allowed_site_ids: Set[int]):
+        self.allowed = set(allowed_site_ids)
+
+    def build_pool(self, sites: Iterable[MGSite], profile) -> List[MGSite]:
+        """Exactly the allowed site ids, ignoring serialization class."""
+        return [site for site in sites if site.id in self.allowed]
+
+    def admit(self, site: MGSite, profile) -> bool:  # pragma: no cover
+        return site.id in self.allowed
+
+
+def make_plan(program, freq_counts: List[int], selector: Selector,
+              profile: Optional[SlackProfile] = None, budget: int = 512,
+              max_size: int = 4,
+              candidates: Optional[List[Candidate]] = None) -> MiniGraphPlan:
+    """Enumerate, filter, and select mini-graphs for ``program``.
+
+    ``freq_counts`` are per-static-PC dynamic execution counts from the
+    profiling input (used both for template scores and, with profile-based
+    selectors, for rule evaluation via ``profile``).
+    """
+    if candidates is None:
+        candidates = enumerate_candidates(program, max_size=max_size)
+    templates = build_templates(candidates, freq_counts)
+    sites = [site for template in templates for site in template.sites]
+    pool = selector.build_pool(sites, profile)
+    return select(pool, budget=budget)

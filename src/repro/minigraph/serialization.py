@@ -1,0 +1,68 @@
+"""Structural serialization classification (§4.1–§4.2 of the paper).
+
+A candidate is *potentially serializing* when it has an external register
+input whose first consumer is not the first constituent — the aggregate
+then cannot issue until that input arrives, even though in a singleton
+execution the first constituent would not have waited for it.
+
+``Struct-Bounded`` refines this with the bounded/unbounded distinction of
+§4.2: serialization delay on the register output is *bounded* (by the
+mini-graph's own execution latency) when every serializing input is
+"upstream" of the output producer, i.e. its consumer's result flows into
+the instruction that produces the output. Disconnected mini-graphs and
+serializing inputs "downstream" of the output make the delay unbounded.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from .dataflow import is_connected, reaches
+
+
+class SerializationClass(Enum):
+    """Structural serialization category of a candidate."""
+
+    NONE = "none"            # every external input feeds the first constituent
+    BOUNDED = "bounded"      # serializing, but output delay provably short
+    UNBOUNDED = "unbounded"  # output delay can grow with input arrival skew
+
+
+def serializing_inputs(
+        ext_inputs: List[Tuple[int, int, int]]) -> List[Tuple[int, int, int]]:
+    """The subset of external inputs that can serialize the aggregate."""
+    return [entry for entry in ext_inputs if entry[1] > 0]
+
+
+def classify(size: int,
+             ext_inputs: List[Tuple[int, int, int]],
+             edges: List[Tuple[int, int]],
+             out_producer: Optional[int]) -> SerializationClass:
+    """Classify a candidate group structurally.
+
+    Parameters
+    ----------
+    size:
+        Number of constituents.
+    ext_inputs:
+        ``(reg, first_consumer_offset, operand_position)`` triples.
+    edges:
+        Internal dataflow edges ``(producer_offset, consumer_offset)``.
+    out_producer:
+        Offset of the constituent producing the register output, or ``None``
+        if the group has no live register output.
+    """
+    serial = serializing_inputs(ext_inputs)
+    if not serial:
+        return SerializationClass.NONE
+    if out_producer is None:
+        # Only the register output's delay is bounded by inspection
+        # (§4.2); with no register output there is nothing to bound.
+        return SerializationClass.BOUNDED
+    if not is_connected(size, edges):
+        return SerializationClass.UNBOUNDED
+    for _, consumer, _ in serial:
+        if not reaches(size, edges, consumer, out_producer):
+            return SerializationClass.UNBOUNDED
+    return SerializationClass.BOUNDED

@@ -1,0 +1,194 @@
+"""Local slack profiling (§4.3 of the paper).
+
+The profiler is the timing simulator itself: a singleton (no mini-graphs)
+run on the profiling configuration, with a :class:`SlackCollector` attached
+that observes issue times, operand-ready times, and consumer issue times.
+Per-static-instruction averages are anchored to the issue time of the
+first instruction of the enclosing basic block, exactly as described in
+the paper ("a convenient fixed reference point").
+
+*Local slack* of an instruction is the number of cycles its result could
+be delayed without delaying any consumer: ``min over consumers of
+(consumer issue time − value ready time)``. Correctly-predicted branches
+and values with no consumers get the capped slack :data:`SLACK_CAP`;
+mispredicted branches get zero slack (their resolution redirects fetch
+immediately); stores earn slack through forwarding consumers and ordering
+violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import Program
+
+SLACK_CAP = 64
+NEVER_READY = None  # operand with no in-flight producer: ready long before
+
+
+class ProfileEntry:
+    """Aggregated timing profile of one static instruction."""
+
+    __slots__ = ("pc", "count", "rel_issue", "src_ready", "out_ready",
+                 "slack", "min_slack")
+
+    def __init__(self, pc: int, count: int, rel_issue: float,
+                 src_ready: Tuple[Optional[float], ...],
+                 out_ready: Optional[float], slack: float, min_slack: int):
+        self.pc = pc
+        self.count = count
+        self.rel_issue = rel_issue
+        self.src_ready = src_ready
+        self.out_ready = out_ready
+        self.slack = slack
+        self.min_slack = min_slack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ProfileEntry pc={self.pc} n={self.count} "
+                f"issue={self.rel_issue:.1f} slack={self.slack:.1f}>")
+
+
+class SlackProfile:
+    """Per-static-instruction profile for one (program, input, machine)."""
+
+    def __init__(self, program_name: str, config_name: str, input_name: str,
+                 entries: Dict[int, ProfileEntry]):
+        self.program_name = program_name
+        self.config_name = config_name
+        self.input_name = input_name
+        self.entries = entries
+
+    def get(self, pc: int) -> Optional[ProfileEntry]:
+        """The entry for static instruction ``pc``, or None."""
+        return self.entries.get(pc)
+
+    def covers(self, pcs) -> bool:
+        """True when every pc in ``pcs`` was executed in the profile run."""
+        return all(pc in self.entries for pc in pcs)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SlackProfile {self.program_name}@{self.config_name}"
+                f"/{self.input_name}: {len(self.entries)} pcs>")
+
+
+class _Accumulator:
+    __slots__ = ("count", "issue_sum", "src_sum", "src_count", "out_sum",
+                 "out_count", "slack_sum", "min_slack")
+
+    def __init__(self, n_src: int):
+        self.count = 0
+        self.issue_sum = 0
+        self.src_sum = [0] * n_src
+        self.src_count = [0] * n_src
+        self.out_sum = 0
+        self.out_count = 0
+        self.slack_sum = 0
+        self.min_slack = SLACK_CAP
+
+
+class SlackCollector:
+    """Timing-core observer that builds a :class:`SlackProfile`.
+
+    The core invokes :meth:`on_consume` whenever an instruction issues and
+    consumes a producer's value (including store→load forwarding),
+    :meth:`on_redirect` when a mispredicted control transfer redirects
+    fetch, and :meth:`on_commit` for every committed singleton.
+    """
+
+    def __init__(self, program: Program, config_name: str = "",
+                 input_name: str = "default"):
+        self.program = program
+        self.config_name = config_name
+        self.input_name = input_name
+        self._leaders = {block.start for block in program.basic_blocks()}
+        self._anchor = 0
+        self._acc: Dict[int, _Accumulator] = {}
+        # Per-dynamic-producer minimum consumer slack, keyed by uop identity.
+        self._pending_slack: Dict[int, int] = {}
+        self._committed: List = []
+        self._finished = False
+
+    # -- core callbacks -----------------------------------------------------
+
+    def on_consume(self, producer, consumer, cycle: int) -> None:
+        """A consumer issued at ``cycle`` using ``producer``'s value."""
+        ready = producer.out_actual_ready
+        if ready >= (1 << 50):  # producer without a register value (store)
+            ready = producer.store_resolve_cycle
+        sample = cycle - ready
+        key = id(producer)
+        previous = self._pending_slack.get(key)
+        if previous is None or sample < previous:
+            self._pending_slack[key] = sample
+
+    def on_redirect(self, uop, resolve_cycle: int) -> None:
+        """A mispredicted transfer redirected fetch: zero slack."""
+        # A mispredicted control transfer: any delay to its resolution
+        # delays the redirect cycle-for-cycle — zero slack.
+        self._pending_slack[id(uop)] = 0
+
+    def on_commit(self, uop) -> None:
+        """Aggregate issue/ready times for a committed singleton."""
+        pc = uop.pc
+        rec = uop.rec
+        acc = self._acc.get(pc)
+        if acc is None:
+            acc = _Accumulator(len(rec.srcs))
+            self._acc[pc] = acc
+        anchor = self._anchor
+        if pc in self._leaders:
+            anchor = self._anchor = uop.issue_cycle
+        acc.count += 1
+        acc.issue_sum += uop.issue_cycle - anchor
+        by_reg = {p.rec.rd: p for p in uop.producers}
+        for position, src in enumerate(rec.srcs):
+            producer = by_reg.get(src)
+            if producer is not None:
+                ready = producer.out_actual_ready
+                if ready < (1 << 50):
+                    acc.src_sum[position] += ready - anchor
+                    acc.src_count[position] += 1
+        if uop.writes:
+            acc.out_sum += uop.out_actual_ready - anchor
+            acc.out_count += 1
+        self._committed.append(uop)
+
+    def on_finish(self) -> None:
+        """Finalize per-instance slack samples (min over consumers)."""
+        if self._finished:
+            return
+        self._finished = True
+        for uop in self._committed:
+            sample = self._pending_slack.get(id(uop))
+            if sample is None:
+                sample = SLACK_CAP
+            else:
+                sample = max(0, min(sample, SLACK_CAP))
+            acc = self._acc[uop.pc]
+            acc.slack_sum += sample
+            if sample < acc.min_slack:
+                acc.min_slack = sample
+
+    # -- output ---------------------------------------------------------------
+
+    def profile(self) -> SlackProfile:
+        """The aggregated slack profile (requires the run to have finished)."""
+        if not self._finished:
+            self.on_finish()
+        entries: Dict[int, ProfileEntry] = {}
+        for pc, acc in self._acc.items():
+            count = acc.count
+            src_ready = tuple(
+                (acc.src_sum[i] / acc.src_count[i])
+                if acc.src_count[i] else NEVER_READY
+                for i in range(len(acc.src_sum)))
+            out_ready = (acc.out_sum / acc.out_count
+                         if acc.out_count else None)
+            entries[pc] = ProfileEntry(
+                pc, count, acc.issue_sum / count, src_ready, out_ready,
+                acc.slack_sum / count, acc.min_slack)
+        return SlackProfile(self.program.name, self.config_name,
+                            self.input_name, entries)

@@ -1,0 +1,850 @@
+"""Cycle-level out-of-order superscalar timing model.
+
+The core replays a dynamic trace (see :mod:`repro.isa.interp`) against the
+Table 1 machine model: a 13-stage pipeline with branch prediction, I$/D$/L2
+hierarchy, register renaming against a bounded physical register pool, an
+issue queue with per-class issue ports and speculative wakeup (cache-miss
+replays), load/store queues with store-to-load forwarding, StoreSets-style
+aggressive load scheduling with flush-and-restart on ordering violations,
+and in-order commit.
+
+Mini-graph handles (trace records with ``kind == 1``) occupy a single slot
+in every book-keeping structure. At issue, the Mini-Graph Table drives
+their constituents through an ALU pipeline in strict series (rule #2 of the
+paper); the handle cannot issue until *all* of its external register inputs
+are ready (rule #1 — external serialization). A
+:class:`~repro.minigraph.dynamic.MiniGraphPolicy` may disable templates at
+run time, in which case subsequent instances are fetched in outlined form
+(two extra jumps around the constituent singletons).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from ..isa import opcodes as oc
+from .activity import ActivityCounters
+from .branch import BranchUnit
+from .caches import MemoryHierarchy
+from .config import MachineConfig
+from .stats import RunStats
+from .storesets import StoreSets
+
+_BIG = 1 << 60
+
+# Port classes used by the select stage.
+_PORT_SIMPLE = 0
+_PORT_COMPLEX = 1
+_PORT_LOAD = 2
+_PORT_STORE = 3
+_PORT_NONE = 4  # nops / halts consume width only
+
+_CLASS_TO_PORT = {
+    oc.OC_SIMPLE: _PORT_SIMPLE,
+    oc.OC_COMPLEX: _PORT_COMPLEX,
+    oc.OC_LOAD: _PORT_LOAD,
+    oc.OC_STORE: _PORT_STORE,
+    oc.OC_BRANCH: _PORT_SIMPLE,
+    oc.OC_JUMP: _PORT_SIMPLE,
+    oc.OC_NOP: _PORT_NONE,
+    oc.OC_HALT: _PORT_NONE,
+}
+
+
+class SimulationDeadlock(RuntimeError):
+    """The core stopped making forward progress (a model bug)."""
+
+
+class Uop(object):
+    """One in-flight instruction (or mini-graph handle)."""
+
+    __slots__ = (
+        "rec", "ix", "sub", "age", "kind", "pc",
+        "producers", "wait_stores", "prev_writer", "min_eligible",
+        "issued", "issue_cycle", "out_pred_ready", "out_actual_ready",
+        "complete_cycle", "resolve_cycle", "store_resolve_cycle",
+        "committed", "squashed",
+        "is_load", "is_store", "addr", "forwarded_from",
+        "mg_serialized", "writes", "port", "store_pc", "load_pc",
+        "expansion_jump",
+    )
+
+    def __init__(self, rec, ix: int, sub: int):
+        self.rec = rec
+        self.ix = ix
+        self.sub = sub
+        self.age = (ix << 8) | (sub + 1)
+        self.kind = rec.kind
+        self.pc = rec.pc
+        self.producers: List[Uop] = []
+        self.wait_stores: List[Uop] = []
+        self.prev_writer: Optional[Uop] = None
+        self.min_eligible = 0
+        self.issued = False
+        self.issue_cycle = -1
+        self.out_pred_ready = _BIG
+        self.out_actual_ready = _BIG
+        self.complete_cycle = _BIG
+        self.resolve_cycle = _BIG
+        self.store_resolve_cycle = _BIG
+        self.committed = False
+        self.squashed = False
+        self.forwarded_from: Optional[int] = None
+        self.mg_serialized = False
+        self.expansion_jump = False
+        if rec.kind == 1:
+            tpl = rec.template
+            self.is_load = tpl.has_load
+            self.is_store = tpl.has_store
+            self.addr = rec.addr
+            self.writes = rec.rd >= 0
+            self.port = _PORT_NONE  # handles use MG issue slots + pipelines
+            self.store_pc = rec.site.mem_pc if tpl.has_store else -1
+            self.load_pc = rec.site.mem_pc if tpl.has_load else -1
+        else:
+            cls = rec.opclass
+            self.is_load = cls == oc.OC_LOAD
+            self.is_store = cls == oc.OC_STORE
+            self.addr = rec.addr
+            self.writes = rec.rd >= 0
+            self.port = _CLASS_TO_PORT[cls]
+            self.store_pc = rec.pc if self.is_store else -1
+            self.load_pc = rec.pc if self.is_load else -1
+
+
+class _ExpandedRecord(object):
+    """A singleton record synthesized when a disabled mini-graph is fetched
+    in outlined form (or inline for the 'ideal' penalty-free variant)."""
+
+    __slots__ = ("pc", "op", "opclass", "latency", "rd", "srcs", "addr",
+                 "taken", "next_pc")
+    kind = 0
+
+    def __init__(self, pc, op, opclass, latency, rd, srcs, addr, taken,
+                 next_pc):
+        self.pc = pc
+        self.op = op
+        self.opclass = opclass
+        self.latency = latency
+        self.rd = rd
+        self.srcs = srcs
+        self.addr = addr
+        self.taken = taken
+        self.next_pc = next_pc
+
+
+class OoOCore:
+    """Trace-driven cycle-level core.
+
+    Parameters
+    ----------
+    config:
+        The machine configuration (Table 1 point).
+    records:
+        Dynamic trace — singleton records and mini-graph handle records.
+    policy:
+        Optional run-time mini-graph policy (Slack-Dynamic). ``None`` keeps
+        every mini-graph enabled.
+    collector:
+        Optional slack-profile collector receiving dataflow timing events.
+    """
+
+    def __init__(self, config: MachineConfig, records,
+                 policy=None, collector=None, warm_caches: bool = False,
+                 tracer=None):
+        self.config = config
+        self.records = records
+        self._warm_caches = warm_caches
+        self.policy = policy
+        self.collector = collector
+        self.tracer = tracer
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config)
+        self.storesets = StoreSets(config.store_sets)
+        self.stats = RunStats(config_name=config.name)
+        self.activity = ActivityCounters()
+        self.stats.activity = self.activity
+
+        self._cycle = 0
+        self._front_delay = config.stages_front - 1
+        self._regread = config.stages_regread
+        self._to_commit = config.stages_to_commit
+        self._rename_pool = max(config.phys_regs - 64, 8)
+
+        # Fetch state
+        self._fetch_ix = 0
+        self._pending: deque = deque()  # expansion of a disabled mini-graph
+        self._pending_ix = -1
+        self._pending_sub = 0
+        self._fetch_buffer: deque = deque()  # (uop, fetch_cycle)
+        # Decouples fetch from rename: must cover the front-end depth
+        # at full width or it throttles fetch artificially.
+        self._fetch_buffer_cap = (config.stages_front + 2) * config.width
+        self._fetch_resume = 0
+        self._fetch_block: Optional[Tuple[int, int]] = None
+
+        # Window state
+        self._window: deque = deque()
+        self._iq: List[Uop] = []
+        self._phys_used = 0
+        self._lq: List[Uop] = []
+        self._sq: List[Uop] = []
+        self._reg_map: List[Optional[Uop]] = [None] * 32
+        self._store_resolves: List[Uop] = []
+        self._alu_pipe_free = [0] * config.mg_alu_pipelines
+
+        # Mini-Graph Table residency (LRU over template ids). Templates
+        # are written by the I$ fill path (Figure 2c); a fetch of a handle
+        # whose template was evicted stalls while the fill unit re-reads
+        # the outlined body (an L2-latency event).
+        self._mgt: List[int] = []
+        self._mgt_capacity = config.mgt_entries
+        self._mgt_fill_latency = config.l2.latency
+
+        self._ports = (config.ports_simple, config.ports_complex,
+                       config.ports_load, config.ports_store, config.width)
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    def _peek_fetch(self):
+        """Next record to fetch, expanding disabled mini-graphs; None at end."""
+        if self._pending:
+            return self._pending[0], self._pending_ix, True
+        if self._fetch_ix >= len(self.records):
+            return None
+        rec = self.records[self._fetch_ix]
+        if rec.kind == 1 and self.policy is not None \
+                and not self.policy.enabled(rec.site):
+            self._expand_disabled(rec)
+            self.stats.mg_disabled_instances += 1
+            return self._pending[0], self._pending_ix, True
+        return rec, self._fetch_ix, False
+
+    def _expand_disabled(self, rec) -> None:
+        """Queue the outlined (or ideal inline) form of a disabled handle."""
+        outlined = self.policy.outlining_penalty
+        base = rec.site.outlined_pc
+        items = []
+        n = len(rec.constituents)
+        if outlined:
+            items.append(_ExpandedRecord(
+                rec.pc, oc.JMP, oc.OC_JUMP, 1, -1, (), -1, True, base))
+        for k, c in enumerate(rec.constituents):
+            pc = base + k if outlined else rec.pc
+            if c.opclass == oc.OC_BRANCH:
+                # Taken: jump straight to the handle's successor path;
+                # not-taken: fall through (to the back-jump if outlined).
+                next_pc = rec.next_pc if c.taken else pc + 1
+                items.append(_ExpandedRecord(
+                    pc, c.op, c.opclass, c.latency, c.rd, c.srcs, -1,
+                    c.taken, next_pc))
+            else:
+                items.append(_ExpandedRecord(
+                    pc, c.op, c.opclass, c.latency, c.rd, c.srcs, c.addr,
+                    False, pc + 1))
+        if outlined:
+            items.append(_ExpandedRecord(
+                base + n, oc.JMP, oc.OC_JUMP, 1, -1, (), -1, True,
+                rec.pc + 1))
+        self._pending.extend(items)
+        self._pending_ix = self._fetch_ix
+
+    def _consume_fetch(self) -> int:
+        """Advance past the record just fetched; returns its sub index."""
+        if self._pending:
+            self._pending.popleft()
+            sub = self._pending_sub
+            self._pending_sub += 1
+            if not self._pending:
+                self._fetch_ix += 1
+                self._pending_sub = 0
+            return sub
+        self._fetch_ix += 1
+        return -1
+
+    def _mgt_access(self, template_id: int) -> bool:
+        """LRU-touch the MGT entry; returns hit?"""
+        mgt = self._mgt
+        try:
+            mgt.remove(template_id)
+        except ValueError:
+            self.stats.mgt_misses += 1
+            mgt.insert(0, template_id)
+            if len(mgt) > self._mgt_capacity:
+                mgt.pop()
+            return False
+        mgt.insert(0, template_id)
+        return True
+
+    def _fetch_stage(self) -> None:
+        cycle = self._cycle
+        if self._fetch_block is not None:
+            self.stats.fetch_cycles_blocked += 1
+            return
+        if cycle < self._fetch_resume:
+            return
+        hierarchy = self.hierarchy
+        width = self.config.width
+        fetched = 0
+        line = -1
+        while fetched < width and len(self._fetch_buffer) < self._fetch_buffer_cap:
+            item = self._peek_fetch()
+            if item is None:
+                break
+            rec, ix, is_sub = item
+            rec_line = hierarchy.ifetch_line(rec.pc)
+            if line < 0:
+                latency = hierarchy.fetch_latency(rec.pc)
+                extra = latency - hierarchy.il1.latency
+                if extra > 0:
+                    self._fetch_resume = cycle + extra
+                    self.stats.icache_stall_cycles += extra
+                    return
+                line = rec_line
+            elif rec_line != line:
+                break
+            if rec.kind == 1 and not self._mgt_access(rec.template.id):
+                # Template fill: the handle's body must be read from its
+                # outlined location and written into the MGT.
+                self._fetch_resume = cycle + self._mgt_fill_latency
+                break
+            sub = self._consume_fetch()
+            uop = Uop(rec, ix, sub if is_sub else -1)
+            if is_sub and rec.opclass == oc.OC_JUMP:
+                uop.expansion_jump = True
+            self._fetch_buffer.append((uop, cycle))
+            fetched += 1
+            self.activity.fetch_slots += 1
+            if self.tracer is not None:
+                self.tracer.on_fetch(uop, cycle)
+
+            # Control-transfer prediction at fetch.
+            taken = False
+            correct = True
+            if rec.kind == 1:
+                tpl = rec.template
+                if tpl.has_branch:
+                    taken = rec.taken
+                    correct = self.branch_unit.predict_and_train(
+                        rec.pc, True, False, False, taken, rec.next_pc)
+            elif rec.opclass == oc.OC_BRANCH:
+                taken = rec.taken
+                correct = self.branch_unit.predict_and_train(
+                    rec.pc, True, False, False, taken, rec.next_pc)
+            elif rec.opclass == oc.OC_JUMP:
+                taken = True
+                correct = self.branch_unit.predict_and_train(
+                    rec.pc, False, rec.op == oc.JAL, rec.op == oc.JR,
+                    True, rec.next_pc)
+            else:
+                continue
+
+            if not correct:
+                self._fetch_block = (uop.ix, uop.sub)
+                break
+            if taken:
+                break  # predicted-taken transfers end the fetch group
+
+    # ------------------------------------------------------------------
+    # Rename
+    # ------------------------------------------------------------------
+
+    def _rename_stage(self) -> None:
+        cycle = self._cycle
+        config = self.config
+        renamed = 0
+        while renamed < config.width and self._fetch_buffer:
+            uop, fetch_cycle = self._fetch_buffer[0]
+            if fetch_cycle + self._front_delay > cycle:
+                break
+            if len(self._iq) >= config.issue_queue:
+                break
+            if len(self._window) >= config.rob:
+                break
+            if uop.writes and self._phys_used >= self._rename_pool:
+                break
+            if uop.is_load and len(self._lq) >= config.load_queue:
+                break
+            if uop.is_store and len(self._sq) >= config.store_queue:
+                break
+            self._fetch_buffer.popleft()
+            self._rename_uop(uop)
+            renamed += 1
+            if self.tracer is not None:
+                self.tracer.on_rename(uop, cycle)
+
+    def _rename_uop(self, uop: Uop) -> None:
+        activity = self.activity
+        activity.rename_ops += 1
+        activity.iq_insertions += 1
+        reg_map = self._reg_map
+        seen = set()
+        for src in uop.rec.srcs:
+            if src in seen or src == 0:
+                continue
+            seen.add(src)
+            activity.rename_map_reads += 1
+            producer = reg_map[src]
+            if producer is not None:
+                uop.producers.append(producer)
+        if uop.writes:
+            activity.phys_allocations += 1
+            rd = uop.rec.rd
+            uop.prev_writer = reg_map[rd]
+            reg_map[rd] = uop
+            self._phys_used += 1
+        if uop.is_load:
+            self._lq.append(uop)
+            prev_age = self.storesets.producer_store_for(uop.load_pc)
+            if prev_age is not None:
+                store = self._find_store(prev_age)
+                if store is not None:
+                    uop.wait_stores.append(store)
+        if uop.is_store:
+            self._sq.append(uop)
+            prev_age = self.storesets.rename_store(uop.store_pc, uop.age)
+            if prev_age is not None:
+                store = self._find_store(prev_age)
+                if store is not None:
+                    uop.wait_stores.append(store)
+        self._window.append(uop)
+        self._iq.append(uop)
+
+    def _find_store(self, age: int) -> Optional[Uop]:
+        for store in self._sq:
+            if store.age == age:
+                return store
+        return None
+
+    # ------------------------------------------------------------------
+    # Select / execute
+    # ------------------------------------------------------------------
+
+    def _eligibility(self, uop: Uop) -> bool:
+        """Wakeup check using *predicted* producer latencies."""
+        cycle = self._cycle
+        if uop.min_eligible > cycle:
+            return False
+        for producer in uop.producers:
+            if not producer.issued or producer.out_pred_ready > cycle:
+                return False
+        for store in uop.wait_stores:
+            if not store.issued or store.store_resolve_cycle > cycle:
+                return False
+        return True
+
+    def _actual_ready(self, uop: Uop) -> int:
+        ready = 0
+        for producer in uop.producers:
+            if producer.out_actual_ready > ready:
+                ready = producer.out_actual_ready
+        return ready
+
+    def _issue_stage(self) -> None:
+        cycle = self._cycle
+        counts = [0, 0, 0, 0, 0]
+        ports = self._ports
+        total = 0
+        width = self.config.width
+        mg_issued = 0
+        mg_mem_issued = 0
+        kept: List[Uop] = []
+        iq = self._iq
+        for i, uop in enumerate(iq):
+            if total >= width:
+                kept.extend(iq[i:])
+                break
+            if not self._eligibility(uop):
+                kept.append(uop)
+                continue
+            if uop.kind == 1:
+                if mg_issued >= self.config.mg_max_issue:
+                    kept.append(uop)
+                    continue
+                if (uop.is_load or uop.is_store) and \
+                        mg_mem_issued >= self.config.mg_max_mem_issue:
+                    kept.append(uop)
+                    continue
+                pipe = self._free_pipe(cycle)
+                if pipe < 0:
+                    kept.append(uop)
+                    continue
+            else:
+                port = uop.port
+                if port != _PORT_NONE and counts[port] >= ports[port]:
+                    kept.append(uop)
+                    continue
+            actual = self._actual_ready(uop)
+            if actual > cycle:
+                # Speculative wakeup was wrong (producer load missed):
+                # the select slot is wasted and the uop replays later.
+                uop.min_eligible = actual
+                self.stats.replays += 1
+                total += 1
+                kept.append(uop)
+                continue
+            # Issue!
+            total += 1
+            if uop.kind == 1:
+                mg_issued += 1
+                if uop.is_load or uop.is_store:
+                    mg_mem_issued += 1
+                self._execute_handle(uop, pipe)
+            else:
+                counts[uop.port] += 1
+                self._execute_singleton(uop)
+        self._iq = kept
+        self.activity.select_slots += total
+
+    def _free_pipe(self, cycle: int) -> int:
+        for i, free_at in enumerate(self._alu_pipe_free):
+            if free_at <= cycle:
+                return i
+        return -1
+
+    def _execute_singleton(self, uop: Uop) -> None:
+        cycle = self._cycle
+        uop.issued = True
+        uop.issue_cycle = cycle
+        rec = uop.rec
+        self.activity.regfile_reads += len(rec.srcs)
+        if uop.writes:
+            self.activity.regfile_writes += 1
+        regread = self._regread
+        if uop.is_load:
+            latency = self._load_latency(uop, rec.addr, cycle, rec.pc)
+            uop.out_pred_ready = cycle + self.hierarchy.dl1.latency
+            uop.out_actual_ready = cycle + latency
+            uop.complete_cycle = cycle + regread + latency
+            self.stats.loads_issued += 1
+        elif uop.is_store:
+            uop.store_resolve_cycle = cycle + regread
+            uop.complete_cycle = cycle + regread
+            self._store_resolves.append(uop)
+        elif rec.opclass in (oc.OC_BRANCH, oc.OC_JUMP):
+            resolve = cycle + rec.latency + regread
+            uop.resolve_cycle = resolve
+            uop.complete_cycle = resolve
+            if rec.rd >= 0:  # jal writes the return address
+                uop.out_pred_ready = uop.out_actual_ready = \
+                    cycle + rec.latency
+            self._maybe_unblock_fetch(uop)
+        else:
+            latency = rec.latency
+            uop.out_pred_ready = uop.out_actual_ready = cycle + latency
+            uop.complete_cycle = cycle + regread + latency
+        self._notify_consumption(uop)
+
+    def _execute_handle(self, uop: Uop, pipe: int) -> None:
+        cycle = self._cycle
+        uop.issued = True
+        uop.issue_cycle = cycle
+        rec = uop.rec
+        # Only the handle's external interface touches the register file;
+        # interior values live in the ALU pipeline's operand network.
+        self.activity.regfile_reads += len(rec.srcs)
+        if uop.writes:
+            self.activity.regfile_writes += 1
+        tpl = rec.template
+        regread = self._regread
+        start = cycle
+        out_ready = cycle
+        for k, constituent in enumerate(rec.constituents):
+            if constituent.opclass == oc.OC_LOAD:
+                latency = self._load_latency(uop, constituent.addr, start,
+                                             uop.load_pc)
+                self.stats.loads_issued += 1
+            elif constituent.opclass == oc.OC_STORE:
+                latency = 1
+                uop.store_resolve_cycle = start + regread
+                self._store_resolves.append(uop)
+            elif constituent.opclass == oc.OC_BRANCH:
+                latency = constituent.latency
+                uop.resolve_cycle = start + latency + regread
+                self._maybe_unblock_fetch(uop)
+            else:
+                latency = constituent.latency
+            if k == tpl.out_producer_ix:
+                out_ready = start + latency
+            # Rule #2 (internal serialization): strictly serial execution.
+            start += latency
+        total = start - cycle
+        uop.complete_cycle = cycle + regread + total
+        if uop.writes:
+            uop.out_actual_ready = out_ready
+            uop.out_pred_ready = cycle + tpl.nominal_out_latency
+        if tpl.has_branch and uop.resolve_cycle == _BIG:
+            uop.resolve_cycle = uop.complete_cycle
+        # The ALU pipeline is pipelined at 1 op/cycle; multi-cycle internal
+        # operations (e.g. load misses) stall it.
+        self._alu_pipe_free[pipe] = cycle + 1 + (total - len(rec.constituents))
+
+        # Slack-Dynamic serialization detection: the handle issued exactly
+        # when its last external operand arrived, and that operand feeds a
+        # non-first constituent.
+        last_arrival = 0
+        last_consumer_ix = 0
+        for producer in uop.producers:
+            arrival = producer.out_actual_ready
+            if arrival >= last_arrival:
+                last_arrival = arrival
+                reg = producer.rec.rd
+                last_consumer_ix = rec.site.input_consumer_ix.get(reg, 0)
+        sial = bool(uop.producers) and last_consumer_ix > 0
+        serialized = sial and cycle == last_arrival
+        uop.mg_serialized = serialized
+        if serialized:
+            self.stats.mg_serialized_instances += 1
+        if self.policy is not None:
+            self.policy.on_issue(rec.site, serialized, sial)
+        self._notify_consumption(uop)
+
+    def _notify_consumption(self, uop: Uop) -> None:
+        """Report dataflow consumption for slack profiling and the dynamic
+        policy's consumer-delay detection."""
+        cycle = self._cycle
+        collector = self.collector
+        last: Optional[Uop] = None
+        last_arrival = -1
+        for producer in uop.producers:
+            if collector is not None:
+                collector.on_consume(producer, uop, cycle)
+            if producer.out_actual_ready > last_arrival:
+                last_arrival = producer.out_actual_ready
+                last = producer
+        if last is not None and last.kind == 1 and last.mg_serialized \
+                and cycle == last_arrival:
+            self.stats.mg_consumer_delays += 1
+            if self.policy is not None:
+                self.policy.on_consumer_delay(last.rec.site)
+
+    def _load_latency(self, uop: Uop, addr: int, when: int,
+                      pc: int = -1) -> int:
+        """Data latency of a load issued at ``when``: forward or D$ access."""
+        best: Optional[Uop] = None
+        for store in self._sq:
+            if store.age >= uop.age or store.addr != addr:
+                continue
+            if store.store_resolve_cycle <= when:
+                if best is None or store.age > best.age:
+                    best = store
+        if best is not None:
+            uop.forwarded_from = best.age
+            self.stats.store_forwards += 1
+            if self.collector is not None:
+                self.collector.on_consume(best, uop, when)
+            return self.config.forward_latency
+        return self.hierarchy.load_latency(addr, pc)
+
+    def _maybe_unblock_fetch(self, uop: Uop) -> None:
+        if self._fetch_block == (uop.ix, uop.sub):
+            self._fetch_block = None
+            self._fetch_resume = uop.resolve_cycle + 1
+            if self.collector is not None:
+                self.collector.on_redirect(uop, uop.resolve_cycle)
+
+    # ------------------------------------------------------------------
+    # Store resolution / memory ordering violations
+    # ------------------------------------------------------------------
+
+    def _writeback_stage(self) -> None:
+        cycle = self._cycle
+        if not self._store_resolves:
+            return
+        still_pending: List[Uop] = []
+        resolved: List[Uop] = []
+        for store in self._store_resolves:
+            if store.squashed:
+                continue
+            if store.store_resolve_cycle <= cycle:
+                resolved.append(store)
+            else:
+                still_pending.append(store)
+        self._store_resolves = still_pending
+        for store in resolved:
+            self._check_violation(store)
+
+    def _check_violation(self, store: Uop) -> None:
+        """Flush-and-restart if an already-issued younger load read stale data."""
+        if store.squashed:
+            return
+        victim: Optional[Uop] = None
+        for load in self._lq:
+            if load.age <= store.age or not load.issued:
+                continue
+            if load.addr != store.addr:
+                continue
+            if load.forwarded_from is not None \
+                    and load.forwarded_from >= store.age:
+                continue
+            if victim is None or load.age < victim.age:
+                victim = load
+        if victim is None:
+            return
+        self.stats.ordering_violations += 1
+        self.storesets.train_violation(victim.load_pc, store.store_pc)
+        if self.collector is not None:
+            self.collector.on_consume(store, victim, self._cycle)
+        self._flush_restart(victim)
+
+    def _flush_restart(self, victim: Uop) -> None:
+        """Squash ``victim`` and everything younger; refetch from its record."""
+        restart_ix = victim.ix
+        reg_map = self._reg_map
+        # Squash youngest-first so the rename map rewinds correctly.
+        squashed: List[Uop] = []
+        while self._window and self._window[-1].ix >= restart_ix:
+            uop = self._window.pop()
+            uop.squashed = True
+            squashed.append(uop)
+            if self.tracer is not None:
+                self.tracer.on_squash(uop, self._cycle)
+            if uop.writes:
+                self._phys_used -= 1
+                rd = uop.rec.rd
+                if reg_map[rd] is uop:
+                    reg_map[rd] = uop.prev_writer
+        for uop, _ in self._fetch_buffer:
+            uop.squashed = True
+        self._fetch_buffer.clear()
+        squash_set = {id(u) for u in squashed}
+        self._iq = [u for u in self._iq if id(u) not in squash_set]
+        self._lq = [u for u in self._lq if not u.squashed]
+        self._sq = [u for u in self._sq if not u.squashed]
+        self._store_resolves = [u for u in self._store_resolves
+                                if not u.squashed]
+        self.storesets.flush()
+        self._pending.clear()
+        self._pending_sub = 0
+        self._fetch_ix = restart_ix
+        self._fetch_block = None
+        self._fetch_resume = self._cycle + 1
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit_stage(self) -> None:
+        cycle = self._cycle
+        config = self.config
+        stats = self.stats
+        committed = 0
+        window = self._window
+        while committed < config.width and window:
+            uop = window[0]
+            if uop.complete_cycle + self._to_commit > cycle:
+                break
+            window.popleft()
+            uop.committed = True
+            committed += 1
+            stats.slots_committed += 1
+            self.activity.commit_slots += 1
+            if self.tracer is not None:
+                self.tracer.on_commit(uop, cycle)
+            if uop.kind == 1:
+                n = len(uop.rec.constituents)
+                stats.original_committed += n
+                stats.embedded_committed += n
+                stats.handles_committed += 1
+            elif uop.expansion_jump:
+                stats.outline_jumps_committed += 1
+            else:
+                stats.original_committed += 1
+            if uop.writes:
+                self._phys_used -= 1
+                # The rename-map entry survives commit so that later
+                # consumers still link to this producer (the slack profiler
+                # needs real ready times, and eligibility treats committed
+                # producers as ready). Drop the displaced-writer chain to
+                # keep retired uops from pinning the whole history.
+                uop.prev_writer = None
+            if uop.is_store:
+                self.hierarchy.store_touch(uop.addr)
+                self.storesets.retire_store(uop.store_pc, uop.age)
+                self._sq.remove(uop)
+            if uop.is_load:
+                self._lq.remove(uop)
+            if self.collector is not None and uop.kind == 0 \
+                    and not uop.expansion_jump:
+                self.collector.on_commit(uop)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _warm(self) -> None:
+        """Pre-touch every I-line and data address in the trace.
+
+        Stands in for the paper's sampled-simulation warm-up: compulsory
+        misses are removed while capacity and conflict behaviour remain.
+        """
+        hierarchy = self.hierarchy
+        for rec in self.records:
+            hierarchy.fetch_latency(rec.pc)
+            if rec.kind == 1:
+                for constituent in rec.constituents:
+                    if constituent.addr >= 0:
+                        hierarchy.load_latency(constituent.addr)
+            elif rec.addr >= 0:
+                hierarchy.load_latency(rec.addr)
+        for rec in self.records:
+            if rec.kind == 1:
+                self._mgt_access(rec.template.id)
+        self.stats.mgt_misses = 0
+        hierarchy.il1.accesses = hierarchy.il1.misses = 0
+        hierarchy.dl1.accesses = hierarchy.dl1.misses = 0
+        hierarchy.l2.accesses = hierarchy.l2.misses = 0
+
+    def run(self, max_cycles: int = 200_000_000) -> RunStats:
+        """Run the trace to completion and return statistics."""
+        stats = self.stats
+        if self._warm_caches:
+            self._warm()
+        last_progress = 0
+        last_committed = 0
+        while True:
+            if self._fetch_ix >= len(self.records) and not self._pending \
+                    and not self._fetch_buffer and not self._window:
+                break
+            self._cycle += 1
+            if self._cycle > max_cycles:
+                raise SimulationDeadlock("exceeded max cycle budget")
+            self._commit_stage()
+            self._writeback_stage()
+            self._issue_stage()
+            self._rename_stage()
+            self._fetch_stage()
+            self.activity.merge_cycle(len(self._iq), len(self._window))
+            if stats.original_committed != last_committed:
+                last_committed = stats.original_committed
+                last_progress = self._cycle
+            elif self._cycle - last_progress > 1_000_000:
+                raise SimulationDeadlock(
+                    f"no commit for 1M cycles at cycle {self._cycle} "
+                    f"(ix={self._fetch_ix}, window={len(self._window)})")
+        stats.cycles = self._cycle
+        stats.cond_branches = self.branch_unit.cond_predictions
+        stats.cond_mispredicts = self.branch_unit.cond_mispredictions
+        stats.indirect_branches = self.branch_unit.indirect_predictions
+        stats.indirect_mispredicts = self.branch_unit.indirect_mispredictions
+        stats.cache_stats = {
+            "il1_misses": self.hierarchy.il1.misses,
+            "dl1_misses": self.hierarchy.dl1.misses,
+            "l2_misses": self.hierarchy.l2.misses,
+        }
+        if self.collector is not None:
+            self.collector.on_finish()
+        return stats
+
+
+def simulate(config: MachineConfig, records, policy=None, collector=None,
+             program_name: str = "", warm_caches: bool = True) -> RunStats:
+    """Convenience wrapper: build a core, run it, label the stats."""
+    core = OoOCore(config, records, policy=policy, collector=collector,
+                   warm_caches=warm_caches)
+    result = core.run()
+    result.program_name = program_name
+    return result

@@ -1,0 +1,165 @@
+"""Pipetrace: cycle-by-cycle pipeline occupancy diagrams.
+
+The classic simulator debugging view — one row per dynamic instruction,
+one column per cycle, letters marking pipeline milestones:
+
+====  =========================================================
+``F``  fetched into the front end
+``.``  in flight between milestones
+``R``  renamed into the window
+``-``  waiting in the issue queue
+``I``  issued (selected)
+``=``  executing
+``C``  execution complete
+``T``  retired (commit)
+``!``  squashed (memory-ordering flush)
+====  =========================================================
+
+Attach a :class:`PipeTracer` to the core, run, then ``render()``::
+
+    tracer = PipeTracer()
+    OoOCore(config, records, tracer=tracer).run()
+    print(tracer.render(last=30))
+
+Mini-graph handles appear as one row (their constituents execute inside
+the ALU pipeline); the mnemonic shows the aggregate size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa import opcodes as oc
+
+
+class _Row:
+    __slots__ = ("ix", "sub", "pc", "mnemonic", "fetch", "rename",
+                 "issue", "complete", "commit", "squash")
+
+    def __init__(self, ix: int, sub: int, pc: int, mnemonic: str,
+                 fetch: int):
+        self.ix = ix
+        self.sub = sub
+        self.pc = pc
+        self.mnemonic = mnemonic
+        self.fetch = fetch
+        self.rename = -1
+        self.issue = -1
+        self.complete = -1
+        self.commit = -1
+        self.squash = -1
+
+
+def _mnemonic(rec) -> str:
+    if rec.kind == 1:
+        return f"mg#{rec.site.id}[{len(rec.constituents)}]"
+    name = oc.op_name(rec.op)
+    if rec.rd >= 0:
+        return f"{name} r{rec.rd}"
+    return name
+
+
+class PipeTracer:
+    """Collects per-uop milestones; render as a pipetrace chart."""
+
+    def __init__(self, max_rows: int = 4096):
+        self.max_rows = max_rows
+        self._rows: List[_Row] = []
+        self._by_uop = {}
+        self.truncated = False
+
+    # -- core hooks ---------------------------------------------------------
+
+    def on_fetch(self, uop, cycle: int) -> None:
+        """Open a row when a uop enters the front end."""
+        if len(self._rows) >= self.max_rows:
+            self.truncated = True
+            return
+        row = _Row(uop.ix, uop.sub, uop.pc, _mnemonic(uop.rec), cycle)
+        self._rows.append(row)
+        self._by_uop[id(uop)] = row
+
+    def on_rename(self, uop, cycle: int) -> None:
+        """Record the rename milestone."""
+        row = self._by_uop.get(id(uop))
+        if row is not None:
+            row.rename = cycle
+
+    def on_commit(self, uop, cycle: int) -> None:
+        """Record issue/complete/commit milestones at retirement."""
+        row = self._by_uop.get(id(uop))
+        if row is not None:
+            row.issue = uop.issue_cycle
+            row.complete = uop.complete_cycle
+            row.commit = cycle
+
+    def on_squash(self, uop, cycle: int) -> None:
+        """Mark a squashed uop (memory-ordering flush)."""
+        row = self._by_uop.get(id(uop))
+        if row is not None:
+            row.squash = cycle
+            if uop.issued:
+                row.issue = uop.issue_cycle
+
+    # -- rendering ------------------------------------------------------------
+
+    def rows(self) -> List[_Row]:
+        """All traced rows, in fetch order."""
+        return list(self._rows)
+
+    def render(self, first: Optional[int] = None,
+               last: Optional[int] = None,
+               width: int = 100) -> str:
+        """The chart for rows ``[first:last]`` (defaults: first 40 rows)."""
+        rows = self._rows[first or 0:last if last is not None
+                          else (first or 0) + 40]
+        rows = [r for r in rows if r.fetch >= 0]
+        if not rows:
+            return "(no rows traced)"
+        start = min(r.fetch for r in rows)
+        end = max(max(r.commit, r.complete, r.squash, r.fetch)
+                  for r in rows)
+        end = min(end, start + width - 1)
+        span = end - start + 1
+
+        lines = [f"{'ix':>5s} {'mnemonic':<14s} cycles {start}..{end}"]
+        for row in rows:
+            cells = [" "] * span
+
+            def put(cycle: int, char: str) -> None:
+                if cycle is not None and start <= cycle <= end:
+                    cells[cycle - start] = char
+
+            def fill(begin: int, stop: int, char: str) -> None:
+                for cycle in range(max(begin, start), min(stop, end) + 1):
+                    if cells[cycle - start] == " ":
+                        cells[cycle - start] = char
+
+            put(row.fetch, "F")
+            if row.rename >= 0:
+                fill(row.fetch + 1, row.rename - 1, ".")
+                put(row.rename, "R")
+            if row.issue >= 0:
+                fill(row.rename + 1, row.issue - 1, "-")
+                put(row.issue, "I")
+            if row.complete >= 0 and row.issue >= 0:
+                fill(row.issue + 1, row.complete - 1, "=")
+                put(row.complete, "C")
+            if row.commit >= 0:
+                put(row.commit, "T")
+            if row.squash >= 0:
+                put(row.squash, "!")
+            label = f"{row.ix:>5d} {row.mnemonic:<14s}"
+            lines.append(label + "".join(cells))
+        if self.truncated:
+            lines.append(f"(truncated at {self.max_rows} rows)")
+        return "\n".join(lines)
+
+
+def pipetrace(config, records, first: Optional[int] = None,
+              last: Optional[int] = None, warm_caches: bool = True) -> str:
+    """One-shot convenience: run ``records`` on ``config`` and render."""
+    from .core import OoOCore
+    tracer = PipeTracer()
+    OoOCore(config, records, warm_caches=warm_caches, tracer=tracer).run()
+    return tracer.render(first=first, last=last)

@@ -1,0 +1,63 @@
+"""Prefetchers (off by default — the Table 1 machines have none).
+
+Two classic designs for what-if studies around the paper's configuration:
+
+* :class:`NextLinePrefetcher` — on an I$ miss, fill the sequential next
+  line as well (front-end streaming).
+* :class:`StridePrefetcher` — a PC-indexed reference-prediction table for
+  data loads: once a load PC repeats a stride twice, the next line ahead
+  is filled.
+
+Enable via ``MachineConfig.scaled(il1_next_line_prefetch=True)`` /
+``dl1_stride_prefetch=True``. Prefetch fills are modelled as free
+bandwidth (they insert lines without charging latency) — optimistic, but
+the interesting effect here is cache-behaviour interaction with
+mini-graph selection, not memory-bus contention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class NextLinePrefetcher:
+    """Sequential next-line instruction prefetch."""
+
+    def __init__(self):
+        self.issued = 0
+
+    def on_miss(self, line: int) -> int:
+        """The line to prefetch after a demand miss on ``line``."""
+        self.issued += 1
+        return line + 1
+
+
+class StridePrefetcher:
+    """PC-indexed stride predictor (reference prediction table)."""
+
+    def __init__(self, entries: int = 256, confidence: int = 2):
+        self._mask = entries - 1
+        if entries & self._mask:
+            raise ValueError("stride table size must be a power of two")
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+        self.confidence = confidence
+        self.issued = 0
+
+    def observe(self, pc: int, addr: int) -> Optional[int]:
+        """Record a load; returns a word address to prefetch, or None."""
+        index = pc & self._mask
+        entry = self._table.get(index)
+        if entry is None:
+            self._table[index] = (addr, 0, 0)
+            return None
+        last, stride, conf = entry
+        new_stride = addr - last
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, 3)
+        else:
+            conf = 0
+        self._table[index] = (addr, new_stride, conf)
+        if conf >= self.confidence:
+            self.issued += 1
+            return addr + new_stride
+        return None

@@ -1,0 +1,84 @@
+"""Run statistics produced by the timing core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .activity import ActivityCounters
+
+
+@dataclass
+class RunStats:
+    """Counters for one timing-simulation run.
+
+    ``original_committed`` counts instructions of the *original* (singleton)
+    program: a committed mini-graph handle contributes its constituent count.
+    IPC and coverage are defined over this denominator so that amplification
+    shows up as performance rather than as instruction-count deflation.
+    """
+
+    config_name: str = ""
+    program_name: str = ""
+    cycles: int = 0
+
+    # Instruction accounting
+    original_committed: int = 0     # singleton-equivalent instructions
+    handles_committed: int = 0      # mini-graph handles
+    embedded_committed: int = 0     # instructions inside committed handles
+    outline_jumps_committed: int = 0  # overhead jumps of disabled mini-graphs
+    slots_committed: int = 0        # pipeline slots consumed at commit
+
+    # Front end
+    fetch_cycles_blocked: int = 0
+    icache_stall_cycles: int = 0
+
+    # Branches
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    indirect_branches: int = 0
+    indirect_mispredicts: int = 0
+
+    # Memory
+    loads_issued: int = 0
+    store_forwards: int = 0
+    ordering_violations: int = 0
+    replays: int = 0
+
+    # Mini-graphs
+    mg_serialized_instances: int = 0    # issued exactly when a serializing
+                                        # input arrived last
+    mg_consumer_delays: int = 0         # serialization propagated to consumer
+    mg_disabled_instances: int = 0      # instances executed in outlined form
+    mgt_misses: int = 0                 # MGT template (re)fills at fetch
+
+    # Cache behaviour
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    # Structure-activity accounting (see repro.pipeline.activity)
+    activity: Optional[ActivityCounters] = None
+
+    @property
+    def ipc(self) -> float:
+        """Original-program instructions committed per cycle."""
+        return self.original_committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of original instructions embedded in mini-graph handles."""
+        if not self.original_committed:
+            return 0.0
+        return self.embedded_committed / self.original_committed
+
+    @property
+    def cond_mispredict_rate(self) -> float:
+        if not self.cond_branches:
+            return 0.0
+        return self.cond_mispredicts / self.cond_branches
+
+    def summary(self) -> str:
+        """One-line run summary for logs."""
+        return (f"{self.program_name}@{self.config_name}: "
+                f"cycles={self.cycles} insts={self.original_committed} "
+                f"ipc={self.ipc:.3f} coverage={self.coverage:.1%} "
+                f"mispred={self.cond_mispredict_rate:.1%}")

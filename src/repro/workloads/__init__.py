@@ -1,0 +1,5 @@
+"""Benchmark programs: four suite families plus synthetic workloads."""
+
+from .suite import SUITES, Benchmark, all_benchmarks, benchmark, register
+
+__all__ = ["SUITES", "Benchmark", "all_benchmarks", "benchmark", "register"]

@@ -1,0 +1,101 @@
+"""Benchmark registry.
+
+The paper evaluates 78 programs from SPECint2000, MediaBench, CommBench,
+and MiBench. Those suites (and an Alpha cross-compiler) are not available
+here, so the reproduction substitutes a population with the same structure:
+
+* hand-written kernels in the same four families, capturing the loop and
+  dataflow idioms the original suites are known for (pointer chasing,
+  compression, DSP/codec arithmetic, checksums/protocol handling,
+  sort/search/crypto); and
+* seeded synthetic programs (:mod:`repro.workloads.generator`) that pad the
+  population to paper scale with diverse ILP/branch/memory profiles.
+
+Every benchmark runs to completion and carries at least two input sets
+(``train``/``ref``) for the cross-input robustness study (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..isa.program import Program
+
+SUITES = ("spec", "media", "comm", "embedded", "synth")
+
+
+class Benchmark:
+    """A named, parameterized workload."""
+
+    def __init__(self, name: str, suite: str,
+                 builder: Callable[[str], Program],
+                 inputs: Sequence[str] = ("train", "ref"),
+                 description: str = ""):
+        if suite not in SUITES:
+            raise ValueError(f"unknown suite {suite!r}")
+        self.name = name
+        self.suite = suite
+        self._builder = builder
+        self.inputs = tuple(inputs)
+        self.description = description
+        self._cache: Dict[str, Program] = {}
+
+    def program(self, input_name: str = "train") -> Program:
+        """Build (and memoize) the program image for ``input_name``."""
+        if input_name not in self.inputs:
+            raise ValueError(
+                f"{self.name} has inputs {self.inputs}, not {input_name!r}")
+        if input_name not in self._cache:
+            self._cache[input_name] = self._builder(input_name)
+        return self._cache[input_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Benchmark {self.name} ({self.suite})>"
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    """Add a benchmark to the global registry (duplicate names rejected)."""
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def benchmark(name: str) -> Benchmark:
+    """Look up one benchmark by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}") from None
+
+
+def all_benchmarks(suites: Optional[Sequence[str]] = None,
+                   include_synthetic: bool = True) -> List[Benchmark]:
+    """All registered benchmarks, optionally restricted by suite."""
+    _ensure_loaded()
+    names = sorted(_REGISTRY)
+    result = []
+    for name in names:
+        bench = _REGISTRY[name]
+        if suites is not None and bench.suite not in suites:
+            continue
+        if not include_synthetic and bench.suite == "synth":
+            continue
+        result.append(bench)
+    return result
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import the kernel modules, which register themselves."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import comm, embedded, extra, extra2, generator, media, spec  # noqa: F401

@@ -1,0 +1,113 @@
+"""Global slack computation and its relation to local slack."""
+
+from repro.analysis.global_slack import GlobalSlackCollector, \
+    compare_profiles
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.minigraph.slack import SLACK_CAP, SlackCollector
+from repro.pipeline import reduced_config
+from repro.pipeline.core import OoOCore
+
+from tests.conftest import build_branchy_loop, build_sum_loop
+
+
+def _profiles(program):
+    trace = execute(program)
+    collector = GlobalSlackCollector(program, config_name="reduced")
+    OoOCore(reduced_config(), trace.records, collector=collector,
+            warm_caches=True).run()
+    return collector.profile(), collector.global_profile()
+
+
+def test_global_covers_same_pcs():
+    program = build_sum_loop()
+    local, global_ = _profiles(program)
+    assert set(local.entries) == set(global_.entries)
+
+
+def test_global_at_least_local():
+    """Global slack widens local slack wherever local is a real (uncapped)
+    measurement. (The local profile caps unconsumed values at SLACK_CAP,
+    which can exceed the true end-of-execution bound global slack uses.)"""
+    program = build_sum_loop()
+    local, global_ = _profiles(program)
+    checked = 0
+    for pc in local.entries:
+        local_slack = local.entries[pc].slack
+        if local_slack >= SLACK_CAP * 0.9:
+            continue  # capped: not a real consumer measurement
+        assert global_.entries[pc].slack >= local_slack - 1.0, \
+            (pc, local_slack, global_.entries[pc].slack)
+        checked += 1
+    assert checked > 0
+
+
+def test_critical_chain_has_no_global_slack():
+    """A pure serial chain that *is* the program: near-zero global slack."""
+    a = Assembler("chain")
+    a.data_zeros(1)
+    a.li("r1", 1)
+    a.li("r2", 400)
+    a.label("top")
+    for _ in range(6):
+        a.addi("r1", "r1", 1)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.st("r1", "r0", 0)
+    a.halt()
+    program = a.build()
+    _, global_ = _profiles(program)
+    chain = [global_.entries[pc].slack for pc in range(2, 8)]
+    assert all(s < 4.0 for s in chain), chain
+
+
+def test_dead_end_value_has_global_slack_to_end():
+    """A value produced early and consumed by nothing can slide to the end
+    of execution: capped global slack."""
+    a = Assembler("t")
+    a.data_zeros(1)
+    a.li("r9", 42)            # never consumed
+    a.li("r1", 1)
+    a.li("r2", 300)
+    a.label("top")
+    a.addi("r1", "r1", 1)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.st("r1", "r0", 0)
+    a.halt()
+    program = a.build()
+    _, global_ = _profiles(program)
+    assert global_.entries[0].slack == SLACK_CAP
+
+
+def test_mispredicted_branches_pin_zero():
+    program = build_branchy_loop()
+    local, global_ = _profiles(program)
+    # The data-dependent branch mispredicts: its global slack collapses.
+    from repro.isa.opcodes import OC_BRANCH
+    branch_pcs = [pc for pc, inst in enumerate(program.instructions)
+                  if inst.opclass == OC_BRANCH]
+    # Per-pc slack averages over instances; the per-instance *minimum*
+    # shows the mispredicted instances pinned at zero.
+    assert min(global_.entries[pc].min_slack for pc in branch_pcs
+               if pc in global_.entries) == 0
+
+
+def test_compare_profiles_summary():
+    program = build_sum_loop()
+    local, global_ = _profiles(program)
+    summary = compare_profiles(local, global_)
+    assert summary["n"] == len(local.entries)
+    assert summary["mean_global"] >= summary["mean_local"] - 1.0
+    assert 0.0 <= summary["fraction_global_wider"] <= 1.0
+
+
+def test_global_profile_usable_by_selector():
+    """Drop-in: the global profile feeds SlackProfileSelector unchanged."""
+    from repro.minigraph import SlackProfileSelector, make_plan
+    program = build_sum_loop()
+    trace = execute(program)
+    _, global_ = _profiles(program)
+    plan = make_plan(program, trace.dynamic_count_of(),
+                     SlackProfileSelector(), profile=global_)
+    assert plan.n_templates >= 0  # plan construction succeeds

@@ -1,0 +1,83 @@
+"""Limit study (Figure 8) machinery with a truncated subset sweep."""
+
+import pytest
+
+from repro.analysis import run_limit_study, top_nonoverlapping_sites
+from repro.harness import Runner
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_limit_study(Runner(), subset_cap=32)
+
+
+def test_top_sites_nonoverlapping():
+    runner = Runner()
+    sites = top_nonoverlapping_sites(runner, "adpcm", "tiny", 10)
+    assert len(sites) == 10
+    ordered = sorted(sites, key=lambda s: s.start)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end <= b.start
+    assert all(site.frequency > 0 for site in sites)
+
+
+def test_empty_set_is_no_minigraph_baseline(study):
+    empty = study.empty_set
+    assert empty.coverage == 0.0
+    assert empty.relative_ipc > 0
+
+
+def test_coverage_monotone_in_mask_size(study):
+    """Supersets of a subset never have lower coverage."""
+    by_mask = {p.mask: p for p in study.points}
+    for point in study.points:
+        for bit in range(10):
+            smaller = point.mask & ~(1 << bit)
+            if smaller != point.mask and smaller in by_mask:
+                assert by_mask[smaller].coverage <= point.coverage + 1e-9
+
+
+def test_selector_points_present(study):
+    assert {"struct-all", "struct-none", "struct-bounded",
+            "slack-profile", "slack-dynamic"} <= set(study.selector_points)
+
+
+def test_struct_all_has_max_coverage(study):
+    struct_all = study.selector_points["struct-all"]
+    assert struct_all.mask == (1 << 10) - 1
+    for point in study.selector_points.values():
+        assert point.coverage <= struct_all.coverage + 1e-9
+
+
+def test_struct_none_has_min_coverage_of_selectors(study):
+    struct_none = study.selector_points["struct-none"]
+    for name, point in study.selector_points.items():
+        if name not in ("struct-none", "slack-dynamic"):
+            assert struct_none.coverage <= point.coverage + 1e-9
+
+
+def test_render(study):
+    text = study.render()
+    assert "exhaustive best" in text
+    assert "struct-all" in text
+
+
+def test_subset_members():
+    from repro.analysis import SubsetPoint
+    point = SubsetPoint(0b1010001101, 0.5, 1.0)
+    assert point.members() == [0, 2, 3, 7, 9]
+
+
+def test_full_mask_has_max_coverage():
+    """The all-candidates subset dominates coverage over any partial one."""
+    study = run_limit_study(Runner(), subset_cap=16)
+    by_mask = {p.mask: p for p in study.points}
+    full_point = study.selector_points["struct-all"]
+    for point in study.points:
+        assert point.coverage <= full_point.coverage + 1e-9
+
+
+def test_selector_points_relative_ipc_positive():
+    study = run_limit_study(Runner(), subset_cap=4)
+    for point in study.selector_points.values():
+        assert point.relative_ipc > 0

@@ -1,0 +1,74 @@
+"""Small-scale runs of the heavier experiment drivers (fig6/fig7/fig9)."""
+
+import pytest
+
+from repro.harness import Runner
+from repro.harness.experiments import fig6, fig7, fig8, fig9_machines
+from repro.workloads import all_benchmarks
+
+
+@pytest.fixture(scope="module")
+def tiny_population():
+    return all_benchmarks(suites=["media"])[:3]
+
+
+@pytest.fixture(scope="module")
+def shared_runner():
+    return Runner()
+
+
+def test_fig6_groups_and_labels(shared_runner, tiny_population):
+    result = fig6(shared_runner, tiny_population)
+    assert set(result.groups) == {
+        "performance on reduced (rel. full baseline)",
+        "performance on full (rel. full baseline)",
+        "coverage",
+    }
+    reduced = result.groups["performance on reduced (rel. full baseline)"]
+    labels = [c.label for c in reduced]
+    assert labels == ["no-mini-graphs", "struct-all", "struct-none",
+                      "struct-bounded", "slack-profile", "slack-dynamic"]
+    for curve in reduced:
+        assert len(curve) == len(tiny_population)
+
+
+def test_fig6_coverage_bounds(shared_runner, tiny_population):
+    result = fig6(shared_runner, tiny_population)
+    for curve in result.groups["coverage"]:
+        assert 0.0 <= curve.minimum and curve.maximum <= 1.0
+
+
+def test_fig7_variant_labels(shared_runner, tiny_population):
+    result = fig7(shared_runner, tiny_population)
+    profile = result.groups["slack-profile breakdown (reduced)"]
+    assert [c.label for c in profile] == [
+        "struct-all", "struct-none", "slack-profile-sial",
+        "slack-profile-delay", "slack-profile"]
+    dynamic = result.groups["slack-dynamic breakdown (reduced)"]
+    assert [c.label for c in dynamic] == [
+        "slack-dynamic", "ideal-slack-dynamic",
+        "ideal-slack-dynamic-delay", "ideal-slack-dynamic-sial"]
+
+
+def test_fig9_machines_four_trainers(shared_runner, tiny_population):
+    result = fig9_machines(shared_runner, tiny_population)
+    curves = next(iter(result.groups.values()))
+    assert [c.label for c in curves] == [
+        "self (reduced)", "cross 2-way", "cross 8-way", "cross dmem/4"]
+    assert len(result.notes) == 3
+
+
+def test_fig8_driver_wraps_limit_study(shared_runner, tiny_population,
+                                       monkeypatch):
+    # Cap the sweep so the driver test stays fast.
+    import repro.analysis.limit_study as ls
+    original = ls.run_limit_study
+
+    def capped(runner=None, **kwargs):
+        kwargs.setdefault("subset_cap", 8)
+        return original(runner, **kwargs)
+
+    monkeypatch.setattr(ls, "run_limit_study", capped)
+    result = fig8(shared_runner, tiny_population)
+    assert "FIG8" in result.name
+    assert any("exhaustive best" in note for note in result.notes)

@@ -1,0 +1,55 @@
+"""Terminal plots."""
+
+from repro.harness.plot import plot_scatter, plot_scurves
+from repro.harness.scurve import SCurve
+
+
+def _curves():
+    return [
+        SCurve("alpha", {f"p{i}": 0.7 + i * 0.05 for i in range(10)}),
+        SCurve("beta", {f"p{i}": 0.9 + i * 0.02 for i in range(10)}),
+    ]
+
+
+def test_scurve_plot_contains_markers_and_legend():
+    text = plot_scurves(_curves(), title="demo")
+    assert "demo" in text
+    assert "o alpha" in text
+    assert "x beta" in text
+    body = [line for line in text.splitlines() if "|" in line]
+    assert any("o" in line for line in body)  # markers plotted somewhere
+    assert any("x" in line for line in body)
+
+
+def test_reference_line_drawn():
+    text = plot_scurves(_curves(), reference=1.0)
+    assert any(line.count("-") > 30 for line in text.splitlines())
+
+
+def test_plot_dimensions():
+    text = plot_scurves(_curves(), width=40, height=10)
+    body = [line for line in text.splitlines() if "|" in line]
+    assert len(body) == 10
+    assert all(len(line) <= 8 + 1 + 40 for line in body)
+
+
+def test_empty_curves():
+    assert plot_scurves([]) == "(no data)"
+    assert plot_scatter([]) == "(no data)"
+
+
+def test_scatter_highlights():
+    points = [(i / 10, 0.8 + i / 50) for i in range(10)]
+    text = plot_scatter(points, highlights={"best": (0.5, 1.0)},
+                        title="scatter")
+    assert "scatter" in text
+    assert "o best" in text
+    assert "." in text
+
+
+def test_single_value_degenerate_ranges():
+    curve = SCurve("one", {"p": 1.0})
+    text = plot_scurves([curve])
+    assert "one" in text
+    text2 = plot_scatter([(0.5, 0.5)])
+    assert "|" in text2

@@ -1,0 +1,54 @@
+"""Result serialization and Markdown rendering."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.reporting import (
+    dict_to_experiment, experiment_to_dict, load_results, markdown_table,
+    save_results,
+)
+from repro.harness.scurve import SCurve
+
+
+def _sample_result():
+    result = ExperimentResult("FIGX demo")
+    result.groups["performance"] = [
+        SCurve("alpha", {"p1": 0.9, "p2": 1.1}),
+        SCurve("beta", {"p1": 1.0, "p2": 1.0}),
+    ]
+    result.notes.append("a note")
+    return result
+
+
+def test_roundtrip_via_dict():
+    result = _sample_result()
+    payload = experiment_to_dict(result)
+    back = dict_to_experiment(payload)
+    assert back.name == result.name
+    assert back.notes == result.notes
+    original = result.groups["performance"][0]
+    restored = back.groups["performance"][0]
+    assert restored.by_program == original.by_program
+    assert restored.mean == original.mean
+
+
+def test_save_and_load(tmp_path):
+    results = [_sample_result()]
+    path = save_results(results, tmp_path / "results.json")
+    assert path.exists()
+    loaded = load_results(path)
+    assert len(loaded) == 1
+    assert loaded[0].name == "FIGX demo"
+    curve = loaded[0].groups["performance"][1]
+    assert curve.by_program == {"p1": 1.0, "p2": 1.0}
+
+
+def test_markdown_table():
+    text = markdown_table(_sample_result(), "performance")
+    assert "| alpha |" in text
+    assert "| beta |" in text
+    assert "| 1.000 |" in text
+
+
+def test_dict_is_json_serializable():
+    import json
+    payload = experiment_to_dict(_sample_result())
+    json.dumps(payload)

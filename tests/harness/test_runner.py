@@ -1,0 +1,92 @@
+"""Runner orchestration: caching, selector runs, Slack-Dynamic wiring."""
+
+from repro.harness import Runner
+from repro.minigraph import SlackProfileSelector, StructAll, StructNone
+from repro.pipeline import cross_2way_config, full_config, reduced_config
+
+
+def test_trace_cached(runner):
+    first = runner.trace("crc32")
+    second = runner.trace("crc32")
+    assert first is second
+
+
+def test_trace_per_input(runner):
+    assert runner.trace("crc32", "train") is not runner.trace("crc32", "ref")
+
+
+def test_baseline_cached(runner, reduced_cfg):
+    first = runner.baseline("crc32", reduced_cfg)
+    second = runner.baseline("crc32", reduced_cfg)
+    assert first is second
+    assert first.ipc > 0
+
+
+def test_baseline_per_config(runner, full_cfg, reduced_cfg):
+    full = runner.baseline("crc32", full_cfg)
+    reduced = runner.baseline("crc32", reduced_cfg)
+    assert full.ipc != reduced.ipc
+
+
+def test_profile_labels(runner, reduced_cfg):
+    profile = runner.slack_profile("crc32", reduced_cfg)
+    assert profile.config_name == "reduced"
+    assert profile.program_name == "crc32"
+    assert len(profile) > 0
+
+
+def test_plan_cached_per_selector(runner):
+    plan_all = runner.plan("crc32", StructAll())
+    plan_all2 = runner.plan("crc32", StructAll())
+    plan_none = runner.plan("crc32", StructNone())
+    assert plan_all is plan_all2
+    assert plan_all is not plan_none
+
+
+def test_run_selector_result_fields(runner, reduced_cfg):
+    run = runner.run_selector("crc32", StructAll(), reduced_cfg)
+    assert run.program == "crc32"
+    assert run.selector == "struct-all"
+    assert run.config == "reduced"
+    assert run.ipc > 0
+    assert 0 <= run.coverage <= 1
+    assert run.stats.original_committed == len(runner.trace("crc32"))
+
+
+def test_slack_profile_selector_via_runner(runner, reduced_cfg):
+    run = runner.run_selector("crc32", SlackProfileSelector(), reduced_cfg)
+    assert run.selector == "slack-profile"
+    assert run.stats.original_committed == len(runner.trace("crc32"))
+
+
+def test_cross_trained_profile(runner, reduced_cfg):
+    run = runner.run_selector("drr", SlackProfileSelector(), reduced_cfg,
+                              profile_config=cross_2way_config())
+    assert run.ipc > 0
+
+
+def test_cross_input_profile(runner, reduced_cfg):
+    run = runner.run_selector("drr", SlackProfileSelector(), reduced_cfg,
+                              profile_input="ref")
+    assert run.ipc > 0
+
+
+def test_slack_dynamic_run(runner, reduced_cfg):
+    run = runner.run_slack_dynamic("crc32", reduced_cfg)
+    assert run.selector == "slack-dynamic"
+    assert run.stats.original_committed == len(runner.trace("crc32"))
+
+
+def test_slack_dynamic_variants_labelled(runner, reduced_cfg):
+    ideal = runner.run_slack_dynamic("crc32", reduced_cfg,
+                                     outlining_penalty=False)
+    assert ideal.selector == "ideal-slack-dynamic"
+    sial = runner.run_slack_dynamic("crc32", reduced_cfg, mode="sial",
+                                    outlining_penalty=False)
+    assert sial.selector == "ideal-slack-dynamic-sial"
+
+
+def test_budget_respected():
+    tight = Runner(budget=3)
+    plan = tight.plan("adpcm", StructAll())
+    assert plan.n_templates <= 3

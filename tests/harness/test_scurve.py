@@ -1,0 +1,91 @@
+"""S-curve construction and rendering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import SCurve, relative, render_scurves, summarize
+
+
+def test_sorted_worst_to_best():
+    curve = SCurve("x", {"a": 0.9, "b": 1.2, "c": 0.7})
+    assert curve.sorted_values == [0.7, 0.9, 1.2]
+
+
+def test_mean_median():
+    curve = SCurve("x", {"a": 1.0, "b": 2.0, "c": 6.0})
+    assert curve.mean == 3.0
+    assert curve.median == 2.0
+    even = SCurve("x", {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0})
+    assert even.median == 2.5
+
+
+def test_min_max_empty():
+    empty = SCurve("x", {})
+    assert empty.mean == 0.0
+    assert empty.median == 0.0
+    assert empty.minimum == 0.0
+    assert empty.maximum == 0.0
+
+
+def test_fraction_below():
+    curve = SCurve("x", {"a": 0.8, "b": 0.95, "c": 1.1, "d": 1.3})
+    assert curve.fraction_below(1.0) == 0.5
+    assert curve.fraction_below(0.5) == 0.0
+    assert curve.fraction_below(2.0) == 1.0
+
+
+def test_crossover_detection():
+    a = SCurve("a", {"p": 0.5, "q": 2.0})
+    b = SCurve("b", {"p": 1.0, "q": 1.1})
+    assert a.crossover_with(b)
+    dominant = SCurve("d", {"p": 2.0, "q": 3.0})
+    assert not dominant.crossover_with(b)
+
+
+def test_relative():
+    values = {"a": 2.0, "b": 3.0, "c": 4.0}
+    baselines = {"a": 4.0, "b": 3.0}
+    rel = relative(values, baselines)
+    assert rel == {"a": 0.5, "b": 1.0}   # c dropped (no baseline)
+
+
+def test_render_contains_all_rows():
+    curves = [SCurve("one", {"a": 1.0, "b": 2.0}),
+              SCurve("two", {"a": 3.0})]
+    text = render_scurves(curves, title="demo")
+    assert "demo" in text
+    assert "one" in text and "two" in text
+    assert "mean" in text and "med" in text
+
+
+def test_summarize_format():
+    text = summarize([SCurve("curve-name", {"a": 1.0})])
+    assert "curve-name" in text
+    assert "1.000" in text
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=6),
+                       st.floats(min_value=0.01, max_value=10.0),
+                       min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_scurve_properties(values):
+    curve = SCurve("x", values)
+    assert len(curve) == len(values)
+    eps = 1e-9
+    assert curve.minimum <= curve.median + eps
+    assert curve.median <= curve.maximum + eps
+    assert curve.minimum - eps <= curve.mean <= curve.maximum + eps
+    assert curve.sorted_values == sorted(curve.sorted_values)
+
+
+@given(st.dictionaries(st.sampled_from("abcdefgh"),
+                       st.floats(min_value=0.1, max_value=2.0),
+                       min_size=2, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_crossover_symmetric(values):
+    import random
+    shuffled = {k: v * random.Random(1).uniform(0.5, 1.5)
+                for k, v in values.items()}
+    a = SCurve("a", values)
+    b = SCurve("b", shuffled)
+    assert a.crossover_with(b) == b.crossover_with(a)

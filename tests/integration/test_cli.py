@@ -1,0 +1,61 @@
+"""Top-level CLI (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list", "--suites", "comm"]) == 0
+    out = capsys.readouterr().out
+    assert "crc32" in out and "benchmarks" in out
+
+
+def test_run_with_selector(capsys):
+    assert main(["run", "epicfilt", "--selector", "struct-all"]) == 0
+    out = capsys.readouterr().out
+    assert "no mini-graphs" in out
+    assert "struct-all" in out
+    assert "coverage" in out
+
+
+def test_run_baseline_only(capsys):
+    assert main(["run", "epicfilt", "--selector", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "no mini-graphs" in out
+
+
+def test_trace(capsys):
+    assert main(["trace", "epicfilt", "--last", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "F" in out
+
+
+def test_trace_with_minigraphs(capsys):
+    assert main(["trace", "epicfilt", "--selector", "struct-all",
+                 "--last", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "mg#" in out
+
+
+def test_validate_single(capsys):
+    assert main(["validate", "crc32"]) == 0
+    assert "crc32" in capsys.readouterr().out
+
+
+def test_limit_study_capped(capsys):
+    assert main(["limit-study", "--cap", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG8" in out
+
+
+def test_experiments_forwarding(capsys):
+    assert main(["experiments", "fig1", "--suites", "comm",
+                 "--limit", "2"]) == 0
+    assert "FIG1" in capsys.readouterr().out
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

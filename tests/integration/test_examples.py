@@ -1,0 +1,48 @@
+"""The shipped examples must run and tell their stories."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "reduced + mini-graphs" in out
+    assert "coverage" in out
+
+
+def test_selector_comparison():
+    out = _run("selector_comparison.py", "epicfilt")
+    for name in ("struct-all", "struct-none", "struct-bounded",
+                 "slack-profile", "slack-dynamic"):
+        assert name in out
+
+
+def test_custom_workload():
+    out = _run("custom_workload.py")
+    assert "verdict" in out
+    assert "accept" in out or "reject" in out
+
+
+def test_dynamic_disabling():
+    out = _run("dynamic_disabling.py", "crc32")
+    assert "slack-dynamic" in out
+    assert "disabled-instances=" in out
+
+
+def test_amplification_report():
+    out = _run("amplification_report.py", "epicfilt")
+    assert "reduction" in out
+    assert "code motion" in out

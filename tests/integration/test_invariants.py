@@ -1,0 +1,84 @@
+"""Cross-cutting property tests over the whole flow.
+
+These use the synthetic generator as a program fuzzer: for arbitrary
+seeds, the full pipeline (trace → candidates → selection → fold → timing)
+must preserve its accounting and legality invariants.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.interp import execute
+from repro.minigraph import (
+    SerializationClass, StructAll, enumerate_candidates, fold_trace,
+    make_plan,
+)
+from repro.minigraph.dataflow import liveness
+from repro.pipeline import reduced_config
+from repro.pipeline.core import OoOCore
+from repro.workloads.generator import synth_builder
+
+SEEDS = st.integers(min_value=100, max_value=160)
+
+
+@given(seed=SEEDS)
+@settings(max_examples=10, deadline=None)
+def test_candidate_legality(seed):
+    program = synth_builder(seed)("train")
+    live = liveness(program)
+    for candidate in enumerate_candidates(program, live_out_sets=live):
+        # Interface limits.
+        assert 2 <= candidate.size <= 4
+        assert len(candidate.ext_inputs) <= 3
+        mems = sum(1 for i in candidate.instructions() if i.is_memory)
+        assert mems <= 1
+        # Confined to one basic block.
+        block = program.block_of(candidate.start)
+        assert candidate.end <= block.end
+        # Interior values must be dead after the group.
+        live_after = live[candidate.end - 1]
+        written = {i.rd for i in candidate.instructions() if i.writes_reg}
+        live_written = written & set(live_after)
+        assert len(live_written) <= 1
+        if candidate.output:
+            assert live_written == {candidate.out_reg}
+
+
+@given(seed=SEEDS)
+@settings(max_examples=8, deadline=None)
+def test_fold_conserves_instructions(seed):
+    program = synth_builder(seed)("train")
+    trace = execute(program, max_insts=500_000)
+    plan = make_plan(program, trace.dynamic_count_of(), StructAll())
+    records = fold_trace(trace, plan)
+    total = sum(len(r.constituents) if r.kind == 1 else 1 for r in records)
+    assert total == len(trace.records)
+
+
+@given(seed=st.integers(min_value=100, max_value=130))
+@settings(max_examples=5, deadline=None)
+def test_timing_commits_everything(seed):
+    program = synth_builder(seed)("train")
+    trace = execute(program, max_insts=500_000)
+    plan = make_plan(program, trace.dynamic_count_of(), StructAll())
+    records = fold_trace(trace, plan)
+    stats = OoOCore(reduced_config(), records, warm_caches=True).run()
+    assert stats.original_committed == len(trace.records)
+    assert 0.0 <= stats.coverage <= 1.0
+    # Original-instruction IPC may exceed machine width (amplification!),
+    # but commit *slots* are bounded by the commit width.
+    assert stats.slots_committed / stats.cycles <= reduced_config().width
+
+
+@given(seed=st.integers(min_value=100, max_value=130))
+@settings(max_examples=5, deadline=None)
+def test_serialization_classification_total(seed):
+    program = synth_builder(seed)("train")
+    for candidate in enumerate_candidates(program):
+        assert candidate.serialization in (
+            SerializationClass.NONE, SerializationClass.BOUNDED,
+            SerializationClass.UNBOUNDED)
+        if not candidate.is_potentially_serializing:
+            # Shape-safe: every external input feeds the first constituent.
+            assert all(off == 0 for _, off, _ in candidate.ext_inputs)

@@ -1,0 +1,127 @@
+"""End-to-end checks of the paper's qualitative claims on a small
+population (the benchmarks regenerate the full figures; these tests pin
+the *shape* results so regressions surface in CI time)."""
+
+import pytest
+
+from repro.harness import Runner
+from repro.harness.scurve import SCurve, relative
+from repro.minigraph import (
+    SlackProfileSelector, StructAll, StructBounded, StructNone,
+)
+from repro.pipeline import full_config, reduced_config
+from repro.workloads import all_benchmarks
+
+
+POPULATION = ["adpcm", "crc32", "drr", "epicfilt", "g721quant", "gzip",
+              "ipchk", "bzip2"]
+
+
+@pytest.fixture(scope="module")
+def shared_runner():
+    return Runner()
+
+
+@pytest.fixture(scope="module")
+def data(shared_runner):
+    """All selector runs for the test population on both machines."""
+    runner = shared_runner
+    full, reduced = full_config(), reduced_config()
+    selectors = {
+        "struct-all": StructAll(),
+        "struct-none": StructNone(),
+        "struct-bounded": StructBounded(),
+        "slack-profile": SlackProfileSelector(),
+    }
+    out = {"base_full": {}, "base_reduced": {}, "runs": {}}
+    for name in POPULATION:
+        out["base_full"][name] = runner.baseline(name, full).ipc
+        out["base_reduced"][name] = runner.baseline(name, reduced).ipc
+        for sel_name, selector in selectors.items():
+            for config in (full, reduced):
+                run = runner.run_selector(name, selector, config)
+                out["runs"][(name, sel_name, config.name)] = run
+    return out
+
+
+def _curve(data, selector, config):
+    values = {name: data["runs"][(name, selector, config)].ipc
+              for name in POPULATION}
+    return SCurve(selector, relative(values, data["base_full"]))
+
+
+def test_reduced_machine_loses_performance(data):
+    """§3.2: the reduced configuration alone is substantially slower."""
+    rel = [data["base_reduced"][n] / data["base_full"][n]
+           for n in POPULATION]
+    assert sum(rel) / len(rel) < 0.97
+    assert all(r <= 1.01 for r in rel)
+
+
+def test_struct_all_coverage_dominates_struct_none(data):
+    """§3.2: Struct-All has much higher coverage (paper: 38% vs 20%;
+    the exact ratio depends on the candidate population, so assert a
+    clear gap rather than the paper's 2×)."""
+    cov_all = [data["runs"][(n, "struct-all", "reduced")].coverage
+               for n in POPULATION]
+    cov_none = [data["runs"][(n, "struct-none", "reduced")].coverage
+                for n in POPULATION]
+    assert sum(cov_all) > 1.25 * sum(cov_none)
+    for a, n in zip(cov_all, cov_none):
+        assert a >= n - 1e-9
+
+
+def test_struct_bounded_coverage_between(data):
+    for name in POPULATION:
+        bounded = data["runs"][(name, "struct-bounded", "reduced")].coverage
+        allc = data["runs"][(name, "struct-all", "reduced")].coverage
+        nonec = data["runs"][(name, "struct-none", "reduced")].coverage
+        assert nonec - 1e-9 <= bounded <= allc + 1e-9
+
+
+def test_struct_none_never_below_no_minigraphs(data):
+    """§3.2: Struct-None always outperforms the reduced machine alone."""
+    for name in POPULATION:
+        run = data["runs"][(name, "struct-none", "reduced")]
+        assert run.ipc >= data["base_reduced"][name] * 0.99
+
+
+def test_struct_all_hurts_someone_on_full_machine(data):
+    """§3.2: Struct-All degrades a good fraction of programs on the fully
+    provisioned machine, where serialization is exposed."""
+    losses = [name for name in POPULATION
+              if data["runs"][(name, "struct-all", "full")].ipc
+              < data["base_full"][name] * 0.995]
+    assert losses, "expected at least one serialization victim"
+
+
+def test_slack_profile_mean_dominates_naive(data):
+    slack = _curve(data, "slack-profile", "reduced")
+    struct_all = _curve(data, "struct-all", "reduced")
+    struct_none = _curve(data, "struct-none", "reduced")
+    assert slack.mean >= struct_all.mean - 1e-9
+    assert slack.mean >= struct_none.mean - 1e-9
+
+
+def test_slack_profile_rarely_below_no_minigraphs(data):
+    bad = [name for name in POPULATION
+           if data["runs"][(name, "slack-profile", "reduced")].ipc
+           < data["base_reduced"][name] * 0.98]
+    assert len(bad) <= 1
+
+
+def test_slack_profile_on_full_machine_never_catastrophic(data):
+    """§5.1: on the full machine Slack-Profile avoids the Struct-All
+    pathologies (its minimum is far better)."""
+    slack = _curve(data, "slack-profile", "full")
+    struct_all = _curve(data, "struct-all", "full")
+    assert slack.minimum >= struct_all.minimum - 1e-9
+
+
+def test_amplification_recovers_reduction_for_someone(data):
+    """At least one program beats the full baseline with mini-graphs on
+    the reduced machine (right side of Figure 1)."""
+    winners = [name for name in POPULATION
+               if data["runs"][(name, "slack-profile", "reduced")].ipc
+               > data["base_full"][name]]
+    assert winners

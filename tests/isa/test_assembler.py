@@ -1,0 +1,114 @@
+"""Assembler DSL: register parsing, labels, data layout, linking."""
+
+import pytest
+
+from repro.isa import Assembler, parse_reg
+from repro.isa.instruction import REG_GP, REG_RA, REG_SP
+from repro.isa import opcodes as oc
+
+
+def test_parse_reg_forms():
+    assert parse_reg(5) == 5
+    assert parse_reg("r13") == 13
+    assert parse_reg("zero") == 0
+    assert parse_reg("ra") == REG_RA
+    assert parse_reg("gp") == REG_GP
+    assert parse_reg("sp") == REG_SP
+
+
+def test_parse_reg_rejects_bad_names():
+    with pytest.raises(ValueError):
+        parse_reg("x7")
+    with pytest.raises(ValueError):
+        parse_reg("r32")
+    with pytest.raises(ValueError):
+        parse_reg(-1)
+
+
+def test_data_layout_is_sequential():
+    a = Assembler("t")
+    first = a.data_words([1, 2, 3], label="first")
+    second = a.data_zeros(4, label="second")
+    third = a.data_words([9], label="third")
+    assert (first, second, third) == (0, 3, 7)
+    assert a.data_addr("second") == 3
+    a.halt()
+    program = a.build()
+    assert program.data == [1, 2, 3, 0, 0, 0, 0, 9]
+
+
+def test_label_resolution():
+    a = Assembler("t")
+    a.li("r1", 3)
+    a.label("top")
+    a.addi("r1", "r1", -1)
+    a.bne("r1", "r0", "top")
+    a.halt()
+    program = a.build()
+    branch = program.instructions[2]
+    assert branch.imm == 1  # the PC of "top"
+
+
+def test_duplicate_label_rejected():
+    a = Assembler("t")
+    a.label("x")
+    a.nop()
+    with pytest.raises(ValueError):
+        a.label("x")
+
+
+def test_undefined_label_rejected_at_build():
+    a = Assembler("t")
+    a.jmp("nowhere")
+    with pytest.raises(ValueError, match="nowhere"):
+        a.build()
+
+
+def test_pseudo_ops():
+    a = Assembler("t")
+    a.mov("r2", "r3")
+    a.li("r4", -7)
+    a.beqz("r2", "end")
+    a.bnez("r2", "end")
+    a.label("end")
+    a.ret()
+    program = a.build()
+    ops = [inst.op for inst in program.instructions]
+    assert ops == [oc.ADDI, oc.LI, oc.BEQ, oc.BNE, oc.JR]
+    assert program.instructions[0].imm == 0
+    assert program.instructions[4].srcs == (REG_RA,)
+
+
+def test_store_operand_order():
+    """st(src, base, offset): base is srcs[0], value is srcs[1]."""
+    a = Assembler("t")
+    a.st("r5", "r6", 12)
+    a.halt()
+    inst = a.build().instructions[0]
+    assert inst.srcs == (6, 5)
+    assert inst.imm == 12
+
+
+def test_cmov_reads_destination():
+    a = Assembler("t")
+    a.cmovz("r2", "r3", "r4")
+    a.halt()
+    inst = a.build().instructions[0]
+    assert inst.srcs == (3, 4, 2)
+    assert inst.rd == 2
+
+
+def test_here_tracks_pc():
+    a = Assembler("t")
+    assert a.here() == 0
+    a.nop()
+    a.nop()
+    assert a.here() == 2
+
+
+def test_memory_words_bound():
+    with pytest.raises(ValueError):
+        a = Assembler("t", memory_words=2)
+        a.data_words([1, 2, 3])
+        a.halt()
+        a.build()

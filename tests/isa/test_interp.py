@@ -1,0 +1,241 @@
+"""Functional interpreter: semantics, traces, and guards."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Assembler
+from repro.isa import opcodes as oc
+from repro.isa.interp import (
+    ExecutionLimitExceeded, MemoryFault, execute, to_signed, to_unsigned,
+)
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+S32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestArithmetic:
+    """Semantics via dedicated store-and-verify programs."""
+
+    def _value_via_branch(self, emit, expected):
+        """Assert an ALU result equals `expected` using a beq check:
+        the program halts at PC 'ok' if equal (trace ends without fault)."""
+        a = Assembler("t")
+        a.data_zeros(1, label="out")
+        emit(a)
+        a.li("r10", to_signed(to_unsigned(expected)))
+        a.bne("r3", "r10", "bad")
+        a.li("r11", 1)
+        a.st("r11", "r0", 0)
+        a.halt()
+        a.label("bad")
+        a.st("r0", "r0", 0)
+        a.halt()
+        trace = execute(a.build())
+        store = [r for r in trace.records if r.is_store][-1]
+        # The success path stores from r11 (value 1) — encoded in srcs.
+        return store
+
+    @given(a_val=U64, b_val=U64)
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_python(self, a_val, b_val):
+        expected = (a_val + b_val) & ((1 << 64) - 1)
+
+        def emit(a):
+            a.li("r1", to_signed(a_val))
+            a.li("r2", to_signed(b_val))
+            a.add("r3", "r1", "r2")
+
+        store = self._value_via_branch(emit, expected)
+        assert store.srcs[1] == 11, "add result mismatch"
+
+    @given(a_val=U64, b_val=U64)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_xor_and_or(self, a_val, b_val):
+        mask = (1 << 64) - 1
+        cases = [
+            ("sub", (a_val - b_val) & mask),
+            ("xor", a_val ^ b_val),
+            ("and_", a_val & b_val),
+            ("or_", a_val | b_val),
+        ]
+        for name, expected in cases:
+            def emit(a, name=name):
+                a.li("r1", to_signed(a_val))
+                a.li("r2", to_signed(b_val))
+                getattr(a, name)("r3", "r1", "r2")
+
+            store = self._value_via_branch(emit, expected)
+            assert store.srcs[1] == 11, f"{name} mismatch"
+
+    @given(a_val=U64, shift=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_shifts(self, a_val, shift):
+        mask = (1 << 64) - 1
+        cases = [
+            ("slli", (a_val << shift) & mask),
+            ("srli", a_val >> shift),
+            ("srai", to_unsigned(to_signed(a_val) >> shift)),
+        ]
+        for name, expected in cases:
+            def emit(a, name=name):
+                a.li("r1", to_signed(a_val))
+                getattr(a, name)("r3", "r1", shift)
+
+            store = self._value_via_branch(emit, expected)
+            assert store.srcs[1] == 11, f"{name} mismatch"
+
+    @given(a_val=S32, b_val=S32)
+    @settings(max_examples=40, deadline=None)
+    def test_comparisons(self, a_val, b_val):
+        cases = [
+            ("slt", int(a_val < b_val)),
+            ("seq", int(a_val == b_val)),
+            ("sltu", int(to_unsigned(a_val) < to_unsigned(b_val))),
+        ]
+        for name, expected in cases:
+            def emit(a, name=name):
+                a.li("r1", a_val)
+                a.li("r2", b_val)
+                getattr(a, name)("r3", "r1", "r2")
+
+            store = self._value_via_branch(emit, expected)
+            assert store.srcs[1] == 11, f"{name} mismatch"
+
+    @given(a_val=S32, b_val=S32)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_div_rem(self, a_val, b_val):
+        mask = (1 << 64) - 1
+        if b_val == 0:
+            div_expected = rem_expected = 0
+        else:
+            quotient = int(a_val / b_val)  # C-style truncation
+            div_expected = to_unsigned(quotient)
+            rem_expected = to_unsigned(a_val - quotient * b_val)
+        cases = [
+            ("mul", (to_unsigned(a_val) * to_unsigned(b_val)) & mask),
+            ("div", div_expected),
+            ("rem", rem_expected),
+        ]
+        for name, expected in cases:
+            def emit(a, name=name):
+                a.li("r1", a_val)
+                a.li("r2", b_val)
+                getattr(a, name)("r3", "r1", "r2")
+
+            store = self._value_via_branch(emit, expected)
+            assert store.srcs[1] == 11, f"{name} mismatch"
+
+
+class TestControlAndMemory:
+
+    def test_r0_is_hardwired_zero(self):
+        a = Assembler("t")
+        a.data_zeros(2)
+        a.li("r0", 99)
+        a.st("r0", "r0", 1)
+        a.halt()
+        trace = execute(a.build())
+        store = [r for r in trace.records if r.is_store][0]
+        assert store.addr == 1
+
+    def test_branch_outcomes_recorded(self):
+        a = Assembler("t")
+        a.li("r1", 2)
+        a.label("top")
+        a.addi("r1", "r1", -1)
+        a.bne("r1", "r0", "top")
+        a.halt()
+        trace = execute(a.build())
+        branches = [r for r in trace.records if r.opclass == oc.OC_BRANCH]
+        assert [b.taken for b in branches] == [True, False]
+        assert branches[0].next_pc == 1
+        assert branches[1].next_pc == 3
+
+    def test_call_and_return(self):
+        a = Assembler("t")
+        a.data_zeros(1)
+        a.jal("callee")
+        a.st("r2", "r0", 0)
+        a.halt()
+        a.label("callee")
+        a.li("r2", 42)
+        a.ret()
+        trace = execute(a.build())
+        pcs = [r.pc for r in trace.records]
+        assert pcs == [0, 3, 4, 1, 2]
+
+    def test_load_store_roundtrip(self):
+        a = Assembler("t")
+        a.data_zeros(4)
+        a.li("r1", 1234)
+        a.st("r1", "r0", 2)
+        a.ld("r2", "r0", 2)
+        a.li("r3", 1234)
+        a.bne("r2", "r3", "fail")
+        a.halt()
+        a.label("fail")
+        a.nop()
+        a.halt()
+        trace = execute(a.build())
+        assert trace.records[-1].pc != 6  # did not reach the fail nop
+
+    def test_memory_fault_on_wild_store(self):
+        a = Assembler("t", memory_words=16)
+        a.li("r1", 1 << 20)
+        a.st("r1", "r1", 0)
+        a.halt()
+        with pytest.raises(MemoryFault):
+            execute(a.build())
+
+    def test_execution_limit(self):
+        a = Assembler("t")
+        a.label("spin")
+        a.jmp("spin")
+        with pytest.raises(ExecutionLimitExceeded):
+            execute(a.build(), max_insts=100)
+
+    def test_dynamic_counts(self):
+        a = Assembler("t")
+        a.li("r1", 3)
+        a.label("top")
+        a.addi("r1", "r1", -1)
+        a.bne("r1", "r0", "top")
+        a.halt()
+        trace = execute(a.build())
+        counts = trace.dynamic_count_of()
+        assert counts == [1, 3, 3, 1]
+
+    def test_cmov_semantics(self):
+        a = Assembler("t")
+        a.li("r2", 5)    # candidate
+        a.li("r3", 0)    # condition (zero)
+        a.li("r4", 9)    # old dest
+        a.cmovz("r4", "r2", "r3")
+        a.li("r5", 5)
+        a.bne("r4", "r5", "fail")
+        a.halt()
+        a.label("fail")
+        a.nop()
+        a.halt()
+        trace = execute(a.build())
+        assert trace.records[-1].pc != 7
+
+
+class TestMemoryCapture:
+
+    def test_capture_memory_returns_final_image(self):
+        a = Assembler("t")
+        a.data_words([7, 8, 9])
+        a.li("r1", 42)
+        a.st("r1", "r0", 1)
+        a.halt()
+        trace = execute(a.build(), capture_memory=True)
+        assert trace.final_memory[:3] == [7, 42, 9]
+        assert len(trace.final_memory) == a.build().memory_words
+
+    def test_capture_off_by_default(self):
+        a = Assembler("t")
+        a.halt()
+        trace = execute(a.build())
+        assert trace.final_memory is None

@@ -1,0 +1,77 @@
+"""Opcode metadata invariants."""
+
+from repro.isa import opcodes as oc
+
+
+def test_opcode_table_is_dense():
+    assert len(oc.OP_INFO) == oc.N_OPCODES
+    for code, info in enumerate(oc.OP_INFO):
+        assert oc.OP_BY_NAME[info.name] == code
+
+
+def test_names_are_unique():
+    names = [info.name for info in oc.OP_INFO]
+    assert len(names) == len(set(names))
+
+
+def test_class_lookup():
+    assert oc.op_class(oc.ADD) == oc.OC_SIMPLE
+    assert oc.op_class(oc.MUL) == oc.OC_COMPLEX
+    assert oc.op_class(oc.LD) == oc.OC_LOAD
+    assert oc.op_class(oc.ST) == oc.OC_STORE
+    assert oc.op_class(oc.BEQ) == oc.OC_BRANCH
+    assert oc.op_class(oc.JAL) == oc.OC_JUMP
+
+
+def test_latencies_positive():
+    for info in oc.OP_INFO:
+        assert info.latency >= 1
+
+
+def test_simple_ops_single_cycle():
+    for code, info in enumerate(oc.OP_INFO):
+        if info.opclass == oc.OC_SIMPLE:
+            assert info.latency == 1, info.name
+
+
+def test_complex_ops_multicycle():
+    for info in oc.OP_INFO:
+        if info.opclass == oc.OC_COMPLEX:
+            assert info.latency > 1, info.name
+
+
+def test_control_predicates():
+    assert oc.is_control(oc.BEQ)
+    assert oc.is_control(oc.JMP)
+    assert oc.is_control(oc.JR)
+    assert not oc.is_control(oc.ADD)
+    assert not oc.is_control(oc.LD)
+
+
+def test_memory_predicates():
+    assert oc.is_memory(oc.LD)
+    assert oc.is_memory(oc.ST)
+    assert not oc.is_memory(oc.BEQ)
+
+
+def test_writes_reg_consistency():
+    assert oc.OP_INFO[oc.ADD].writes_reg
+    assert oc.OP_INFO[oc.LD].writes_reg
+    assert oc.OP_INFO[oc.JAL].writes_reg
+    assert not oc.OP_INFO[oc.ST].writes_reg
+    assert not oc.OP_INFO[oc.BEQ].writes_reg
+    assert not oc.OP_INFO[oc.JMP].writes_reg
+
+
+def test_source_counts():
+    assert oc.OP_INFO[oc.ADD].n_src == 2
+    assert oc.OP_INFO[oc.ADDI].n_src == 1
+    assert oc.OP_INFO[oc.LI].n_src == 0
+    assert oc.OP_INFO[oc.CMOVZ].n_src == 3
+    assert oc.OP_INFO[oc.ST].n_src == 2
+    assert oc.OP_INFO[oc.JR].n_src == 1
+
+
+def test_op_name_roundtrip():
+    for code in range(oc.N_OPCODES):
+        assert oc.OP_BY_NAME[oc.op_name(code)] == code

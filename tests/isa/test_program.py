@@ -1,0 +1,92 @@
+"""Program structure: basic blocks and control-flow boundaries."""
+
+import pytest
+
+from repro.isa import Assembler, Instruction
+from repro.isa import opcodes as oc
+
+
+def _diamond():
+    a = Assembler("diamond")
+    a.li("r1", 5)                 # 0: block A
+    a.beq("r1", "r0", "else_")    # 1: block A end
+    a.addi("r2", "r1", 1)         # 2: block B
+    a.jmp("join")                 # 3: block B end
+    a.label("else_")
+    a.addi("r2", "r1", 2)         # 4: block C
+    a.label("join")
+    a.st("r2", "r0", 0)           # 5: block D
+    a.halt()                      # 6
+    return a.build()
+
+
+def test_basic_block_partition():
+    program = _diamond()
+    blocks = program.basic_blocks()
+    spans = [(b.start, b.end) for b in blocks]
+    assert spans == [(0, 2), (2, 4), (4, 5), (5, 7)]
+
+
+def test_block_of_lookup():
+    program = _diamond()
+    assert program.block_of(0).index == 0
+    assert program.block_of(3).index == 1
+    assert program.block_of(4).index == 2
+    assert program.block_of(6).index == 3
+
+
+def test_blocks_cover_program_exactly():
+    program = _diamond()
+    covered = []
+    for block in program.basic_blocks():
+        covered.extend(block.pcs())
+    assert covered == list(range(len(program)))
+
+
+def test_halt_splits_blocks():
+    a = Assembler("t")
+    a.nop()
+    a.halt()
+    a.label("after")
+    a.nop()
+    a.halt()
+    program = a.build()
+    spans = [(b.start, b.end) for b in program.basic_blocks()]
+    assert spans == [(0, 2), (2, 4)]
+
+
+def test_jump_target_is_leader():
+    a = Assembler("t")
+    a.jmp("target")
+    a.nop()
+    a.label("target")
+    a.nop()
+    a.halt()
+    program = a.build()
+    starts = {b.start for b in program.basic_blocks()}
+    assert 2 in starts
+
+
+def test_instruction_validation():
+    with pytest.raises(ValueError):
+        Instruction(oc.ADD, rd=1, srcs=(2,))      # wrong arity
+    with pytest.raises(ValueError):
+        Instruction(oc.ADD, rd=None, srcs=(1, 2))  # missing destination
+    with pytest.raises(ValueError):
+        Instruction(oc.ST, rd=3, srcs=(1, 2))      # store writes nothing
+    with pytest.raises(ValueError):
+        Instruction(oc.ADD, rd=1, srcs=(2, 40))    # bad register
+
+
+def test_zero_destination_writes_nothing():
+    inst = Instruction(oc.ADD, rd=0, srcs=(1, 2))
+    assert not inst.writes_reg
+
+
+def test_render_and_listing():
+    program = _diamond()
+    listing = program.listing()
+    assert "else_:" in listing
+    assert "join:" in listing
+    assert "beq" in listing
+    assert program.instructions[1].render().startswith("beq r1, r0")

@@ -1,0 +1,79 @@
+"""Static program validation."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.isa.validate import ERROR, WARNING, ValidationError, check, \
+    validate
+from repro.workloads import all_benchmarks
+
+
+def test_clean_program_passes():
+    a = Assembler("t")
+    a.data_zeros(1)
+    a.li("r1", 5)
+    a.st("r1", "r0", 0)
+    a.halt()
+    assert check(a.build()) == []
+
+
+def test_fallthrough_end_is_error():
+    a = Assembler("t")
+    a.li("r1", 1)  # no halt: falls off the end
+    program = a.build()
+    issues = validate(program)
+    assert any(i.severity == ERROR and "fall off" in i.message
+               for i in issues)
+    with pytest.raises(ValidationError):
+        check(program)
+
+
+def test_trailing_conditional_branch_is_error():
+    a = Assembler("t")
+    a.label("top")
+    a.li("r1", 0)
+    a.bne("r1", "r0", "top")
+    program = a.build()
+    issues = validate(program)
+    assert any("fall-through leaves" in i.message for i in issues)
+
+
+def test_unwritten_register_warning():
+    a = Assembler("t")
+    a.data_zeros(1)
+    a.st("r9", "r0", 0)   # r9 never written
+    a.halt()
+    issues = check(a.build())   # warnings don't raise
+    assert any(i.severity == WARNING and "r9" in i.message
+               for i in issues)
+
+
+def test_wild_absolute_store_is_error():
+    a = Assembler("t", memory_words=16)
+    a.li("r1", 1)
+    a.st("r1", "r0", 999)
+    a.halt()
+    with pytest.raises(ValidationError):
+        check(a.build())
+
+
+def test_missing_halt_warning():
+    a = Assembler("t")
+    a.label("spin")
+    a.jmp("spin")
+    issues = validate(a.build())
+    assert any("no halt" in i.message for i in issues)
+
+
+def test_empty_program_is_error():
+    from repro.isa.program import Program
+    issues = validate(Program("empty", []))
+    assert issues[0].severity == ERROR
+
+
+@pytest.mark.parametrize("name", [b.name for b in all_benchmarks()])
+def test_every_benchmark_validates(name):
+    """No kernel or synthetic program has error-severity issues."""
+    from repro.workloads import benchmark
+    program = benchmark(name).program("train")
+    check(program)

@@ -1,0 +1,96 @@
+"""Template canonicalization: register-renaming invariance properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Assembler
+from repro.minigraph import enumerate_candidates
+from repro.minigraph.templates import canonical_key
+
+_OPS2 = ["add", "sub", "xor", "and_", "or_"]
+
+
+def _build_block(ops, regs, store_offset):
+    """A 3-op block over the given register assignment."""
+    a = Assembler("t")
+    a.data_zeros(4)
+    a.li(f"r{regs[0]}", 1)
+    a.li(f"r{regs[1]}", 2)
+    getattr(a, ops[0])(f"r{regs[2]}", f"r{regs[0]}", f"r{regs[1]}")
+    getattr(a, ops[1])(f"r{regs[3]}", f"r{regs[2]}", f"r{regs[2]}")
+    a.st(f"r{regs[3]}", "r0", store_offset)
+    a.halt()
+    return a.build()
+
+
+def _key_of(program, span):
+    candidate = next(c for c in enumerate_candidates(program)
+                     if (c.start, c.end) == span)
+    return canonical_key(candidate)
+
+
+@given(ops=st.tuples(st.sampled_from(_OPS2), st.sampled_from(_OPS2)),
+       regs_a=st.permutations([1, 2, 3, 4]),
+       regs_b=st.permutations([5, 6, 7, 8]))
+@settings(max_examples=40, deadline=None)
+def test_register_renaming_invariance(ops, regs_a, regs_b):
+    """The same dataflow shape over different registers shares a key."""
+    program_a = _build_block(ops, list(regs_a), 0)
+    program_b = _build_block(ops, list(regs_b), 0)
+    assert _key_of(program_a, (2, 5)) == _key_of(program_b, (2, 5))
+
+
+@given(ops=st.tuples(st.sampled_from(_OPS2), st.sampled_from(_OPS2)))
+@settings(max_examples=20, deadline=None)
+def test_different_store_offsets_differ(ops):
+    """Memory offsets are stored in the MGT: they distinguish templates."""
+    program_a = _build_block(ops, [1, 2, 3, 4], 0)
+    program_b = _build_block(ops, [1, 2, 3, 4], 1)
+    assert _key_of(program_a, (2, 5)) != _key_of(program_b, (2, 5))
+
+
+@given(op_a=st.sampled_from(_OPS2), op_b=st.sampled_from(_OPS2))
+@settings(max_examples=20, deadline=None)
+def test_different_ops_differ(op_a, op_b):
+    program_a = _build_block((op_a, "add"), [1, 2, 3, 4], 0)
+    program_b = _build_block((op_b, "add"), [1, 2, 3, 4], 0)
+    keys_equal = _key_of(program_a, (2, 5)) == _key_of(program_b, (2, 5))
+    assert keys_equal == (op_a == op_b)
+
+
+def test_operand_order_matters():
+    """``sub a, b`` and ``sub b, a`` are different shapes."""
+    a1 = Assembler("t")
+    a1.data_zeros(1)
+    a1.li("r1", 1)
+    a1.li("r2", 2)
+    a1.sub("r3", "r1", "r2")
+    a1.sub("r4", "r3", "r3")
+    a1.st("r4", "r0", 0)
+    a1.halt()
+    a2 = Assembler("t")
+    a2.data_zeros(1)
+    a2.li("r1", 1)
+    a2.li("r2", 2)
+    a2.sub("r3", "r2", "r1")   # swapped external operands
+    a2.sub("r4", "r3", "r3")
+    a2.st("r4", "r0", 0)
+    a2.halt()
+    # The canonical renaming numbers inputs by first use, so the swap
+    # produces the *same* key: I0 is whichever is read first. That is the
+    # correct MGT-sharing semantics — verify it explicitly.
+    assert _key_of(a1.build(), (2, 5)) == _key_of(a2.build(), (2, 5))
+
+
+def test_commutative_shapes_not_over_merged():
+    """Reading the same register twice differs from two distinct inputs."""
+    one_input = Assembler("t")
+    one_input.data_zeros(1)
+    one_input.li("r1", 1)
+    one_input.add("r3", "r1", "r1")
+    one_input.add("r4", "r3", "r3")
+    one_input.st("r4", "r0", 0)
+    one_input.halt()
+    two_inputs = _build_block(("add", "add"), [1, 2, 3, 4], 0)
+    assert _key_of(one_input.build(), (1, 4)) != \
+        _key_of(two_inputs, (2, 5))

@@ -1,0 +1,141 @@
+"""Liveness and dataflow analysis."""
+
+from repro.isa import Assembler
+from repro.minigraph.dataflow import (
+    group_interface, internal_edges, is_connected, liveness, reaches,
+)
+
+
+def _linear_program():
+    a = Assembler("lin")
+    a.li("r1", 1)          # 0
+    a.li("r2", 2)          # 1
+    a.add("r3", "r1", "r2")  # 2
+    a.add("r4", "r3", "r3")  # 3: kills r3's last use
+    a.st("r4", "r0", 0)    # 4
+    a.halt()               # 5
+    a.data_zeros(1)
+    return a.build()
+
+
+def test_liveness_linear():
+    program = _linear_program()
+    live = liveness(program)
+    assert 1 in live[0] and 2 in live[1]
+    assert 3 in live[2]
+    assert 3 not in live[3]      # r3 dead after its last use
+    assert 4 in live[3]
+    assert 4 not in live[4]
+
+
+def test_liveness_across_branches():
+    a = Assembler("br")
+    a.li("r1", 1)             # 0
+    a.li("r2", 0)             # 1
+    a.beq("r1", "r0", "els")  # 2
+    a.addi("r2", "r1", 5)     # 3: uses r1
+    a.jmp("join")             # 4
+    a.label("els")
+    a.li("r2", 7)             # 5
+    a.label("join")
+    a.st("r2", "r0", 0)       # 6
+    a.halt()
+    a.data_zeros(1)
+    program = a.build()
+    live = liveness(program)
+    assert 1 in live[1]       # r1 live into the branch (used at 3)
+    assert 2 in live[3] and 2 in live[5]
+    assert 2 not in live[6]
+
+
+def test_liveness_loop_carried():
+    a = Assembler("loop")
+    a.li("r1", 4)             # 0
+    a.label("top")
+    a.addi("r1", "r1", -1)    # 1
+    a.bne("r1", "r0", "top")  # 2: r1 live around the back edge
+    a.halt()
+    program = a.build()
+    live = liveness(program)
+    assert 1 in live[2] or 1 in live[1]
+    # r1 is live-out of the branch via the back edge to PC 1.
+    assert 1 in live[2]
+
+
+def test_jr_is_fully_conservative():
+    a = Assembler("jr")
+    a.li("r1", 3)
+    a.li("r2", 9)
+    a.jr("r1")
+    a.halt()
+    program = a.build()
+    live = liveness(program)
+    # Everything is considered live after an indirect jump.
+    assert 2 in live[2]
+    assert 15 in live[2]
+
+
+def test_group_interface_inputs_and_outputs():
+    program = _linear_program()
+    live = liveness(program)
+    # Group = PCs [2, 4): add r3; add r4 — r3 interior, r4 live-out.
+    ext_inputs, outputs = group_interface(program, 2, 4, live)
+    assert [(reg, off) for reg, off, _ in ext_inputs] == [(1, 0), (2, 0)]
+    assert outputs == [(4, 1)]
+
+
+def test_group_interface_interior_value():
+    program = _linear_program()
+    live = liveness(program)
+    # Group [2, 5): add, add, store — r4 consumed by the store... but it is
+    # dead after, so there is no register output at all.
+    _, outputs = group_interface(program, 2, 5, live)
+    assert outputs == []
+
+
+def test_group_interface_serializing_input():
+    a = Assembler("ser")
+    a.li("r1", 1)
+    a.li("r2", 2)
+    a.li("r3", 3)
+    a.add("r4", "r1", "r1")   # 3: group start
+    a.add("r5", "r4", "r3")   # 4: r3 external, first consumed at offset 1
+    a.st("r5", "r0", 0)
+    a.halt()
+    a.data_zeros(1)
+    program = a.build()
+    live = liveness(program)
+    ext_inputs, _ = group_interface(program, 3, 5, live)
+    assert (1, 0, 0) in ext_inputs    # r1 into the first constituent
+    assert (3, 1, 1) in ext_inputs    # r3 into the second — serializing
+
+
+def test_internal_edges():
+    program = _linear_program()
+    edges = internal_edges(program, 2, 4)
+    assert edges == [(0, 1)]
+
+
+def test_internal_edges_ignore_external_regs():
+    a = Assembler("t")
+    a.add("r3", "r1", "r2")
+    a.add("r4", "r1", "r2")   # same external sources, no internal edge
+    a.halt()
+    program = a.build()
+    assert internal_edges(program, 0, 2) == []
+
+
+def test_is_connected():
+    assert is_connected(2, [(0, 1)])
+    assert not is_connected(2, [])
+    assert is_connected(3, [(0, 2), (1, 2)])
+    assert not is_connected(4, [(0, 1), (2, 3)])
+    assert is_connected(1, [])
+
+
+def test_reaches():
+    edges = [(0, 1), (1, 2)]
+    assert reaches(3, edges, 0, 2)
+    assert reaches(3, edges, 1, 2)
+    assert not reaches(3, edges, 2, 0)
+    assert reaches(3, edges, 2, 2)  # trivially

@@ -1,0 +1,108 @@
+"""Property tests over the rules #1–#4 delay model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Assembler
+from repro.minigraph import enumerate_candidates
+from repro.minigraph.delay_model import assess
+from repro.minigraph.slack import ProfileEntry, SlackProfile
+
+Times = st.floats(min_value=0.0, max_value=50.0)
+
+
+def _chain_program():
+    a = Assembler("t")
+    a.data_zeros(2)
+    a.li("r1", 1)              # 0
+    a.li("r2", 2)              # 1
+    a.add("r4", "r1", "r1")    # 2
+    a.add("r5", "r4", "r2")    # 3 (serializing input r2)
+    a.add("r6", "r5", "r5")    # 4 (output)
+    a.st("r6", "r0", 0)        # 5
+    a.halt()
+    return a.build()
+
+
+_PROGRAM = _chain_program()
+_CANDIDATE = next(c for c in enumerate_candidates(_PROGRAM)
+                  if (c.start, c.end) == (2, 5))
+
+
+def _profile(issue_b, ready_a, ready_c, issue_d, issue_e, slack_e):
+    entries = {
+        2: ProfileEntry(2, 10, issue_b, (ready_a, ready_a), issue_b + 1,
+                        10.0, 8),
+        3: ProfileEntry(3, 10, issue_d, (issue_b + 1, ready_c),
+                        issue_d + 1, 10.0, 8),
+        4: ProfileEntry(4, 10, issue_e, (issue_d + 1, issue_d + 1),
+                        issue_e + 1, slack_e, int(slack_e)),
+    }
+    return SlackProfile("t", "reduced", "train", entries)
+
+
+@given(issue_b=Times, ready_a=Times, ready_c=Times, issue_d=Times,
+       issue_e=Times, slack_e=Times)
+@settings(max_examples=120, deadline=None)
+def test_first_constituent_never_earlier(issue_b, ready_a, ready_c,
+                                         issue_d, issue_e, slack_e):
+    """Rule #1 is a max: the handle can never issue before Issue(0)."""
+    assessment = assess(_CANDIDATE, _profile(issue_b, ready_a, ready_c,
+                                             issue_d, issue_e, slack_e))
+    assert assessment.delays[0] >= -1e-9
+    assert assessment.issue_mg[0] >= issue_b - 1e-9
+    assert assessment.issue_mg[0] >= ready_a - 1e-9
+    assert assessment.issue_mg[0] >= ready_c - 1e-9
+
+
+@given(issue_b=Times, ready_a=Times, ready_c=Times, issue_d=Times,
+       issue_e=Times, slack_e=Times)
+@settings(max_examples=120, deadline=None)
+def test_internal_chain_monotone(issue_b, ready_a, ready_c, issue_d,
+                                 issue_e, slack_e):
+    """Rule #2: mg issue times are strictly increasing by the latencies."""
+    assessment = assess(_CANDIDATE, _profile(issue_b, ready_a, ready_c,
+                                             issue_d, issue_e, slack_e))
+    for earlier, later, latency in zip(assessment.issue_mg,
+                                       assessment.issue_mg[1:],
+                                       _CANDIDATE.latencies):
+        assert abs(later - (earlier + latency)) < 1e-9
+
+
+@given(issue_b=Times, ready_a=Times, ready_c=Times, issue_d=Times,
+       issue_e=Times)
+@settings(max_examples=80, deadline=None)
+def test_zero_slack_degrade_iff_delay(issue_b, ready_a, ready_c, issue_d,
+                                      issue_e):
+    """With zero output slack, rule #4 fires exactly when rule #3 finds
+    positive output delay."""
+    assessment = assess(_CANDIDATE, _profile(issue_b, ready_a, ready_c,
+                                             issue_d, issue_e, 0.0))
+    assert assessment.degrades == (assessment.max_output_delay > 0)
+
+
+@given(issue_b=Times, ready_a=Times, ready_c=Times, issue_d=Times,
+       issue_e=Times, slack_e=Times)
+@settings(max_examples=80, deadline=None)
+def test_degrade_implies_delay_only_degrade(issue_b, ready_a, ready_c,
+                                            issue_d, issue_e, slack_e):
+    """Rule #4 rejections are a subset of delay-only rejections."""
+    assessment = assess(_CANDIDATE, _profile(issue_b, ready_a, ready_c,
+                                             issue_d, issue_e, slack_e))
+    if assessment.degrades:
+        assert assessment.degrades_delay_only
+
+
+@given(issue_b=Times, ready_a=Times, ready_c=Times, issue_d=Times,
+       issue_e=Times, slack_e=Times, extra=Times)
+@settings(max_examples=80, deadline=None)
+def test_more_slack_never_adds_rejections(issue_b, ready_a, ready_c,
+                                          issue_d, issue_e, slack_e, extra):
+    """Monotonicity: increasing an output's slack cannot create a
+    rejection."""
+    tight = assess(_CANDIDATE, _profile(issue_b, ready_a, ready_c,
+                                        issue_d, issue_e, slack_e))
+    loose = assess(_CANDIDATE, _profile(issue_b, ready_a, ready_c,
+                                        issue_d, issue_e, slack_e + extra))
+    if not tight.degrades:
+        assert not loose.degrades

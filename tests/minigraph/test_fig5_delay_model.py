@@ -1,0 +1,147 @@
+"""Figure 5: the paper's worked delay-model example (mini-graph BDE).
+
+Singleton schedule (cycles relative to the block anchor):
+
+* A issues at 1, its value ready at 2;
+* C issues at 5, its value ready at 6;
+* B (reads A)      issues at 2;
+* D (reads B, C)   issues at 6;
+* E (reads D)      issues at 7.
+
+Forming mini-graph BDE: rule #1 gives Issue_MG(B) = max(2, 2, 6) = 6;
+rule #2 gives Issue_MG(D) = 7 and Issue_MG(E) = 8; rule #3 gives
+Delay(E) = 1. With local slack 0 on E, rule #4 rejects BDE — exactly the
+paper's outcome ("E has a local slack of 0 cycles, and its delay is
+propagated to F").
+"""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.minigraph import enumerate_candidates
+from repro.minigraph.delay_model import assess
+from repro.minigraph.slack import ProfileEntry, SlackProfile
+
+
+def _bde_program():
+    a = Assembler("fig5")
+    a.data_zeros(2)
+    a.li("r1", 10)             # 0: "A" produces r1
+    a.li("r2", 20)             # 1: "C" produces r2
+    a.add("r4", "r1", "r1")    # 2: B
+    a.add("r5", "r4", "r2")    # 3: D (serializing input r2)
+    a.add("r6", "r5", "r5")    # 4: E (the register output)
+    a.st("r6", "r0", 0)        # 5: F consumes E
+    a.halt()
+    return a.build()
+
+
+def _bde_candidate(program):
+    return next(c for c in enumerate_candidates(program)
+                if (c.start, c.end) == (2, 5))
+
+
+def _profile(e_slack: float) -> SlackProfile:
+    entries = {
+        2: ProfileEntry(2, 10, 2.0, (2.0, 2.0), 3.0, 10.0, 8),    # B
+        3: ProfileEntry(3, 10, 6.0, (3.0, 6.0), 7.0, 10.0, 8),    # D
+        4: ProfileEntry(4, 10, 7.0, (7.0, 7.0), 8.0, e_slack,
+                        int(e_slack)),                            # E
+    }
+    return SlackProfile("fig5", "reduced", "train", entries)
+
+
+def test_rule1_external_serialization():
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(0.0))
+    assert assessment is not None
+    assert assessment.issue_mg[0] == 6.0     # max(2, 2, 6)
+
+
+def test_rule2_internal_serialization():
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(0.0))
+    assert assessment.issue_mg == [6.0, 7.0, 8.0]
+
+
+def test_rule3_instruction_delay():
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(0.0))
+    assert assessment.delays == [4.0, 1.0, 1.0]
+    assert assessment.max_output_delay == 1.0
+
+
+def test_rule4_rejects_with_zero_slack():
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(0.0))
+    assert assessment.degrades            # the paper rejects BDE
+
+
+def test_rule4_accepts_with_enough_slack():
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(2.0))
+    assert not assessment.degrades        # delay 1 absorbed by slack 2
+
+
+def test_delay_only_variant_still_rejects():
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(2.0))
+    assert assessment.degrades_delay_only  # any delay > 0 rejects
+
+
+def test_sial_variant_rejects():
+    """The serializing input (C, ready 6) arrives last — SIAL rejects."""
+    program = _bde_program()
+    assessment = assess(_bde_candidate(program), _profile(2.0))
+    assert assessment.degrades_sial
+
+
+def test_unprofiled_candidate_returns_none():
+    program = _bde_program()
+    empty = SlackProfile("fig5", "reduced", "train", {})
+    assert assess(_bde_candidate(program), empty) is None
+
+
+def test_never_ready_input_treated_as_early():
+    """src_ready None means the operand was architecturally old: rule #1
+    reduces to Issue(0)."""
+    program = _bde_program()
+    entries = {
+        2: ProfileEntry(2, 10, 2.0, (None, None), 3.0, 10.0, 8),
+        3: ProfileEntry(3, 10, 3.0, (3.0, None), 4.0, 10.0, 8),
+        4: ProfileEntry(4, 10, 4.0, (4.0, 4.0), 5.0, 0.0, 0),
+    }
+    profile = SlackProfile("fig5", "reduced", "train", entries)
+    assessment = assess(_bde_candidate(program), profile)
+    assert assessment.issue_mg[0] == 2.0   # no late input: issue unchanged
+    # The singleton schedule was already back-to-back serial, so internal
+    # serialization adds nothing: no delay anywhere.
+    assert assessment.delays == [0.0, 0.0, 0.0]
+    assert not assessment.degrades
+
+
+def test_delay_tolerance():
+    program = _bde_program()
+    loose = assess(_bde_candidate(program), _profile(0.0),
+                   delay_tolerance=2.0)
+    assert not loose.degrades
+
+
+def test_outputs_include_store_and_branch():
+    a = Assembler("t")
+    a.data_zeros(2)
+    a.li("r1", 1)
+    a.li("r2", 2)
+    a.add("r4", "r1", "r1")    # 2
+    a.st("r4", "r2", 0)        # 3: store output
+    a.halt()
+    program = a.build()
+    candidate = next(c for c in enumerate_candidates(program)
+                     if (c.start, c.end) == (2, 4))
+    entries = {
+        2: ProfileEntry(2, 5, 0.0, (0.0, 0.0), 1.0, 10.0, 9),
+        3: ProfileEntry(3, 5, 1.0, (5.0, 1.0), None, 0.0, 0),
+    }
+    profile = SlackProfile("t", "reduced", "train", entries)
+    assessment = assess(candidate, profile)
+    assert 1 in assessment.output_indices  # the store is an output

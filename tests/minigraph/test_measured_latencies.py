@@ -1,0 +1,108 @@
+"""The measured-latency extension (the paper's §5.1 *mcf* footnote).
+
+Slack-Profile's rule #2 uses optimistic nominal latencies — a load inside
+a mini-graph is assumed to hit. The extension substitutes each
+constituent's *profiled* latency (``out_ready − issue``), so aggregates
+built around missing loads are assessed with their real serial cost.
+"""
+
+from repro.isa import Assembler
+from repro.minigraph import SlackProfileSelector, enumerate_candidates
+from repro.minigraph.delay_model import assess
+from repro.minigraph.slack import ProfileEntry, SlackProfile
+
+
+def _load_chain_program():
+    a = Assembler("t")
+    a.data_zeros(8)
+    a.li("r1", 1)              # 0
+    a.li("r2", 2)              # 1
+    a.add("r4", "r1", "r2")    # 2: address compute
+    a.ld("r5", "r4", 0)        # 3: the (missing) load
+    a.add("r6", "r5", "r5")    # 4: output
+    a.st("r6", "r0", 0)        # 5
+    a.halt()
+    return a.build()
+
+
+def _profile(load_latency: float, out_slack: float) -> SlackProfile:
+    """Singleton schedule where the load's observed latency is given."""
+    t_ld = 1.0
+    t_out = t_ld + load_latency
+    entries = {
+        2: ProfileEntry(2, 10, 0.0, (0.0, 0.0), 1.0, 0.0, 0),
+        3: ProfileEntry(3, 10, t_ld, (1.0,), t_out, 0.0, 0),
+        4: ProfileEntry(4, 10, t_out, (t_out, t_out), t_out + 1,
+                        out_slack, int(out_slack)),
+    }
+    return SlackProfile("t", "reduced", "train", entries)
+
+
+def _candidate():
+    program = _load_chain_program()
+    return next(c for c in enumerate_candidates(program)
+                if (c.start, c.end) == (2, 5))
+
+
+def test_nominal_model_underestimates_missing_load():
+    """With a 15-cycle observed load, the nominal chain (1+3+1) predicts
+    the output at 5 while the singleton schedule has it at 17: the nominal
+    delay is hugely negative (no degradation flagged)."""
+    candidate = _candidate()
+    nominal = assess(candidate, _profile(15.0, 4.0))
+    assert nominal is not None
+    assert not nominal.degrades
+    assert nominal.delays[2] < 0  # predicted *earlier* than reality
+
+
+def test_measured_model_sees_the_real_chain():
+    candidate = _candidate()
+    measured = assess(candidate, _profile(15.0, 4.0),
+                      measured_latencies=True)
+    # Output delay reflects the 15-cycle load: chain = 1 + 15 from issue 0
+    # vs singleton issue 16 — still no delay for a pure chain...
+    assert abs(measured.delays[2]) < 1e-9
+
+
+def test_measured_model_rejects_serialized_missing_load():
+    """Add a late serializing input: the aggregate then re-times the whole
+    measured chain behind it, which the nominal model underestimates."""
+    a = Assembler("t")
+    a.data_zeros(8)
+    a.li("r1", 1)              # 0
+    a.li("r2", 2)              # 1
+    a.li("r7", 3)              # 2  late value (pretend)
+    a.add("r4", "r1", "r2")    # 3
+    a.ld("r5", "r4", 0)        # 4
+    a.add("r6", "r5", "r7")    # 5: serializing input r7 at offset 2
+    a.st("r6", "r0", 0)        # 6
+    a.halt()
+    program = a.build()
+    candidate = next(c for c in enumerate_candidates(program)
+                     if (c.start, c.end) == (3, 6))
+
+    t_ld, load_lat = 1.0, 15.0
+    t_out = t_ld + load_lat
+    entries = {
+        3: ProfileEntry(3, 10, 0.0, (0.0, 0.0), 1.0, 0.0, 0),
+        4: ProfileEntry(4, 10, t_ld, (1.0,), t_out, 0.0, 0),
+        # The serializing input is ready at 6 — after the first
+        # constituent's issue (0), before the load returns (16).
+        5: ProfileEntry(5, 10, t_out, (t_out, 6.0), t_out + 1, 4.0, 4),
+    }
+    profile = SlackProfile("t", "reduced", "train", entries)
+
+    nominal = assess(candidate, profile)
+    measured = assess(candidate, profile, measured_latencies=True)
+    # Rule #1 moves Issue_MG(0) to 6 in both; the chain to the output is
+    # 1+3 nominally (delay 10-16 = negative) but 1+15 measured
+    # (delay 22-16 = 6 > slack 4).
+    assert not nominal.degrades
+    assert measured.degrades
+
+
+def test_selector_flag_changes_name_and_pool():
+    program = _load_chain_program()
+    selector = SlackProfileSelector(measured_latencies=True)
+    assert selector.name == "slack-profile-measured"
+    assert selector.measured_latencies

@@ -1,0 +1,141 @@
+"""Greedy budgeted selection with overlap discounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Assembler
+from repro.minigraph import enumerate_candidates, select
+from repro.minigraph.selection import empty_plan
+from repro.minigraph.templates import build_templates
+
+
+def _straightline(n_groups=6):
+    """n_groups independent add/add/store groups in one block."""
+    a = Assembler("t")
+    a.data_zeros(n_groups)
+    a.li("r1", 1)
+    a.li("r2", 2)
+    for i in range(n_groups):
+        a.add("r4", "r1", "r2")
+        a.add("r5", "r4", "r4")
+        a.st("r5", "r0", i)
+    a.halt()
+    return a.build()
+
+
+def _sites(program, counts=None):
+    candidates = enumerate_candidates(program)
+    if counts is None:
+        counts = [10] * len(program)
+    templates = build_templates(candidates, counts)
+    return [site for t in templates for site in t.sites]
+
+
+def test_selected_sites_are_disjoint():
+    program = _straightline()
+    plan = select(_sites(program))
+    covered = set()
+    for site in plan.sites:
+        span = set(range(site.start, site.end))
+        assert not covered & span
+        covered |= span
+
+
+def test_budget_limits_templates():
+    program = _straightline(8)
+    sites = _sites(program)
+    plan = select(sites, budget=2)
+    assert plan.n_templates <= 2
+
+
+def test_zero_frequency_never_selected():
+    program = _straightline()
+    counts = [0] * len(program)
+    plan = select(_sites(program, counts))
+    assert not plan.sites
+
+
+def test_higher_score_wins():
+    """With a tight budget, the template with higher (n-1)*f is chosen.
+
+    ``mul`` separators keep enumeration windows from spanning groups
+    (complex ops are not aggregable).
+    """
+    a = Assembler("t")
+    a.data_zeros(4)
+    a.li("r1", 1)
+    a.li("r2", 2)
+    a.mul("r9", "r1", "r2")     # separator
+    # Group X: size 2.
+    a.add("r4", "r1", "r2")     # 3
+    a.st("r4", "r0", 0)         # 4
+    a.mul("r9", "r1", "r2")     # separator
+    # Group Y: size 3 (higher score at equal frequency).
+    a.add("r5", "r1", "r2")     # 6
+    a.add("r6", "r5", "r5")     # 7
+    a.st("r6", "r0", 1)         # 8
+    a.mul("r9", "r1", "r2")     # separator
+    a.halt()
+    program = a.build()
+    sites = _sites(program)
+    plan = select(sites, budget=1)
+    assert plan.n_templates == 1
+    assert [(site.start, site.end) for site in plan.sites] == [(6, 9)]
+
+
+def test_overlap_discounting_prefers_disjoint_coverage():
+    """Four identical 3-wide groups (same store offset => one template):
+    the 3-wide template out-scores any 2-wide sub-window and all four
+    instances are claimed."""
+    a = Assembler("t")
+    a.data_zeros(4)
+    a.li("r1", 1)
+    a.li("r2", 2)
+    for _ in range(4):
+        a.mul("r9", "r1", "r2")   # separator
+        a.add("r4", "r1", "r2")
+        a.add("r5", "r4", "r4")
+        a.st("r5", "r0", 0)       # identical offset: shapes share a template
+    a.halt()
+    program = a.build()
+    plan = select(_sites(program))
+    assert sum(site.end - site.start for site in plan.sites) == 12
+    assert len({site.template.id for site in plan.sites}) == 1
+
+
+def test_plan_queries():
+    program = _straightline(2)
+    plan = select(_sites(program))
+    first = plan.sites[0]
+    assert plan.site_at(first.start) is first
+    assert plan.site_at(999) is None
+    assert 0 < plan.static_coverage(len(program)) <= 1.0
+    expected = plan.expected_dynamic_coverage(10 * len(program))
+    assert 0 < expected <= 1.0
+
+
+def test_empty_plan():
+    plan = empty_plan()
+    assert not plan.sites
+    assert plan.static_coverage(100) == 0.0
+    assert plan.expected_dynamic_coverage(100) == 0.0
+
+
+@given(budget=st.integers(min_value=0, max_value=8),
+       freq=st.lists(st.integers(min_value=0, max_value=50), min_size=21,
+                     max_size=21))
+@settings(max_examples=25, deadline=None)
+def test_selection_invariants_random_frequencies(budget, freq):
+    program = _straightline(6)
+    counts = (freq * ((len(program) // len(freq)) + 1))[:len(program)]
+    plan = select(_sites(program, counts), budget=budget)
+    assert plan.n_templates <= budget
+    covered = set()
+    for site in plan.sites:
+        span = set(range(site.start, site.end))
+        assert not covered & span
+        covered |= span
+    # Every chosen template earned a positive score (zero-frequency sites
+    # may ride along with a profitable template, but never drive one).
+    for template in plan.templates:
+        assert any(site.frequency > 0 for site in template.sites)

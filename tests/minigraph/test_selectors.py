@@ -1,0 +1,124 @@
+"""The five selectors: pool semantics and relative aggressiveness."""
+
+import pytest
+
+from repro.minigraph import (
+    SerializationClass, SlackDynamicSelector, SlackProfileSelector,
+    StructAll, StructBounded, StructNone, make_plan,
+)
+from repro.minigraph.selectors import FixedSetSelector
+from repro.minigraph.slack import SlackCollector
+from repro.minigraph.templates import build_templates
+from repro.minigraph import enumerate_candidates
+from repro.pipeline import reduced_config
+from repro.pipeline.core import OoOCore
+
+
+def _sites(program, trace):
+    candidates = enumerate_candidates(program)
+    templates = build_templates(candidates, trace.dynamic_count_of())
+    return [site for t in templates for site in t.sites]
+
+
+def _profile(program, trace):
+    collector = SlackCollector(program, config_name="reduced")
+    OoOCore(reduced_config(), trace.records, collector=collector,
+            warm_caches=True).run()
+    return collector.profile()
+
+
+def test_pool_ordering(branchy_loop, branchy_trace):
+    """Pool sizes: none <= bounded <= slack-profile-pool? and all is max.
+
+    Struct-None ⊆ Struct-Bounded ⊆ Struct-All always holds; Slack-Profile
+    lies between Struct-None and Struct-All.
+    """
+    sites = _sites(branchy_loop, branchy_trace)
+    profile = _profile(branchy_loop, branchy_trace)
+    pool_all = StructAll().build_pool(sites, None)
+    pool_none = StructNone().build_pool(sites, None)
+    pool_bounded = StructBounded().build_pool(sites, None)
+    pool_slack = SlackProfileSelector().build_pool(sites, profile)
+    ids = lambda pool: {s.id for s in pool}
+    assert ids(pool_none) <= ids(pool_bounded) <= ids(pool_all)
+    assert ids(pool_none) <= ids(pool_slack) <= ids(pool_all)
+    assert len(pool_all) == len(sites)
+
+
+def test_struct_none_admits_only_shape_safe(branchy_loop, branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    pool = StructNone().build_pool(sites, None)
+    for site in pool:
+        assert site.candidate.serialization is SerializationClass.NONE
+
+
+def test_struct_bounded_excludes_unbounded(branchy_loop, branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    pool = StructBounded().build_pool(sites, None)
+    for site in pool:
+        assert site.candidate.serialization is not \
+            SerializationClass.UNBOUNDED
+
+
+def test_slack_profile_requires_profile(branchy_loop, branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    serializing = [s for s in sites
+                   if s.candidate.is_potentially_serializing]
+    if not serializing:
+        pytest.skip("no serializing candidates in this program")
+    with pytest.raises(ValueError):
+        SlackProfileSelector().admit(serializing[0], None)
+
+
+def test_slack_profile_variants_are_ordered(branchy_loop, branchy_trace):
+    """full admits ⊇ delay admits (rule #4 only relaxes rejection)."""
+    sites = _sites(branchy_loop, branchy_trace)
+    profile = _profile(branchy_loop, branchy_trace)
+    full_pool = {s.id for s in
+                 SlackProfileSelector("full").build_pool(sites, profile)}
+    delay_pool = {s.id for s in
+                  SlackProfileSelector("delay").build_pool(sites, profile)}
+    assert delay_pool <= full_pool
+
+
+def test_slack_profile_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        SlackProfileSelector("bogus")
+
+
+def test_slack_dynamic_pool_equals_struct_all(branchy_loop, branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    dynamic_pool = {s.id for s in
+                    SlackDynamicSelector().build_pool(sites, None)}
+    all_pool = {s.id for s in StructAll().build_pool(sites, None)}
+    assert dynamic_pool == all_pool
+
+
+def test_fixed_set_selector(branchy_loop, branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    chosen = {sites[0].id}
+    pool = FixedSetSelector(chosen).build_pool(sites, None)
+    assert {s.id for s in pool} == chosen
+
+
+def test_make_plan_end_to_end(branchy_loop, branchy_trace):
+    plan = make_plan(branchy_loop, branchy_trace.dynamic_count_of(),
+                     StructAll())
+    assert plan.sites
+    assert plan.n_templates <= 512
+
+
+def test_make_plan_budget(branchy_loop, branchy_trace):
+    plan = make_plan(branchy_loop, branchy_trace.dynamic_count_of(),
+                     StructAll(), budget=1)
+    assert plan.n_templates <= 1
+
+
+def test_selector_names():
+    assert StructAll().name == "struct-all"
+    assert StructNone().name == "struct-none"
+    assert StructBounded().name == "struct-bounded"
+    assert SlackProfileSelector().name == "slack-profile"
+    assert SlackProfileSelector("delay").name == "slack-profile-delay"
+    assert SlackProfileSelector("sial").name == "slack-profile-sial"
+    assert SlackDynamicSelector().name == "slack-dynamic"

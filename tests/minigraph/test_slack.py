@@ -1,0 +1,147 @@
+"""Slack profiling via the timing core."""
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.minigraph.slack import SLACK_CAP, SlackCollector
+from repro.pipeline import reduced_config
+from repro.pipeline.core import OoOCore
+
+
+def _profile_of(program, config=None):
+    trace = execute(program)
+    collector = SlackCollector(program, config_name="reduced")
+    core = OoOCore(config or reduced_config(), trace.records,
+                   collector=collector, warm_caches=True)
+    core.run()
+    return collector.profile(), trace
+
+
+def test_profile_covers_executed_pcs(sum_loop):
+    profile, trace = _profile_of(sum_loop)
+    executed = {r.pc for r in trace.records}
+    assert set(profile.entries) == executed
+    assert profile.covers(executed)
+    assert not profile.covers([9999])
+
+
+def test_counts_match_dynamic_execution(sum_loop):
+    profile, trace = _profile_of(sum_loop)
+    counts = trace.dynamic_count_of()
+    for pc, entry in profile.entries.items():
+        assert entry.count == counts[pc]
+
+
+def test_block_leader_anchors_at_zero(sum_loop):
+    """The first instruction of a block is its own anchor: rel issue 0."""
+    profile, _ = _profile_of(sum_loop)
+    for block in sum_loop.basic_blocks():
+        entry = profile.get(block.start)
+        if entry is not None:
+            assert entry.rel_issue == 0.0
+
+
+def test_dependent_issue_after_source_ready():
+    """y = x + x right after a load: its issue trails the load's latency."""
+    a = Assembler("t")
+    data = a.data_words([5] * 64, label="d")
+    a.data_zeros(1, label="out")
+    a.li("r1", data)
+    a.li("r2", 64)
+    a.label("top")
+    a.ld("r4", "r1", 0)        # pc 2
+    a.add("r5", "r4", "r4")    # pc 3: depends on the load
+    a.st("r5", "r0", 64)       # pc 4
+    a.addi("r1", "r1", 1)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    program = a.build()
+    profile, _ = _profile_of(program)
+    load = profile.get(2)
+    dependent = profile.get(3)
+    # The add issues at or after the load's data-ready time.
+    assert dependent.rel_issue >= load.rel_issue + reduced_config().dl1.latency - 1
+    assert dependent.src_ready[0] is not None
+
+
+def test_slack_capped_for_unconsumed_values():
+    a = Assembler("t")
+    a.data_zeros(1)
+    a.li("r1", 7)       # consumed below
+    a.li("r2", 9)       # never consumed
+    a.st("r1", "r0", 0)
+    a.halt()
+    program = a.build()
+    profile, _ = _profile_of(program)
+    assert profile.get(1).slack == SLACK_CAP
+
+
+def test_serial_chain_has_zero_slack():
+    """In a tight dependence chain every producer is consumed immediately."""
+    a = Assembler("t")
+    a.data_zeros(1)
+    a.li("r1", 1)
+    a.li("r2", 500)
+    a.label("top")
+    for _ in range(6):
+        a.addi("r1", "r1", 1)   # pcs 3..8: serial chain
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.st("r1", "r0", 0)
+    a.halt()
+    program = a.build()
+    profile, _ = _profile_of(program)
+    chain_slacks = [profile.get(pc).slack for pc in range(3, 8)]
+    assert all(s <= 1.5 for s in chain_slacks), chain_slacks
+
+
+def test_off_critical_path_has_slack():
+    """A value consumed long after production accumulates local slack."""
+    a = Assembler("t")
+    data = a.data_words(list(range(64)), label="d")
+    a.data_zeros(1, label="out")
+    a.li("r1", data)
+    a.li("r2", 64)
+    a.li("r7", 0)
+    a.label("top")
+    a.addi("r6", "r2", 3)      # pc 3: early, consumed at the very end
+    a.ld("r4", "r1", 0)
+    a.add("r5", "r4", "r4")
+    a.add("r5", "r5", "r4")
+    a.add("r7", "r7", "r5")
+    a.add("r7", "r7", "r6")    # r6 consumed after the load chain
+    a.addi("r1", "r1", 1)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.st("r7", "r0", 64)
+    a.halt()
+    program = a.build()
+    profile, _ = _profile_of(program)
+    early = profile.get(3)
+    assert early.slack >= 1.0
+
+
+def test_mispredicted_branches_get_zero_slack(branchy_loop):
+    profile, trace = _profile_of(branchy_loop)
+    # The data-dependent branch at the heart of the loop mispredicts often;
+    # at least one branch pc must show depressed slack.
+    branch_pcs = [r.pc for r in trace.records
+                  if r.opclass == 4]  # OC_BRANCH
+    slacks = [profile.get(pc).slack for pc in set(branch_pcs)]
+    assert min(slacks) < SLACK_CAP
+
+
+def test_profile_metadata():
+    profile, _ = _profile_of(build_program())
+    assert profile.config_name == "reduced"
+    assert profile.program_name == "meta"
+    assert len(profile) > 0
+
+
+def build_program():
+    a = Assembler("meta")
+    a.data_zeros(1)
+    a.li("r1", 3)
+    a.st("r1", "r0", 0)
+    a.halt()
+    return a.build()

@@ -1,0 +1,137 @@
+"""Template canonicalization, grouping, and the MGT capacity model."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.minigraph import enumerate_candidates
+from repro.minigraph.templates import (
+    MiniGraphTable, build_templates, canonical_key,
+)
+
+
+def _two_site_program():
+    """The same add/add shape at two static locations, different registers."""
+    a = Assembler("t")
+    a.data_zeros(4)
+    a.li("r1", 1)              # 0
+    a.li("r2", 2)              # 1
+    a.li("r3", 3)              # 2
+    a.add("r4", "r1", "r2")    # 3  site 1
+    a.add("r5", "r4", "r4")    # 4
+    a.st("r5", "r0", 0)        # 5
+    a.add("r6", "r2", "r3")    # 6  site 2 (same shape, different regs)
+    a.add("r7", "r6", "r6")    # 7
+    a.st("r7", "r0", 1)        # 8
+    a.halt()
+    return a.build()
+
+
+def _counts(program, value=10):
+    return [value] * len(program)
+
+
+def test_same_shape_shares_template():
+    program = _two_site_program()
+    candidates = [c for c in enumerate_candidates(program)
+                  if (c.start, c.end) in ((3, 5), (6, 8))]
+    assert len(candidates) == 2
+    keys = {canonical_key(c) for c in candidates}
+    assert len(keys) == 1
+
+
+def test_different_imm_distinct_templates():
+    a = Assembler("t")
+    a.data_zeros(4)
+    a.li("r1", 1)
+    a.addi("r4", "r1", 5)
+    a.slli("r5", "r4", 2)
+    a.st("r5", "r0", 0)
+    a.addi("r6", "r1", 9)      # different immediate
+    a.slli("r7", "r6", 2)
+    a.st("r7", "r0", 1)
+    a.halt()
+    program = a.build()
+    candidates = [c for c in enumerate_candidates(program)
+                  if (c.start, c.end) in ((1, 3), (4, 6))]
+    keys = {canonical_key(c) for c in candidates}
+    assert len(keys) == 2
+
+
+def test_branch_targets_excluded_from_key():
+    a = Assembler("t")
+    a.li("r1", 1)
+    a.add("r4", "r1", "r1")
+    a.bne("r4", "r0", "x")     # target "x"
+    a.label("x")
+    a.add("r5", "r1", "r1")
+    a.bne("r5", "r0", "y")     # different target "y"
+    a.label("y")
+    a.halt()
+    program = a.build()
+    candidates = [c for c in enumerate_candidates(program)
+                  if c.size == 2 and c.has_branch]
+    assert len(candidates) == 2
+    keys = {canonical_key(c) for c in candidates}
+    assert len(keys) == 1      # target is in the handle, not the template
+
+
+def test_build_templates_groups_sites():
+    program = _two_site_program()
+    candidates = enumerate_candidates(program)
+    templates = build_templates(candidates, _counts(program))
+    two_site = [t for t in templates if len(t.sites) == 2]
+    assert two_site, "the shared add/add shape must group"
+    template = two_site[0]
+    assert template.size == 2
+    assert all(site.template is template for site in template.sites)
+
+
+def test_site_frequency_from_counts():
+    program = _two_site_program()
+    counts = [0] * len(program)
+    counts[3] = 7
+    counts[6] = 11
+    candidates = enumerate_candidates(program)
+    templates = build_templates(candidates, counts)
+    for template in templates:
+        for site in template.sites:
+            if site.start == 3:
+                assert site.frequency == 7
+                assert site.score_contribution == (site.end - site.start
+                                                   - 1) * 7
+            if site.start == 6:
+                assert site.frequency == 11
+
+
+def test_site_metadata():
+    a = Assembler("t")
+    a.data_zeros(4)
+    a.li("r1", 1)
+    a.li("r2", 2)
+    a.ld("r4", "r1", 0)        # 2
+    a.add("r5", "r4", "r2")    # 3: r2 external, serializing
+    a.st("r5", "r0", 0)        # 4
+    a.halt()
+    program = a.build()
+    candidates = enumerate_candidates(program)
+    templates = build_templates(candidates, _counts(program))
+    site = next(s for t in templates for s in t.sites
+                if (s.start, s.end) == (2, 4))
+    assert site.mem_pc == 2
+    assert site.input_consumer_ix[2] == 1   # r2 first consumed at offset 1
+    assert site.input_consumer_ix[1] == 0   # r1 at offset 0
+
+
+def test_mgt_capacity():
+    table = MiniGraphTable(entries=2)
+    program = _two_site_program()
+    templates = build_templates(enumerate_candidates(program),
+                                _counts(program))
+    table.install(templates[0])
+    table.install(templates[1])
+    with pytest.raises(OverflowError):
+        table.install(templates[2])
+    assert len(table) == 2
+    assert templates[0].id in table
+    assert table.lookup(templates[0].id) is templates[0]
+    assert table.lookup(9999) is None

@@ -1,0 +1,119 @@
+"""Outlining transform: binary layout and trace folding."""
+
+from repro.isa.interp import execute
+from repro.minigraph import (
+    StructAll, empty_plan, enumerate_candidates, fold_trace, make_plan,
+)
+from repro.minigraph.transform import MGHandleRecord, TransformedBinary
+
+from tests.conftest import build_sum_loop
+
+
+def _plan_for(program, trace):
+    return make_plan(program, trace.dynamic_count_of(), StructAll())
+
+
+def test_layout_compacts_binary(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    assert plan.sites, "expected at least one selected site"
+    binary = TransformedBinary(sum_loop, plan)
+    embedded = sum(site.end - site.start for site in plan.sites)
+    assert binary.new_length == len(sum_loop) - embedded + len(plan.sites)
+    # PC map is monotonic and handles collapse to one slot.
+    last = -1
+    for pc in range(len(sum_loop)):
+        assert binary.pc_map[pc] >= last
+        last = binary.pc_map[pc]
+
+
+def test_outlined_bodies_beyond_program(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    binary = TransformedBinary(sum_loop, plan)
+    for site in plan.sites:
+        assert site.outlined_pc >= binary.new_length
+    spans = sorted((s.outlined_pc, s.outlined_pc + (s.end - s.start) + 1)
+                   for s in plan.sites)
+    for (_, end1), (start2, _) in zip(spans, spans[1:]):
+        assert end1 <= start2  # outlined bodies do not collide
+
+
+def test_fold_preserves_instruction_accounting(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    records = fold_trace(sum_trace, plan)
+    total = 0
+    handles = 0
+    for rec in records:
+        if rec.kind == 1:
+            total += len(rec.constituents)
+            handles += 1
+        else:
+            total += 1
+    assert total == len(sum_trace.records)
+    assert handles > 0
+
+
+def test_fold_with_empty_plan_is_identity_modulo_pcs(sum_trace):
+    records = fold_trace(sum_trace, empty_plan())
+    assert len(records) == len(sum_trace.records)
+    for folded, original in zip(records, sum_trace.records):
+        assert folded.kind == 0
+        assert folded.pc == original.pc      # no compaction
+        assert folded.op == original.op
+        assert folded.addr == original.addr
+
+
+def test_handle_interface_fields(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    records = fold_trace(sum_trace, plan)
+    handle = next(r for r in records if r.kind == 1)
+    assert isinstance(handle, MGHandleRecord)
+    candidate = handle.site.candidate
+    assert handle.rd == candidate.out_reg
+    assert len(handle.srcs) == len(candidate.ext_inputs)
+    assert handle.pc == handle.site.handle_pc
+    if handle.site.template.has_load or handle.site.template.has_store:
+        assert handle.addr >= 0
+    else:
+        assert handle.addr == -1
+
+
+def test_handle_next_pc_continuity(sum_loop, sum_trace):
+    """Each record's next_pc must equal the next record's pc."""
+    plan = _plan_for(sum_loop, sum_trace)
+    records = fold_trace(sum_trace, plan)
+    for current, following in zip(records, records[1:]):
+        assert current.next_pc == following.pc
+
+
+def test_branch_in_handle_records_outcome(branchy_loop, branchy_trace):
+    plan = make_plan(branchy_loop, branchy_trace.dynamic_count_of(),
+                     StructAll())
+    records = fold_trace(branchy_trace, plan)
+    handles = [r for r in records if r.kind == 1
+               and r.site.template.has_branch]
+    if handles:  # branch-ended mini-graphs selected
+        takens = {h.taken for h in handles}
+        assert takens <= {True, False}
+        for handle in handles:
+            if not handle.taken:
+                assert handle.next_pc == handle.pc + 1
+
+
+def test_fold_is_deterministic(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    first = fold_trace(sum_trace, plan)
+    second = fold_trace(sum_trace, plan)
+    assert [(r.pc, r.kind) for r in first] == \
+        [(r.pc, r.kind) for r in second]
+
+
+def test_fold_different_programs_independent():
+    program_a = build_sum_loop(16, "a")
+    program_b = build_sum_loop(24, "b")
+    trace_a = execute(program_a)
+    trace_b = execute(program_b)
+    plan_a = _plan_for(program_a, trace_a)
+    plan_b = _plan_for(program_b, trace_b)
+    records_a = fold_trace(trace_a, plan_a)
+    records_b = fold_trace(trace_b, plan_b)
+    assert len(records_a) != len(records_b)

@@ -1,0 +1,83 @@
+"""Structure-activity accounting: the amplification evidence."""
+
+from repro.isa.interp import execute
+from repro.minigraph import StructAll, fold_trace, make_plan
+from repro.pipeline import reduced_config
+from repro.pipeline.activity import amplification_report
+from repro.pipeline.core import OoOCore
+
+from tests.conftest import build_sum_loop
+
+
+def _run(records):
+    core = OoOCore(reduced_config(), records, warm_caches=True)
+    stats = core.run()
+    return stats
+
+
+def test_singleton_activity_consistency(sum_trace):
+    stats = _run(sum_trace.records)
+    activity = stats.activity
+    n = len(sum_trace.records)
+    # Without flushes every instruction is fetched/renamed/committed once.
+    assert activity.commit_slots == n
+    assert activity.rename_ops >= n          # replays/flushes only add
+    assert activity.fetch_slots >= n
+    assert activity.iq_insertions == activity.rename_ops
+    assert activity.cycles == stats.cycles
+    per = activity.per_instruction(stats.original_committed)
+    assert per["commit_slots"] == 1.0
+
+
+def test_select_slots_cover_issues(sum_trace):
+    stats = _run(sum_trace.records)
+    activity = stats.activity
+    # Every instruction issues at least once; replays add select slots.
+    assert activity.select_slots >= len(sum_trace.records)
+
+
+def test_occupancy_bounded_by_structures(sum_trace):
+    stats = _run(sum_trace.records)
+    activity = stats.activity
+    config = reduced_config()
+    assert activity.avg_iq_occupancy <= config.issue_queue
+    assert activity.avg_window_occupancy <= config.rob
+
+
+def test_minigraphs_reduce_bookkeeping_activity(sum_loop, sum_trace):
+    """The central 'fewer resources' claim: per original instruction, the
+    mini-graph run uses fewer fetch/rename/commit slots, fewer physical
+    registers, and less IQ occupancy."""
+    baseline = _run(sum_trace.records)
+    plan = make_plan(sum_loop, sum_trace.dynamic_count_of(), StructAll())
+    mg_stats = _run(fold_trace(sum_trace, plan))
+    assert mg_stats.coverage > 0.3
+
+    n = baseline.original_committed
+    base = baseline.activity.per_instruction(n)
+    mg = mg_stats.activity.per_instruction(n)
+    for event in ("fetch_slots", "rename_ops", "iq_insertions",
+                  "phys_allocations", "commit_slots", "regfile_writes"):
+        assert mg[event] < base[event], event
+
+    # The reduction tracks coverage: slots drop by about
+    # coverage * (n-1)/n of the embedded groups.
+    expected = 1 - mg_stats.coverage * 0.5   # groups of >=2: at least half
+    assert mg["commit_slots"] <= expected + 0.05
+
+
+def test_amplification_report_renders(sum_loop, sum_trace):
+    baseline = _run(sum_trace.records)
+    plan = make_plan(sum_loop, sum_trace.dynamic_count_of(), StructAll())
+    mg_stats = _run(fold_trace(sum_trace, plan))
+    text = amplification_report(baseline.activity, mg_stats.activity,
+                                baseline.original_committed)
+    assert "commit_slots" in text
+    assert "reduction" in text
+
+
+def test_render_per_instruction(sum_trace):
+    stats = _run(sum_trace.records)
+    text = stats.activity.render(stats.original_committed)
+    assert "fetch_slots" in text
+    assert "avg IQ occupancy" in text

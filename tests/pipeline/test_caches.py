@@ -1,0 +1,120 @@
+"""Cache hierarchy behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import Cache, CacheConfig, MemoryHierarchy, full_config
+from repro.pipeline.caches import (
+    DATA_WORD_BYTES, INST_BYTES, TLB_MISS_PENALTY, Tlb,
+)
+
+
+def _tiny_cache(assoc=2, lines=8, line_bytes=32, latency=3):
+    size = assoc * lines // assoc * assoc * line_bytes  # lines total
+    return Cache(CacheConfig(lines * line_bytes, assoc, line_bytes, latency))
+
+
+def test_miss_then_hit():
+    cache = _tiny_cache()
+    assert cache.access(0) is False
+    assert cache.access(0) is True
+    assert cache.access(16) is True  # same 32B line
+    assert cache.access(32) is False  # next line
+
+
+def test_lru_within_set():
+    cache = Cache(CacheConfig(2 * 32, 2, 32, 1))  # 1 set, 2 ways
+    cache.access(0)
+    cache.access(32)
+    cache.access(0)       # refresh line 0
+    cache.access(64)      # evicts line 1 (LRU)
+    assert cache.access(0) is True
+    assert cache.access(32) is False
+
+
+def test_probe_does_not_touch():
+    cache = _tiny_cache()
+    assert cache.probe(0) is False
+    cache.access(0)
+    assert cache.probe(0) is True
+    assert cache.misses == 1
+
+
+def test_invalidate():
+    cache = _tiny_cache()
+    cache.access(0)
+    cache.invalidate(0)
+    assert cache.access(0) is False
+
+
+def test_miss_counting():
+    cache = _tiny_cache()
+    for addr in (0, 32, 64, 0, 32, 64):
+        cache.access(addr)
+    assert cache.accesses == 6
+    assert cache.misses == 3
+
+
+def test_tlb_miss_penalty():
+    tlb = Tlb(entries=8, assoc=4)
+    assert tlb.access(0) == TLB_MISS_PENALTY
+    assert tlb.access(100) == 0          # same page
+    assert tlb.access(4096) == TLB_MISS_PENALTY
+
+
+def test_hierarchy_load_latencies():
+    hierarchy = MemoryHierarchy(full_config())
+    cfg = full_config()
+    cold = hierarchy.load_latency(0)
+    # Cold: L1 + TLB + L2 miss + memory.
+    assert cold == cfg.dl1.latency + TLB_MISS_PENALTY + cfg.l2.latency \
+        + cfg.mem_latency
+    warm = hierarchy.load_latency(0)
+    assert warm == cfg.dl1.latency
+
+
+def test_hierarchy_l2_hit_path():
+    cfg = full_config()
+    hierarchy = MemoryHierarchy(cfg)
+    hierarchy.load_latency(0)        # fill L1+L2
+    # Evict from tiny window: walk enough lines to evict L1 set but not L2.
+    words_per_line = cfg.dl1.line_bytes // DATA_WORD_BYTES
+    n_sets = cfg.dl1.n_sets
+    conflicting = [0, n_sets * words_per_line * 1,
+                   n_sets * words_per_line * 2]
+    for addr in conflicting:
+        hierarchy.load_latency(addr)
+    latency = hierarchy.load_latency(0)  # L1 evicted, L2 holds it
+    assert latency == cfg.dl1.latency + cfg.l2.latency
+
+
+def test_fetch_latency_uses_instruction_addressing():
+    cfg = full_config()
+    hierarchy = MemoryHierarchy(cfg)
+    hierarchy.fetch_latency(0)
+    insts_per_line = cfg.il1.line_bytes // INST_BYTES
+    assert hierarchy.fetch_latency(insts_per_line - 1) == cfg.il1.latency
+    assert hierarchy.ifetch_line(0) == hierarchy.ifetch_line(
+        insts_per_line - 1)
+    assert hierarchy.ifetch_line(insts_per_line) == 1
+
+
+def test_store_touch_fills_line_for_later_loads():
+    cfg = full_config()
+    hierarchy = MemoryHierarchy(cfg)
+    hierarchy.store_touch(40)
+    assert hierarchy.load_latency(40) == cfg.dl1.latency
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_cache_capacity_bound(addresses):
+    """Resident lines never exceed capacity; re-access of the most recent
+    address is always a hit."""
+    cache = Cache(CacheConfig(4 * 64, 2, 32, 1))
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.access(addr) is True
+        resident = sum(len(s) for s in cache._sets)
+        assert resident <= 8

@@ -1,0 +1,106 @@
+"""Table 1 machine configurations."""
+
+import pytest
+
+from repro.pipeline import (
+    CacheConfig, config_by_name, cross_2way_config, cross_8way_config,
+    cross_dmem4_config, full_config, reduced_config,
+)
+
+
+def test_full_matches_table1():
+    cfg = full_config()
+    assert cfg.width == 4
+    assert cfg.issue_queue == 30
+    assert cfg.phys_regs == 144
+    assert cfg.rob == 128
+    assert cfg.load_queue == 48
+    assert cfg.store_queue == 32
+    assert (cfg.ports_simple, cfg.ports_complex, cfg.ports_load,
+            cfg.ports_store) == (4, 1, 2, 1)
+
+
+def test_reduced_matches_table1():
+    cfg = reduced_config()
+    assert cfg.width == 3
+    assert cfg.issue_queue == 20
+    assert cfg.phys_regs == 120
+    assert (cfg.ports_simple, cfg.ports_load) == (3, 1)
+
+
+def test_rename_register_counts():
+    """The paper quotes 80 and 56 rename registers (regs - 2×32 arch)."""
+    assert full_config().phys_regs - 64 == 80
+    assert reduced_config().phys_regs - 64 == 56
+
+
+def test_memory_system_matches_table1():
+    cfg = full_config()
+    assert cfg.il1.size_bytes == 32 * 1024 and cfg.il1.assoc == 2
+    assert cfg.il1.latency == 3
+    assert cfg.dl1.latency == 3
+    assert cfg.l2.size_bytes == 1024 * 1024 and cfg.l2.assoc == 4
+    assert cfg.l2.latency == 12
+    assert cfg.mem_latency == 200
+
+
+def test_minigraph_support_matches_table1():
+    cfg = full_config()
+    assert cfg.mg_max_issue == 2
+    assert cfg.mg_max_mem_issue == 1
+    assert cfg.mgt_entries == 512
+    assert cfg.mg_alu_pipelines == 2
+    assert cfg.mg_alu_pipeline_depth == 4
+
+
+def test_pipeline_is_13_stages():
+    cfg = full_config()
+    total = (cfg.stages_front + 1 + cfg.stages_regread + 1
+             + cfg.stages_to_commit)
+    assert total == 13
+
+
+def test_branch_predictor_is_24kbit():
+    cfg = full_config()
+    bits = (2 ** cfg.bimodal_bits + 2 ** cfg.gshare_bits
+            + 2 ** cfg.chooser_bits) * 2
+    assert bits == 24 * 1024
+    assert cfg.btb_entries == 2048 and cfg.btb_assoc == 4
+    assert cfg.ras_entries == 32
+
+
+def test_cross_configs_differ_where_expected():
+    assert cross_2way_config().width == 2
+    assert cross_8way_config().width == 8
+    dmem4 = cross_dmem4_config()
+    assert dmem4.dl1.size_bytes == 8 * 1024
+    assert dmem4.l2.size_bytes == 256 * 1024
+    assert dmem4.width == reduced_config().width
+    assert dmem4.il1.size_bytes == reduced_config().il1.size_bytes
+
+
+def test_config_by_name():
+    assert config_by_name("full").name == "full"
+    assert config_by_name("reduced").name == "reduced"
+    with pytest.raises(ValueError):
+        config_by_name("bogus")
+
+
+def test_scaled_override():
+    cfg = full_config().scaled(width=6, name="custom")
+    assert cfg.width == 6
+    assert cfg.issue_queue == 30  # untouched
+    assert full_config().width == 4  # original frozen
+
+
+def test_cache_geometry_validation():
+    good = CacheConfig(32 * 1024, 2, 32, 3)
+    assert good.n_sets == 512
+    with pytest.raises(ValueError):
+        CacheConfig(1000, 3, 32, 1).n_sets
+
+
+def test_summary_keys():
+    summary = full_config().summary()
+    assert summary["width"] == 4
+    assert summary["issue_queue"] == 30

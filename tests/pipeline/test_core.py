@@ -1,0 +1,301 @@
+"""Timing-core behaviour: throughput, dependences, prediction, memory."""
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.pipeline import full_config, reduced_config
+from repro.pipeline.core import OoOCore
+
+
+def _run(program, config=None, **kwargs):
+    trace = execute(program)
+    core = OoOCore(config or full_config(), trace.records,
+                   warm_caches=kwargs.pop("warm_caches", True), **kwargs)
+    stats = core.run()
+    return trace, stats
+
+
+def _independent_adds(n=400):
+    a = Assembler("indep")
+    for reg in range(1, 9):
+        a.li(f"r{reg}", reg)
+    a.li("r10", n // 8)
+    a.label("top")
+    for reg in range(1, 9):
+        a.addi(f"r{reg}", f"r{reg}", 1)
+    a.addi("r10", "r10", -1)
+    a.bne("r10", "r0", "top")
+    a.halt()
+    return a.build()
+
+
+def _serial_adds(n=400):
+    a = Assembler("serial")
+    a.li("r1", 0)
+    a.li("r10", n // 8)
+    a.label("top")
+    for _ in range(8):
+        a.addi("r1", "r1", 1)
+    a.addi("r10", "r10", -1)
+    a.bne("r10", "r0", "top")
+    a.halt()
+    return a.build()
+
+
+def test_all_instructions_commit():
+    program = _independent_adds()
+    trace, stats = _run(program)
+    assert stats.original_committed == len(trace.records)
+
+
+def test_ipc_never_exceeds_width():
+    for config in (full_config(), reduced_config()):
+        _, stats = _run(_independent_adds(), config)
+        assert stats.ipc <= config.width + 1e-9
+
+
+def test_independent_code_beats_serial_chain():
+    _, indep = _run(_independent_adds())
+    _, serial = _run(_serial_adds())
+    assert indep.ipc > serial.ipc * 1.5
+
+
+def test_serial_chain_is_one_per_cycle():
+    """A pure dependence chain commits ~1 instruction per cycle."""
+    _, stats = _run(_serial_adds(800))
+    assert 0.7 <= stats.ipc <= 1.3
+
+
+def test_wider_machine_is_not_slower():
+    program = _independent_adds()
+    _, full = _run(program, full_config())
+    _, reduced = _run(program, reduced_config())
+    assert full.ipc >= reduced.ipc * 0.98
+
+
+def test_reduced_machine_hurts_parallel_code():
+    _, full = _run(_independent_adds(), full_config())
+    _, reduced = _run(_independent_adds(), reduced_config())
+    assert reduced.ipc < full.ipc * 0.95
+
+
+def test_predictable_branches_learned():
+    program = _independent_adds()
+    _, stats = _run(program)
+    assert stats.cond_mispredict_rate < 0.1
+
+
+def test_random_branches_mispredict():
+    a = Assembler("rand")
+    # Branch on a pseudo-random bit (xorshift) — unpredictable pattern.
+    a.li("r1", 0x9E3779B9)
+    a.li("r2", 300)
+    a.li("r3", 0)
+    a.label("top")
+    a.slli("r4", "r1", 13)
+    a.xor("r1", "r1", "r4")
+    a.srli("r4", "r1", 7)
+    a.xor("r1", "r1", "r4")
+    a.slli("r4", "r1", 17)
+    a.xor("r1", "r1", "r4")
+    a.andi("r5", "r1", 1)
+    a.beq("r5", "r0", "skip")
+    a.addi("r3", "r3", 1)
+    a.label("skip")
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    _, stats = _run(a.build())
+    assert stats.cond_mispredict_rate > 0.1
+
+
+def test_mispredictions_cost_cycles():
+    """Same instruction mix, biased vs random branch: random is slower."""
+    def build(random_bit):
+        a = Assembler("b")
+        a.li("r1", 0x12345)
+        a.li("r2", 400)
+        a.li("r3", 0)
+        a.label("top")
+        a.slli("r4", "r1", 13)
+        a.xor("r1", "r1", "r4")
+        a.srli("r4", "r1", 7)
+        a.xor("r1", "r1", "r4")
+        if random_bit:
+            a.andi("r5", "r1", 1)
+        else:
+            a.andi("r5", "r1", 0)   # always zero: perfectly predictable
+        a.beq("r5", "r0", "skip")
+        a.addi("r3", "r3", 1)
+        a.label("skip")
+        a.addi("r2", "r2", -1)
+        a.bne("r2", "r0", "top")
+        a.halt()
+        return a.build()
+
+    _, predictable = _run(build(False))
+    _, random_b = _run(build(True))
+    assert random_b.cycles > predictable.cycles
+
+
+def test_pointer_chase_pays_load_latency():
+    """Serial loads: at least dl1-latency cycles per chained load."""
+    n = 128
+    a = Assembler("chase")
+    links = a.data_words([(i + 1) % n for i in range(n)], label="links")
+    a.li("r1", 0)
+    a.li("r2", 2 * n)
+    a.li("r3", links)
+    a.label("top")
+    a.add("r4", "r3", "r1")
+    a.ld("r1", "r4", 0)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    trace, stats = _run(a.build())
+    loads = sum(1 for r in trace.records if r.is_load)
+    min_lat = full_config().dl1.latency
+    assert stats.cycles >= loads * min_lat
+
+
+def test_store_forwarding_happens():
+    a = Assembler("fwd")
+    a.data_zeros(8)
+    a.li("r1", 7)
+    a.li("r2", 100)
+    a.label("top")
+    a.st("r1", "r0", 3)
+    a.ld("r4", "r0", 3)
+    a.add("r1", "r1", "r4")
+    a.andi("r1", "r1", 1023)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    _, stats = _run(a.build())
+    assert stats.store_forwards > 0
+
+
+def test_ordering_violation_detected_and_trained():
+    """A store whose address arrives late: younger same-address loads issue
+    aggressively, violate, flush, and train StoreSets."""
+    a = Assembler("viol")
+    a.data_zeros(64)
+    a.li("r9", 5)              # the aliased address
+    a.li("r2", 60)
+    a.li("r7", 1)
+    a.label("top")
+    # Long chain delaying the store's data AND address.
+    a.mov("r3", "r7")
+    for _ in range(10):
+        a.addi("r3", "r3", 1)
+    a.andi("r4", "r3", 63)
+    a.st("r3", "r0", 5)        # store to fixed addr, data late
+    a.ld("r5", "r0", 5)        # younger load, same address, ready early
+    a.add("r7", "r7", "r5")
+    a.andi("r7", "r7", 255)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    _, stats = _run(a.build())
+    assert stats.ordering_violations >= 1
+    # StoreSets learn: violations far fewer than iterations.
+    assert stats.ordering_violations < 30
+
+
+def test_cache_miss_replays_counted():
+    """Dependents scheduled on a hit assumption replay when the load
+    misses (cold caches expose compulsory misses)."""
+    n = 600
+    a = Assembler("replay")
+    data = a.data_words(list(range(n)), label="d")
+    a.li("r1", data)
+    a.li("r2", n // 4)
+    a.li("r3", 0)
+    a.label("top")
+    a.ld("r4", "r1", 0)
+    a.add("r3", "r3", "r4")     # dependent wakes speculatively
+    a.addi("r1", "r1", 4)       # stride 4 words: new line every other iter
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    trace = execute(a.build())
+    core = OoOCore(full_config(), trace.records, warm_caches=False)
+    stats = core.run()
+    assert stats.replays > 0
+
+
+def test_icache_behaviour_counted(sum_trace):
+    core = OoOCore(full_config(), sum_trace.records, warm_caches=False)
+    stats = core.run()
+    assert stats.cache_stats["il1_misses"] >= 1
+
+
+def test_warm_caches_remove_compulsory_misses(sum_trace):
+    cold = OoOCore(full_config(), sum_trace.records,
+                   warm_caches=False).run()
+    warm = OoOCore(full_config(), sum_trace.records,
+                   warm_caches=True).run()
+    assert warm.cycles < cold.cycles
+    assert warm.cache_stats["dl1_misses"] <= cold.cache_stats["dl1_misses"]
+
+
+def test_stats_summary_renders(sum_trace):
+    core = OoOCore(full_config(), sum_trace.records)
+    stats = core.run()
+    stats.program_name = "sumloop"
+    text = stats.summary()
+    assert "sumloop" in text and "ipc=" in text
+
+
+def test_fetch_buffer_backpressure():
+    """A stalled rename stage (tiny ROB) must throttle fetch without
+    deadlock or lost instructions."""
+    program = _independent_adds(240)
+    trace = execute(program)
+    tiny_rob = full_config().scaled(name="tiny-rob", rob=8)
+    stats = OoOCore(tiny_rob, trace.records, warm_caches=True).run()
+    assert stats.original_committed == len(trace.records)
+    # Window never exceeds the ROB: occupancy average must respect it.
+    assert stats.activity.avg_window_occupancy <= 8
+
+
+def test_tiny_issue_queue_still_completes():
+    program = _serial_adds(240)
+    trace = execute(program)
+    tiny_iq = full_config().scaled(name="tiny-iq", issue_queue=2)
+    stats = OoOCore(tiny_iq, trace.records, warm_caches=True).run()
+    assert stats.original_committed == len(trace.records)
+    assert stats.activity.avg_iq_occupancy <= 2
+
+
+def test_phys_register_pressure_slows_execution():
+    """Fewer rename registers means a smaller effective window."""
+    program = _independent_adds(400)
+    trace = execute(program)
+    roomy = full_config()
+    starved = full_config().scaled(name="starved", phys_regs=64 + 10)
+    fast = OoOCore(roomy, trace.records, warm_caches=True).run()
+    slow = OoOCore(starved, trace.records, warm_caches=True).run()
+    assert slow.cycles >= fast.cycles
+    assert slow.original_committed == fast.original_committed
+
+
+def test_complex_port_contention():
+    """Multiply-heavy code is limited by the single complex port."""
+    a = Assembler("muls")
+    for reg in range(1, 7):
+        a.li(f"r{reg}", reg + 1)
+    a.li("r10", 60)
+    a.label("top")
+    a.mul("r7", "r1", "r2")
+    a.mul("r8", "r3", "r4")
+    a.mul("r9", "r5", "r6")
+    a.addi("r10", "r10", -1)
+    a.bne("r10", "r0", "top")
+    a.halt()
+    program = a.build()
+    trace = execute(program)
+    one_port = full_config()
+    two_ports = full_config().scaled(name="cplx2", ports_complex=2)
+    slow = OoOCore(one_port, trace.records, warm_caches=True).run()
+    fast = OoOCore(two_ports, trace.records, warm_caches=True).run()
+    assert fast.cycles < slow.cycles

@@ -1,0 +1,135 @@
+"""Flush-and-restart paths: rename-map rewind, repeated violations,
+interaction with mini-graph handles."""
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.minigraph import StructAll, fold_trace, make_plan
+from repro.pipeline import full_config, reduced_config
+from repro.pipeline.core import OoOCore
+
+
+def _violating_program(iters=40, chain=12):
+    """Stores whose operands arrive late, followed by same-address loads:
+    aggressive scheduling violates until StoreSets learn."""
+    a = Assembler("viol")
+    a.data_zeros(64)
+    a.li("r2", iters)
+    a.li("r7", 1)
+    a.label("top")
+    a.mov("r3", "r7")
+    for _ in range(chain):
+        a.addi("r3", "r3", 1)
+    a.st("r3", "r0", 9)
+    a.ld("r5", "r0", 9)
+    a.add("r7", "r7", "r5")
+    a.andi("r7", "r7", 255)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.st("r7", "r0", 10)
+    a.halt()
+    return a.build()
+
+
+def test_flush_preserves_commit_accounting():
+    program = _violating_program()
+    trace = execute(program)
+    stats = OoOCore(full_config(), trace.records, warm_caches=True).run()
+    assert stats.ordering_violations >= 1
+    assert stats.original_committed == len(trace.records)
+
+
+def test_flush_with_minigraphs():
+    """A violation landing inside a mini-graph restarts at the handle."""
+    program = _violating_program()
+    trace = execute(program)
+    plan = make_plan(program, trace.dynamic_count_of(), StructAll())
+    records = fold_trace(trace, plan)
+    stats = OoOCore(full_config(), records, warm_caches=True).run()
+    assert stats.original_committed == len(trace.records)
+
+
+def test_rename_map_correct_after_flush():
+    """After a flush the rename map must rewind: the final checksum's
+    dataflow spans the restart point, so a stale map would deadlock or
+    change the commit count."""
+    program = _violating_program(iters=60, chain=14)
+    trace = execute(program)
+    for config in (full_config(), reduced_config()):
+        stats = OoOCore(config, trace.records, warm_caches=True).run()
+        assert stats.original_committed == len(trace.records)
+
+
+def test_storesets_learning_reduces_violations():
+    """Violations should concentrate early: far fewer than iterations."""
+    iters = 80
+    program = _violating_program(iters=iters)
+    trace = execute(program)
+    stats = OoOCore(full_config(), trace.records, warm_caches=True).run()
+    assert 1 <= stats.ordering_violations < iters // 2
+
+
+def test_violation_with_forwarding_mix():
+    """Loads that legitimately forward must not be flagged as violations
+    once the producing store has resolved."""
+    a = Assembler("fwdmix")
+    a.data_zeros(16)
+    a.li("r2", 50)
+    a.li("r7", 3)
+    a.label("top")
+    a.st("r7", "r0", 4)        # resolves quickly (operands ready)
+    a.ld("r5", "r0", 4)        # forwards from the store
+    a.add("r7", "r5", "r7")
+    a.andi("r7", "r7", 127)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    program = a.build()
+    trace = execute(program)
+    stats = OoOCore(full_config(), trace.records, warm_caches=True).run()
+    assert stats.store_forwards > 10
+    assert stats.ordering_violations <= 2
+
+
+def test_flush_during_fetch_block():
+    """A violation while fetch is blocked on a mispredicted branch must
+    clear the block and still finish."""
+    a = Assembler("mix")
+    a.data_zeros(64)
+    a.li("r2", 60)
+    a.li("r7", 1)
+    a.li("r9", 0x5DEECE)
+    a.label("top")
+    a.mov("r3", "r7")
+    for _ in range(10):
+        a.addi("r3", "r3", 1)
+    a.st("r3", "r0", 5)
+    a.ld("r5", "r0", 5)
+    a.add("r7", "r7", "r5")
+    # Unpredictable branch right after the racy pair.
+    a.slli("r10", "r9", 13)
+    a.xor("r9", "r9", "r10")
+    a.srli("r10", "r9", 7)
+    a.xor("r9", "r9", "r10")
+    a.andi("r11", "r9", 1)
+    a.beq("r11", "r0", "skip")
+    a.xori("r7", "r7", 21)
+    a.label("skip")
+    a.andi("r7", "r7", 255)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    program = a.build()
+    trace = execute(program)
+    stats = OoOCore(full_config(), trace.records, warm_caches=True).run()
+    assert stats.original_committed == len(trace.records)
+
+
+def test_determinism():
+    """Two runs of the same trace on fresh cores agree cycle-for-cycle."""
+    program = _violating_program()
+    trace = execute(program)
+    first = OoOCore(full_config(), trace.records, warm_caches=True).run()
+    second = OoOCore(full_config(), trace.records, warm_caches=True).run()
+    assert first.cycles == second.cycles
+    assert first.ordering_violations == second.ordering_violations
+    assert first.replays == second.replays

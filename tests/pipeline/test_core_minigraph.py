@@ -1,0 +1,209 @@
+"""Mini-graph execution in the timing core: amplification, serialization
+detection, ALU-pipeline semantics, and dynamic disabling."""
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.minigraph import (
+    StructAll, StructNone, fold_trace, make_plan,
+)
+from repro.minigraph.dynamic import SlackDynamicPolicy
+from repro.pipeline import full_config, reduced_config
+from repro.pipeline.core import OoOCore
+
+
+def _mg_run(program, config, selector=None, policy=None):
+    trace = execute(program)
+    plan = make_plan(program, trace.dynamic_count_of(),
+                     selector or StructAll())
+    records = fold_trace(trace, plan)
+    core = OoOCore(config, records, policy=policy, warm_caches=True)
+    stats = core.run()
+    return trace, plan, stats
+
+
+def _serializing_program(n=200):
+    """A loop whose natural mini-graph has a late-arriving serializing
+    input: the load value feeds the *second* constituent. The ``mul``
+    separator keeps the load itself out of the aggregate."""
+    a = Assembler("ser")
+    data = a.data_words([3] * 64, label="d")
+    a.data_zeros(1, label="out")
+    a.li("r1", data)
+    a.li("r2", n)
+    a.li("r3", 5)
+    a.li("r8", 0)
+    a.label("top")
+    a.andi("r9", "r2", 63)
+    a.add("r10", "r1", "r9")
+    a.ld("r4", "r10", 0)       # late value
+    a.mul("r11", "r9", "r9")   # separator: complex ops never aggregate
+    a.add("r5", "r3", "r3")    # mg first: early inputs
+    a.add("r6", "r5", "r4")    # mg second: consumes the late load
+    a.add("r8", "r8", "r6")
+    a.add("r8", "r8", "r11")
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.st("r8", "r0", 64)
+    a.halt()
+    return a.build()
+
+
+def test_committed_accounting_with_handles(sum_loop):
+    trace, plan, stats = _mg_run(sum_loop, reduced_config())
+    assert stats.original_committed == len(trace.records)
+    assert stats.handles_committed > 0
+    assert stats.embedded_committed > 0
+    assert stats.coverage > 0.1
+
+
+def test_coverage_matches_plan_expectation(sum_loop):
+    trace, plan, stats = _mg_run(sum_loop, reduced_config())
+    expected = plan.expected_dynamic_coverage(len(trace.records))
+    assert abs(stats.coverage - expected) < 0.05
+
+
+def test_minigraphs_recover_reduced_machine_performance():
+    """On parallel code, amplification beats the reduced machine."""
+    program = _wide_mg_program()
+    trace = execute(program)
+    reduced = reduced_config()
+    baseline = OoOCore(reduced, trace.records, warm_caches=True).run()
+    _, _, with_mg = _mg_run(program, reduced)
+    assert with_mg.ipc > baseline.ipc
+
+
+def test_struct_all_can_hurt_via_internal_serialization(sum_loop):
+    """sum_loop's accumulator chain is a serialization trap: Struct-All
+    embeds the whole ld/shift/add/add body and the loop-carried dependence
+    pays the full serial aggregate latency — the paper's core hazard."""
+    trace = execute(sum_loop)
+    reduced = reduced_config()
+    baseline = OoOCore(reduced, trace.records, warm_caches=True).run()
+    _, _, with_mg = _mg_run(sum_loop, reduced)
+    assert with_mg.ipc < baseline.ipc
+
+
+def test_slack_profile_avoids_the_trap(sum_loop):
+    """Slack-Profile must reject the harmful aggregate Struct-All takes."""
+    from repro.minigraph import SlackProfileSelector
+    from repro.minigraph.slack import SlackCollector
+    trace = execute(sum_loop)
+    reduced = reduced_config()
+    baseline = OoOCore(reduced, trace.records, warm_caches=True).run()
+    collector = SlackCollector(sum_loop, config_name="reduced")
+    OoOCore(reduced, trace.records, collector=collector,
+            warm_caches=True).run()
+    plan = make_plan(sum_loop, trace.dynamic_count_of(),
+                     SlackProfileSelector(), profile=collector.profile())
+    records = fold_trace(trace, plan)
+    stats = OoOCore(reduced, records, warm_caches=True).run()
+    _, _, struct_all = _mg_run(sum_loop, reduced)
+    assert stats.ipc >= struct_all.ipc
+    assert stats.ipc >= baseline.ipc * 0.97
+
+
+def test_slots_amplification(sum_loop):
+    """Handles consume fewer commit slots than the instructions they embed."""
+    trace, _, stats = _mg_run(sum_loop, reduced_config())
+    assert stats.slots_committed < stats.original_committed
+
+
+def test_serialization_detected():
+    program = _serializing_program()
+    trace, plan, stats = _mg_run(program, reduced_config())
+    serializing_sites = [s for s in plan.sites
+                         if s.candidate.is_potentially_serializing]
+    assert serializing_sites, "test program must select a serializing MG"
+    assert stats.mg_serialized_instances > 0
+    assert stats.mg_consumer_delays > 0
+
+
+def test_struct_none_admits_no_serialization():
+    program = _serializing_program()
+    trace, plan, stats = _mg_run(program, reduced_config(), StructNone())
+    assert all(not s.candidate.is_potentially_serializing
+               for s in plan.sites)
+    assert stats.mg_serialized_instances == 0
+
+
+def test_dynamic_policy_disables_serializing_site():
+    program = _serializing_program(400)
+    policy = SlackDynamicPolicy(threshold=4, resurrect_interval=10_000)
+    trace, plan, stats = _mg_run(program, reduced_config(), policy=policy)
+    assert policy.disable_events >= 1
+    assert stats.mg_disabled_instances > 0
+    assert stats.outline_jumps_committed == 2 * stats.mg_disabled_instances
+    # Accounting still balances: constituents of disabled instances commit
+    # as singletons.
+    assert stats.original_committed == len(trace.records)
+
+
+def test_ideal_policy_has_no_outline_jumps():
+    program = _serializing_program(400)
+    policy = SlackDynamicPolicy(threshold=4, outlining_penalty=False,
+                                resurrect_interval=10_000)
+    trace, plan, stats = _mg_run(program, reduced_config(), policy=policy)
+    assert policy.disable_events >= 1
+    assert stats.mg_disabled_instances > 0
+    assert stats.outline_jumps_committed == 0
+    assert stats.original_committed == len(trace.records)
+
+
+def test_ideal_disabling_not_slower_than_outlined():
+    program = _serializing_program(400)
+    _, _, outlined = _mg_run(
+        program, reduced_config(),
+        policy=SlackDynamicPolicy(threshold=4, resurrect_interval=10_000))
+    _, _, ideal = _mg_run(
+        program, reduced_config(),
+        policy=SlackDynamicPolicy(threshold=4, outlining_penalty=False,
+                                  resurrect_interval=10_000))
+    assert ideal.ipc >= outlined.ipc * 0.98
+
+
+def test_mg_issue_width_limit():
+    """At most mg_max_issue handles issue per cycle: heavy mini-graph code
+    on a machine with mg_max_issue=1 is slower than with 2."""
+    program = _wide_mg_program()
+    trace = execute(program)
+    plan = make_plan(program, trace.dynamic_count_of(), StructAll())
+    records = fold_trace(trace, plan)
+    one = full_config().scaled(name="mg1", mg_max_issue=1)
+    two = full_config().scaled(name="mg2", mg_max_issue=2)
+    stats_one = OoOCore(one, records, warm_caches=True).run()
+    stats_two = OoOCore(two, records, warm_caches=True).run()
+    assert stats_two.ipc >= stats_one.ipc
+
+
+def _wide_mg_program(n=150):
+    """Many independent two-instruction chains: lots of parallel handles."""
+    a = Assembler("wide")
+    a.data_zeros(8)
+    for reg in range(1, 7):
+        a.li(f"r{reg}", reg)
+    a.li("r16", n)
+    a.label("top")
+    a.add("r8", "r1", "r2")
+    a.add("r9", "r8", "r8")
+    a.st("r9", "r0", 0)
+    a.add("r10", "r3", "r4")
+    a.add("r11", "r10", "r10")
+    a.st("r11", "r0", 1)
+    a.add("r12", "r5", "r6")
+    a.add("r13", "r12", "r12")
+    a.st("r13", "r0", 2)
+    a.addi("r16", "r16", -1)
+    a.bne("r16", "r0", "top")
+    a.halt()
+    return a.build()
+
+
+def test_handle_with_branch_predicts_and_redirects(branchy_loop):
+    trace, plan, stats = _mg_run(branchy_loop, reduced_config())
+    assert stats.original_committed == len(trace.records)
+
+
+def test_load_inside_handle_touches_cache(sum_loop):
+    trace, plan, stats = _mg_run(sum_loop, reduced_config())
+    loads_in_trace = sum(1 for r in trace.records if r.is_load)
+    assert stats.loads_issued >= loads_in_trace

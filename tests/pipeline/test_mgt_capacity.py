@@ -1,0 +1,85 @@
+"""Finite Mini-Graph Table: residency, fills, and the capacity cliff."""
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.minigraph import StructAll, fold_trace, make_plan
+from repro.pipeline import reduced_config
+from repro.pipeline.core import OoOCore
+
+
+def _many_template_program(n_templates=8, iters=40):
+    """A loop over n distinct mini-graph shapes (distinct immediates force
+    distinct templates)."""
+    a = Assembler("many")
+    a.data_zeros(n_templates + 1)
+    a.li("r1", 1)
+    a.li("r2", 2)
+    a.li("r3", iters)
+    a.label("top")
+    for i in range(n_templates):
+        a.addi("r4", "r1", i * 17 + 1)   # unique imm => unique template
+        a.add("r5", "r4", "r2")
+        a.st("r5", "r0", i)
+    a.addi("r3", "r3", -1)
+    a.bne("r3", "r0", "top")
+    a.halt()
+    return a.build()
+
+
+def _mg_records(program):
+    trace = execute(program)
+    plan = make_plan(program, trace.dynamic_count_of(), StructAll())
+    return trace, plan, fold_trace(trace, plan)
+
+
+def test_big_mgt_never_misses():
+    program = _many_template_program()
+    trace, plan, records = _mg_records(program)
+    stats = OoOCore(reduced_config(), records, warm_caches=True).run()
+    assert stats.mgt_misses == 0
+    assert stats.handles_committed > 0
+
+
+def test_cold_mgt_misses_once_per_template():
+    program = _many_template_program()
+    trace, plan, records = _mg_records(program)
+    stats = OoOCore(reduced_config(), records, warm_caches=False).run()
+    assert stats.mgt_misses == plan.n_templates
+
+
+def test_small_mgt_thrashes():
+    program = _many_template_program(n_templates=8)
+    trace, plan, records = _mg_records(program)
+    if plan.n_templates < 6:
+        return  # selection collapsed the shapes; nothing to thrash
+    tiny = reduced_config().scaled(name="tiny-mgt", mgt_entries=2)
+    stats = OoOCore(tiny, records, warm_caches=True).run()
+    # Round-robin over >2 templates against a 2-entry LRU: every instance
+    # misses.
+    assert stats.mgt_misses > stats.handles_committed * 0.5
+
+
+def test_mgt_misses_cost_cycles():
+    program = _many_template_program(n_templates=8)
+    trace, plan, records = _mg_records(program)
+    if plan.n_templates < 6:
+        return
+    big = OoOCore(reduced_config(), records, warm_caches=True).run()
+    tiny_cfg = reduced_config().scaled(name="tiny-mgt", mgt_entries=2)
+    tiny = OoOCore(tiny_cfg, records, warm_caches=True).run()
+    assert tiny.cycles > big.cycles
+    assert tiny.original_committed == big.original_committed
+
+
+def test_mgt_capacity_monotone():
+    program = _many_template_program(n_templates=8)
+    trace, plan, records = _mg_records(program)
+    cycles = []
+    for entries in (1, 2, 4, 16, 512):
+        config = reduced_config().scaled(name=f"mgt{entries}",
+                                         mgt_entries=entries)
+        cycles.append(OoOCore(config, records, warm_caches=True)
+                      .run().cycles)
+    assert cycles[-1] <= cycles[0]
+    assert cycles == sorted(cycles, reverse=True) or \
+        max(cycles) - min(cycles) < max(cycles) * 0.5  # broadly monotone

@@ -1,0 +1,100 @@
+"""Pipetrace rendering and milestone consistency."""
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.minigraph import StructAll, fold_trace, make_plan
+from repro.pipeline import full_config
+from repro.pipeline.core import OoOCore
+from repro.pipeline.pipetrace import PipeTracer, pipetrace
+
+from tests.conftest import build_sum_loop
+
+
+def _traced(records, config=None):
+    tracer = PipeTracer()
+    stats = OoOCore(config or full_config(), records, warm_caches=True,
+                    tracer=tracer).run()
+    return tracer, stats
+
+
+def test_all_committed_rows_have_milestones(sum_trace):
+    tracer, stats = _traced(sum_trace.records)
+    rows = tracer.rows()
+    assert len(rows) == len(sum_trace.records)
+    for row in rows:
+        assert row.fetch >= 0
+        assert row.rename > row.fetch          # front-end depth
+        assert row.issue > row.rename          # schedule stage
+        assert row.complete >= row.issue
+        assert row.commit >= row.complete
+
+
+def test_program_order_milestones_monotone(sum_trace):
+    """Fetch, rename and commit are in-order streams."""
+    tracer, _ = _traced(sum_trace.records)
+    rows = tracer.rows()
+    for a, b in zip(rows, rows[1:]):
+        assert a.fetch <= b.fetch
+        assert a.rename <= b.rename
+        assert a.commit <= b.commit
+
+
+def test_render_shape(sum_trace):
+    tracer, _ = _traced(sum_trace.records)
+    text = tracer.render(last=12)
+    lines = text.splitlines()
+    assert len(lines) == 13  # header + 12 rows
+    assert "F" in lines[1] and "T" in lines[1]
+    assert "ld" in text or "li" in text
+
+
+def test_render_empty():
+    tracer = PipeTracer()
+    assert tracer.render() == "(no rows traced)"
+
+
+def test_truncation():
+    tracer = PipeTracer(max_rows=5)
+    program = build_sum_loop()
+    trace = execute(program)
+    OoOCore(full_config(), trace.records, warm_caches=True,
+            tracer=tracer).run()
+    assert tracer.truncated
+    assert "truncated" in tracer.render()
+
+
+def test_minigraph_handles_one_row(sum_loop, sum_trace):
+    plan = make_plan(sum_loop, sum_trace.dynamic_count_of(), StructAll())
+    records = fold_trace(sum_trace, plan)
+    tracer, stats = _traced(records)
+    mg_rows = [r for r in tracer.rows() if r.mnemonic.startswith("mg#")]
+    assert len(mg_rows) == stats.handles_committed
+    assert "[" in mg_rows[0].mnemonic  # aggregate size shown
+
+
+def test_squash_marked():
+    a = Assembler("viol")
+    a.data_zeros(16)
+    a.li("r2", 30)
+    a.li("r7", 1)
+    a.label("top")
+    a.mov("r3", "r7")
+    for _ in range(12):
+        a.addi("r3", "r3", 1)
+    a.st("r3", "r0", 5)
+    a.ld("r5", "r0", 5)
+    a.add("r7", "r7", "r5")
+    a.andi("r7", "r7", 255)
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    program = a.build()
+    trace = execute(program)
+    tracer, stats = _traced(trace.records)
+    if stats.ordering_violations:
+        assert any(r.squash >= 0 for r in tracer.rows())
+
+
+def test_one_shot_helper(sum_trace):
+    text = pipetrace(full_config(), sum_trace.records, last=8)
+    assert "cycles" in text

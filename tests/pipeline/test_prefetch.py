@@ -1,0 +1,95 @@
+"""Prefetchers (what-if knobs beyond the Table 1 machines)."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.pipeline import full_config
+from repro.pipeline.caches import MemoryHierarchy
+from repro.pipeline.core import OoOCore
+from repro.pipeline.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+def test_stride_prefetcher_learns_stride():
+    prefetcher = StridePrefetcher(confidence=2)
+    assert prefetcher.observe(10, 100) is None   # first touch
+    assert prefetcher.observe(10, 104) is None   # stride learned (conf 0)
+    assert prefetcher.observe(10, 108) is None   # conf 1
+    assert prefetcher.observe(10, 112) == 116    # confident
+    assert prefetcher.observe(10, 116) == 120
+
+
+def test_stride_prefetcher_resets_on_stride_change():
+    prefetcher = StridePrefetcher(confidence=2)
+    for addr in (0, 4, 8, 12):
+        prefetcher.observe(10, addr)
+    assert prefetcher.observe(10, 100) is None  # stride broke: re-learn
+    assert prefetcher.observe(10, 104) is None
+
+
+def test_stride_table_size_power_of_two():
+    with pytest.raises(ValueError):
+        StridePrefetcher(entries=100)
+
+
+def test_next_line_prefetcher():
+    prefetcher = NextLinePrefetcher()
+    assert prefetcher.on_miss(7) == 8
+    assert prefetcher.issued == 1
+
+
+def test_hierarchy_stride_prefetch_hides_misses():
+    config = full_config().scaled(name="pf", dl1_stride_prefetch=True)
+    with_pf = MemoryHierarchy(config)
+    without = MemoryHierarchy(full_config())
+    # A long unit-stride stream of new lines.
+    for i in range(0, 512):
+        with_pf.load_latency(i * 4, pc=42)
+        without.load_latency(i * 4, pc=42)
+    assert with_pf.dl1.misses < without.dl1.misses * 0.6
+    assert with_pf.dl1_prefetcher.issued > 100
+
+
+def test_hierarchy_next_line_prefetch_hides_ifetch_misses():
+    config = full_config().scaled(name="pf", il1_next_line_prefetch=True)
+    with_pf = MemoryHierarchy(config)
+    without = MemoryHierarchy(full_config())
+    for pc in range(0, 4096, 4):
+        with_pf.fetch_latency(pc)
+        without.fetch_latency(pc)
+    assert with_pf.il1.misses < without.il1.misses
+
+
+def _stream_program(n=800):
+    a = Assembler("stream")
+    data = a.data_words(list(range(n * 4)), label="d")
+    a.li("r1", data)
+    a.li("r2", n)
+    a.li("r3", 0)
+    a.label("top")
+    a.ld("r4", "r1", 0)
+    a.add("r3", "r3", "r4")
+    a.addi("r1", "r1", 4)   # one new line every access
+    a.addi("r2", "r2", -1)
+    a.bne("r2", "r0", "top")
+    a.halt()
+    return a.build()
+
+
+def test_prefetch_speeds_up_streaming_core():
+    """End-to-end: a cold streaming loop runs faster with stride prefetch."""
+    program = _stream_program()
+    trace = execute(program)
+    base_cfg = full_config()
+    pf_cfg = full_config().scaled(name="pf", dl1_stride_prefetch=True)
+    cold = OoOCore(base_cfg, trace.records, warm_caches=False).run()
+    prefetched = OoOCore(pf_cfg, trace.records, warm_caches=False).run()
+    assert prefetched.cycles < cold.cycles
+    assert prefetched.cache_stats["dl1_misses"] < \
+        cold.cache_stats["dl1_misses"]
+
+
+def test_table1_machines_have_no_prefetchers():
+    hierarchy = MemoryHierarchy(full_config())
+    assert hierarchy.il1_prefetcher is None
+    assert hierarchy.dl1_prefetcher is None

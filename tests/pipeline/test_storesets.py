@@ -1,0 +1,76 @@
+"""StoreSets memory-dependence predictor."""
+
+import pytest
+
+from repro.pipeline import StoreSets
+
+
+def test_untrained_predicts_independence():
+    predictor = StoreSets(64)
+    assert predictor.producer_store_for(100) is None
+    assert predictor.rename_store(50, seq=1) is None
+
+
+def test_violation_creates_dependence():
+    predictor = StoreSets(64)
+    predictor.train_violation(load_pc=100, store_pc=50)
+    predictor.rename_store(50, seq=7)
+    assert predictor.producer_store_for(100) == 7
+
+
+def test_store_chain_within_set():
+    predictor = StoreSets(64)
+    predictor.train_violation(100, 50)
+    predictor.train_violation(100, 51)  # both stores merged with the load
+    assert predictor.rename_store(50, seq=1) is None
+    assert predictor.rename_store(51, seq=2) == 1  # chained behind seq 1
+    assert predictor.producer_store_for(100) == 2  # latest store of the set
+
+
+def test_retire_clears_lfst():
+    predictor = StoreSets(64)
+    predictor.train_violation(100, 50)
+    predictor.rename_store(50, seq=3)
+    predictor.retire_store(50, seq=3)
+    assert predictor.producer_store_for(100) is None
+
+
+def test_retire_of_stale_seq_is_noop():
+    predictor = StoreSets(64)
+    predictor.train_violation(100, 50)
+    predictor.rename_store(50, seq=3)
+    predictor.rename_store(50, seq=4)
+    predictor.retire_store(50, seq=3)  # superseded: must not clear
+    assert predictor.producer_store_for(100) == 4
+
+
+def test_flush_clears_inflight_state():
+    predictor = StoreSets(64)
+    predictor.train_violation(100, 50)
+    predictor.rename_store(50, seq=9)
+    predictor.flush()
+    assert predictor.producer_store_for(100) is None
+    # Training persists across flushes (it is a predictor table).
+    predictor.rename_store(50, seq=10)
+    assert predictor.producer_store_for(100) == 10
+
+
+def test_merge_of_two_existing_sets():
+    predictor = StoreSets(64)
+    predictor.train_violation(100, 50)   # set A
+    predictor.train_violation(101, 51)   # set B
+    predictor.train_violation(100, 51)   # merge
+    predictor.rename_store(51, seq=5)
+    assert predictor.producer_store_for(100) == 5
+
+
+def test_violation_counter():
+    predictor = StoreSets(64)
+    predictor.train_violation(1, 2)
+    predictor.train_violation(3, 4)
+    assert predictor.violations == 2
+
+
+def test_table_size_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        StoreSets(100)

@@ -1,0 +1,72 @@
+"""Synthetic program generator invariants."""
+
+from repro.isa.interp import execute
+from repro.workloads.generator import synth_builder
+from repro.workloads import benchmark
+
+
+def test_deterministic_per_seed():
+    first = synth_builder(3)("train")
+    second = synth_builder(3)("train")
+    assert [i.render() for i in first.instructions] == \
+        [i.render() for i in second.instructions]
+
+
+def test_different_seeds_differ():
+    a = synth_builder(1)("train")
+    b = synth_builder(2)("train")
+    assert [i.render() for i in a.instructions] != \
+        [i.render() for i in b.instructions]
+
+
+def test_static_code_identical_across_inputs():
+    """Cross-input robustness requires PC-for-PC identical code: only
+    data contents and trip-count immediates may differ."""
+    train = synth_builder(5)("train")
+    ref = synth_builder(5)("ref")
+    assert len(train) == len(ref)
+    for t, r in zip(train.instructions, ref.instructions):
+        assert t.op == r.op
+        assert t.rd == r.rd
+        assert t.srcs == r.srcs
+
+
+def test_all_synthetics_terminate():
+    for seed in (1, 7, 13, 24):
+        program = synth_builder(seed)("train")
+        trace = execute(program, max_insts=500_000)
+        assert trace.records[-1].opclass == 7
+
+
+def test_ref_runs_longer_on_average():
+    longer = 0
+    for seed in range(1, 11):
+        train = execute(synth_builder(seed)("train"), max_insts=500_000)
+        ref = execute(synth_builder(seed)("ref"), max_insts=500_000)
+        longer += len(ref) > len(train)
+    assert longer >= 7  # ref scales trip counts by 1.7
+
+
+def test_memory_accesses_in_bounds():
+    """The generator masks indices: no MemoryFault on any seed."""
+    for seed in (4, 9, 17, 21):
+        execute(synth_builder(seed)("ref"), max_insts=500_000)
+
+
+def test_population_diversity():
+    """Across seeds, branch/memory mixes differ substantially."""
+    densities = []
+    for seed in range(1, 13):
+        trace = execute(synth_builder(seed)("train"), max_insts=500_000)
+        branches = sum(1 for r in trace.records if r.opclass == 4)
+        loads = sum(1 for r in trace.records if r.is_load)
+        densities.append((round(branches / len(trace), 2),
+                          round(loads / len(trace), 2)))
+    assert len(set(densities)) >= 6
+
+
+def test_registered_in_suite():
+    bench = benchmark("synth01")
+    assert bench.suite == "synth"
+    program = bench.program("train")
+    assert len(program) > 10

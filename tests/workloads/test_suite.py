@@ -1,0 +1,63 @@
+"""Benchmark registry and program construction."""
+
+import pytest
+
+from repro.workloads import Benchmark, all_benchmarks, benchmark
+from repro.workloads.generator import N_SYNTHETIC
+
+
+def test_population_size():
+    benches = all_benchmarks()
+    # 28 hand-written kernels + the synthetic population.
+    assert len(benches) >= 24 + N_SYNTHETIC
+
+
+def test_four_suite_families_present():
+    suites = {b.suite for b in all_benchmarks()}
+    assert {"spec", "media", "comm", "embedded", "synth"} <= suites
+
+
+def test_suite_filter():
+    media = all_benchmarks(suites=["media"])
+    assert media and all(b.suite == "media" for b in media)
+
+
+def test_exclude_synthetic():
+    benches = all_benchmarks(include_synthetic=False)
+    assert benches and all(b.suite != "synth" for b in benches)
+
+
+def test_every_benchmark_has_two_inputs():
+    for bench in all_benchmarks():
+        assert {"train", "ref"} <= set(bench.inputs)
+
+
+def test_adpcm_has_tiny_input():
+    assert "tiny" in benchmark("adpcm").inputs
+
+
+def test_lookup_by_name():
+    assert benchmark("crc32").name == "crc32"
+    with pytest.raises(ValueError):
+        benchmark("not-a-benchmark")
+
+
+def test_program_memoization():
+    bench = benchmark("crc32")
+    assert bench.program("train") is bench.program("train")
+
+
+def test_unknown_input_rejected():
+    with pytest.raises(ValueError):
+        benchmark("crc32").program("huge")
+
+
+def test_bad_suite_rejected():
+    with pytest.raises(ValueError):
+        Benchmark("x", "nosuite", lambda i: None)
+
+
+def test_duplicate_registration_rejected():
+    from repro.workloads import register
+    with pytest.raises(ValueError):
+        register(Benchmark("crc32", "comm", lambda i: None))
