@@ -7,11 +7,14 @@ Subcommands::
     python -m repro trace crc32 --first 20 --last 45
     python -m repro validate all
     python -m repro experiments fig1 ...       # figure regeneration
-    python -m repro limit-study                # Figure 8
+    python -m repro limit-study --jobs 4       # Figure 8
+    python -m repro cache stats                # artifact store maintenance
 
 `experiments` forwards to :mod:`repro.harness.experiments`; everything
 else is a thin veneer over the library API so each command doubles as a
-usage example.
+usage example. Commands that simulate accept ``--cache-dir`` (or honor
+``$REPRO_CACHE_DIR``) to persist intermediates in the content-addressed
+artifact store of :mod:`repro.exec`.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .exec import ArtifactStore, resolve_cache_dir
 from .harness.runner import Runner
 from .minigraph.selectors import (
     SlackProfileSelector, StructAll, StructBounded, StructNone,
@@ -46,8 +50,22 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _store_for(args) -> ArtifactStore:
+    cache_dir = resolve_cache_dir(getattr(args, "cache_dir", None),
+                                  getattr(args, "no_cache", False))
+    return ArtifactStore(cache_dir)
+
+
+def _add_cache_flags(parser) -> None:
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent artifact store directory "
+                             "(default: $REPRO_CACHE_DIR, else none)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="memory-only memoization")
+
+
 def _cmd_run(args) -> int:
-    runner = Runner()
+    runner = Runner(store=_store_for(args))
     config = config_by_name(args.config)
     full = config_by_name("full")
     base_full = runner.baseline(args.benchmark, full, args.input)
@@ -121,8 +139,44 @@ def _cmd_report(args) -> int:
 
 def _cmd_limit_study(args) -> int:
     from .analysis.limit_study import run_limit_study
-    result = run_limit_study(Runner(), subset_cap=args.cap)
+    store = _store_for(args)
+    if args.jobs > 1 and not store.persistent:
+        import tempfile
+        with tempfile.TemporaryDirectory(prefix="repro-exec-") as scratch:
+            result = run_limit_study(Runner(store=ArtifactStore(scratch)),
+                                     subset_cap=args.cap, jobs=args.jobs)
+    else:
+        result = run_limit_study(Runner(store=store), subset_cap=args.cap,
+                                 jobs=args.jobs)
     print(result.render())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if cache_dir is None:
+        print("no cache directory: pass --cache-dir or set "
+              "$REPRO_CACHE_DIR", file=sys.stderr)
+        return 1
+    store = ArtifactStore(cache_dir)
+    if args.action == "stats":
+        summary = store.disk_summary()
+        total_count = sum(e["count"] for e in summary.values())
+        total_bytes = sum(e["bytes"] for e in summary.values())
+        print(f"artifact store at {store.root}")
+        print(f"{'kind':<12s} {'count':>7s} {'bytes':>12s}")
+        for kind in sorted(summary):
+            entry = summary[kind]
+            print(f"{kind:<12s} {entry['count']:>7d} {entry['bytes']:>12d}")
+        print(f"{'total':<12s} {total_count:>7d} {total_bytes:>12d}")
+        print(f"code-version salt: {store.salt}")
+    elif args.action == "clear":
+        print(f"removed {store.clear()} artifacts from {store.root}")
+    else:  # prune
+        max_age = args.max_age_days * 86400.0 \
+            if args.max_age_days is not None else None
+        removed = store.prune(max_age=max_age, kinds=args.kinds or None)
+        print(f"pruned {removed} artifacts from {store.root}")
     return 0
 
 
@@ -149,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--selector", default="slack-profile",
                        choices=sorted(SELECTORS) + ["slack-dynamic",
                                                     "none"])
+    _add_cache_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser("trace", help="pipetrace a benchmark window")
@@ -176,7 +231,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="Figure 8 exhaustive study")
     p_limit.add_argument("--cap", type=int, default=None,
                          help="truncate the subset sweep")
+    p_limit.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the subset sweep")
+    _add_cache_flags(p_limit)
     p_limit.set_defaults(fn=_cmd_limit_study)
+
+    p_cache = sub.add_parser("cache",
+                             help="artifact store maintenance")
+    p_cache.add_argument("action", choices=["stats", "clear", "prune"])
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="store directory (default: $REPRO_CACHE_DIR)")
+    p_cache.add_argument("--max-age-days", type=float, default=None,
+                         help="prune: drop artifacts older than this")
+    p_cache.add_argument("--kinds", nargs="*", default=None,
+                         help="prune: restrict to artifact kinds "
+                              "(trace profile candidates plan baseline "
+                              "run run-dynamic)")
+    p_cache.set_defaults(fn=_cmd_cache)
 
     # "experiments" is documented here even though it is dispatched above.
     sub.add_parser("experiments",

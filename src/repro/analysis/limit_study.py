@@ -122,15 +122,48 @@ def _selector_mask(plan_sites: List[MGSite], sites: List[MGSite]) -> int:
     return mask
 
 
+def _parallel_subset_points(runner: Runner, bench: str, input_name: str,
+                            config: MachineConfig, n_candidates: int,
+                            n_subsets: int, baseline_ipc: float,
+                            jobs: int) -> List[SubsetPoint]:
+    """Fan the exhaustive subset sweep out over worker processes.
+
+    Each mask evaluation is one task; trace and candidate enumeration
+    are shared through the runner's persistent artifact store. Results
+    are ordered by mask, so the outcome is independent of ``jobs``.
+    """
+    from ..exec.dag import Scheduler, Task
+    from ..exec.tasks import run_subset, runner_params
+
+    base = runner_params(runner)
+    tasks = [
+        Task(id=f"subset/{bench}/{input_name}/{mask}", fn=run_subset,
+             args=(dict(base, bench=bench, input=input_name,
+                        config=config.name, n_candidates=n_candidates,
+                        mask=mask, baseline_ipc=baseline_ipc),),
+             stage="subset")
+        for mask in range(n_subsets)
+    ]
+    report = Scheduler(jobs=jobs).run(tasks)
+    points = [SubsetPoint(r["mask"], r["coverage"], r["relative_ipc"])
+              for r in report.results.values()]
+    points.sort(key=lambda p: p.mask)
+    return points
+
+
 def run_limit_study(runner: Optional[Runner] = None, bench: str = "adpcm",
                     input_name: str = "tiny",
                     config: Optional[MachineConfig] = None,
                     n_candidates: int = 10,
-                    subset_cap: Optional[int] = None) -> LimitStudyResult:
+                    subset_cap: Optional[int] = None,
+                    jobs: int = 1) -> LimitStudyResult:
     """Exhaustively evaluate mini-graph subsets and place the selectors.
 
     ``subset_cap`` truncates the exhaustive sweep (tests use small caps);
     the full Figure 8 sweep needs ``2 ** n_candidates`` evaluations.
+    With ``jobs > 1`` (and a persistent artifact store on ``runner`` and
+    a *named* machine configuration) the sweep fans out over worker
+    processes; results are identical to the serial path.
     """
     runner = runner or Runner()
     config = config or reduced_config()
@@ -139,15 +172,23 @@ def run_limit_study(runner: Optional[Runner] = None, bench: str = "adpcm",
     result = LimitStudyResult(bench, input_name, candidate_sites=sites)
 
     # Normalize against the fully-provisioned machine without mini-graphs.
-    from ..pipeline.config import full_config
+    from ..pipeline.config import NAMED_CONFIGS, full_config
     baseline_ipc = runner.baseline(bench, full_config(), input_name).ipc
 
     n_subsets = 1 << len(sites)
     if subset_cap is not None:
         n_subsets = min(n_subsets, subset_cap)
-    for mask in range(n_subsets):
-        result.points.append(_evaluate_subset(
-            runner, bench, input_name, config, sites, mask, baseline_ipc))
+    parallel_ok = (jobs > 1 and runner.store.persistent
+                   and config.name in NAMED_CONFIGS)
+    if parallel_ok:
+        result.points.extend(_parallel_subset_points(
+            runner, bench, input_name, config, n_candidates, n_subsets,
+            baseline_ipc, jobs))
+    else:
+        for mask in range(n_subsets):
+            result.points.append(_evaluate_subset(
+                runner, bench, input_name, config, sites, mask,
+                baseline_ipc))
 
     # Place each static selector: its pool restricted to the 10 candidates.
     profile = runner.slack_profile(bench, config, input_name)

@@ -1,0 +1,24 @@
+"""Parallel experiment engine: artifact store + DAG scheduler.
+
+``store`` and ``dag`` are dependency-free with respect to the harness and
+are imported eagerly; ``tasks`` and ``grid`` sit *above* the harness
+(they build :class:`~repro.harness.runner.Runner` instances inside worker
+processes) and are therefore only imported on demand to keep the import
+graph acyclic.
+"""
+
+from .dag import ExecReport, ProgressPrinter, Scheduler, Task, TaskError
+from .store import MISS, ArtifactStore, StoreStats, code_version, \
+    resolve_cache_dir
+
+__all__ = [
+    "ArtifactStore", "ExecReport", "MISS", "ProgressPrinter", "Scheduler",
+    "StoreStats", "Task", "TaskError", "code_version", "resolve_cache_dir",
+]
+
+
+def __getattr__(name):
+    if name in ("tasks", "grid"):
+        import importlib
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,197 @@
+"""Experiment grids as deduplicated task DAGs.
+
+A figure regeneration is a set of :class:`Point`\\ s — (benchmark ×
+selector × machine) timing runs plus their baselines. Each point expands
+into the pipeline chain ``trace → [profile] → candidates → plan →
+timing``, but the upstream nodes are shared: every selector on a
+benchmark reuses one trace and one candidate enumeration, every
+slack selector on the same profiling machine reuses one profile, and the
+full-machine baseline every figure normalizes against exists exactly
+once. :func:`build_tasks` performs that deduplication by constructing
+deterministic task ids from the parameters themselves.
+
+:func:`run_points` executes the DAG with a :class:`~repro.exec.dag.Scheduler`
+against the runner's *persistent* store; afterwards the (serial) driver
+replays the same calls through the runner and finds every artifact
+already present — parallelism without touching the drivers' logic, and
+bit-identical results for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import tasks as task_fns
+from .dag import ExecReport, Scheduler, Task
+
+Spec = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze(spec: Optional[Dict[str, Any]]) -> Spec:
+    return tuple(sorted((spec or {}).items(),
+                        key=lambda item: item[0]))
+
+
+def _thaw(spec: Spec) -> Dict[str, Any]:
+    return {key: value for key, value in spec}
+
+
+@dataclass(frozen=True)
+class Point:
+    """One experiment grid point (hashable, JSON-friendly fields only)."""
+
+    kind: str                      # "baseline" | "selector" | "slack-dynamic"
+    bench: str
+    config: str                    # named machine configuration
+    input_name: str = "train"
+    selector: Spec = ()            # Selector.spec() items
+    profile_config: Optional[str] = None
+    profile_input: Optional[str] = None
+    global_slack: bool = False
+    policy: Spec = ()              # slack-dynamic kwargs items
+
+
+def baseline_point(bench: str, config: str,
+                   input_name: str = "train") -> Point:
+    """A singleton (no mini-graphs) timing run."""
+    return Point("baseline", bench, config, input_name)
+
+
+def selector_point(bench: str, selector, config: str,
+                   input_name: str = "train",
+                   profile_config: Optional[str] = None,
+                   profile_input: Optional[str] = None,
+                   global_slack: bool = False) -> Point:
+    """``selector`` is a Selector instance, a spec dict, or a frozen spec."""
+    if isinstance(selector, tuple):
+        spec = selector
+    elif isinstance(selector, dict):
+        spec = _freeze(selector)
+    else:
+        spec = _freeze(selector.spec())
+    return Point("selector", bench, config, input_name, spec,
+                 profile_config, profile_input, global_slack)
+
+
+def dynamic_point(bench: str, config: str, input_name: str = "train",
+                  **policy_kwargs) -> Point:
+    """A Slack-Dynamic run (Struct-All pool + run-time policy kwargs)."""
+    return Point("slack-dynamic", bench, config, input_name,
+                 policy=_freeze(policy_kwargs))
+
+
+def build_tasks(points: Sequence[Point], runner) -> List[Task]:
+    """Expand points into a deduplicated trace→profile→plan→timing DAG."""
+    base = task_fns.runner_params(runner)
+    table: Dict[str, Task] = {}
+
+    def add(task: Task) -> str:
+        table.setdefault(task.id, task)
+        return task.id
+
+    def trace_task(bench: str, input_name: str) -> str:
+        spec = dict(base, bench=bench, input=input_name)
+        return add(Task(id=f"trace/{bench}/{input_name}",
+                        fn=task_fns.run_trace, args=(spec,), stage="trace"))
+
+    def candidates_task(bench: str, input_name: str) -> str:
+        spec = dict(base, bench=bench, input=input_name)
+        return add(Task(
+            id=f"candidates/{bench}/{input_name}/{runner.max_mg_size}",
+            fn=task_fns.run_candidates, args=(spec,),
+            deps=(trace_task(bench, input_name),), stage="candidates"))
+
+    def profile_task(bench: str, input_name: str, config: str,
+                     global_slack: bool) -> str:
+        spec = dict(base, bench=bench, input=input_name, config=config,
+                    global_slack=global_slack)
+        return add(Task(
+            id=f"profile/{bench}/{input_name}/{config}/{global_slack}",
+            fn=task_fns.run_profile, args=(spec,),
+            deps=(trace_task(bench, input_name),), stage="profile"))
+
+    def plan_task(point: Point) -> str:
+        selector = _thaw(point.selector)
+        profile_config = point.profile_config or "reduced"
+        profile_input = point.profile_input or point.input_name
+        deps = [trace_task(point.bench, point.input_name),
+                trace_task(point.bench, profile_input),
+                candidates_task(point.bench, point.input_name)]
+        if task_fns.selector_from_spec(selector).needs_profile:
+            deps.append(profile_task(point.bench, profile_input,
+                                     profile_config, point.global_slack))
+        spec = dict(base, bench=point.bench, input=point.input_name,
+                    selector=selector, profile_config=point.profile_config,
+                    profile_input=point.profile_input,
+                    global_slack=point.global_slack)
+        sel_tag = selector["kind"] if "variant" not in selector \
+            else f"{selector['kind']}-{selector['variant']}"
+        return add(Task(
+            id=f"plan/{point.bench}/{point.input_name}/{sel_tag}"
+               f"/{profile_config}/{profile_input}/{point.global_slack}",
+            fn=task_fns.run_plan, args=(spec,), deps=tuple(deps),
+            stage="plan"))
+
+    for point in points:
+        if point.kind == "baseline":
+            spec = dict(base, bench=point.bench, input=point.input_name,
+                        config=point.config)
+            add(Task(id=f"baseline/{point.bench}/{point.input_name}"
+                        f"/{point.config}",
+                     fn=task_fns.run_baseline, args=(spec,),
+                     deps=(trace_task(point.bench, point.input_name),),
+                     stage="baseline"))
+            continue
+        if point.kind == "slack-dynamic":
+            deps = (plan_task(selector_point(
+                        point.bench, {"kind": "slack-dynamic"},
+                        point.config, point.input_name)),
+                    trace_task(point.bench, point.input_name))
+            spec = dict(base, point_kind="slack-dynamic", bench=point.bench,
+                        input=point.input_name, config=point.config,
+                        policy=_thaw(point.policy))
+            policy_tag = ",".join(f"{k}={v}" for k, v in point.policy) \
+                or "default"
+            add(Task(id=f"timing/{point.bench}/{point.input_name}"
+                        f"/{point.config}/slack-dynamic/{policy_tag}",
+                     fn=task_fns.run_timing, args=(spec,), deps=deps,
+                     stage="timing"))
+            continue
+        # Static selector timing run.
+        selector = _thaw(point.selector)
+        deps = (plan_task(point),
+                trace_task(point.bench, point.input_name))
+        spec = dict(base, point_kind="selector", bench=point.bench,
+                    input=point.input_name, config=point.config,
+                    selector=selector, profile_config=point.profile_config,
+                    profile_input=point.profile_input,
+                    global_slack=point.global_slack)
+        sel_tag = selector["kind"] if "variant" not in selector \
+            else f"{selector['kind']}-{selector['variant']}"
+        add(Task(id=f"timing/{point.bench}/{point.input_name}"
+                    f"/{point.config}/{sel_tag}"
+                    f"/{point.profile_config}/{point.profile_input}"
+                    f"/{point.global_slack}",
+                 fn=task_fns.run_timing, args=(spec,), deps=deps,
+                 stage="timing"))
+    return list(table.values())
+
+
+def run_points(runner, points: Sequence[Point], jobs: int,
+               retries: int = 1, timeout: Optional[float] = None,
+               on_event: Optional[Callable[[Dict], None]] = None,
+               raise_on_failure: bool = False) -> ExecReport:
+    """Prewarm the runner's store by executing the point DAG in parallel.
+
+    Requires a persistent store when ``jobs > 1`` — worker processes can
+    only hand artifacts back through the shared cache directory.
+    """
+    if jobs > 1 and not runner.store.persistent:
+        raise ValueError(
+            "parallel execution needs a persistent store: construct the "
+            "Runner with ArtifactStore(cache_dir) or use --cache-dir")
+    scheduler = Scheduler(jobs=jobs, retries=retries, timeout=timeout,
+                          on_event=on_event)
+    return scheduler.run(build_tasks(points, runner),
+                         raise_on_failure=raise_on_failure)

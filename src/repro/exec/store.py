@@ -1,0 +1,302 @@
+"""Persistent content-addressed artifact store.
+
+Every expensive intermediate of the experiment pipeline — functional
+traces, slack profiles, candidate enumerations, selection plans, timing
+runs — is an *artifact*: a pickled Python object addressed by the SHA-256
+of its complete parameter set (benchmark, input, machine configuration,
+selector parameters, budget, ``max_mg_size``, ``max_insts``, …) plus a
+code-version salt derived from the simulator sources. Because the key
+covers everything the value depends on, a key either names exactly one
+value or nothing: there is no invalidation protocol, only misses.
+
+The store is two-layered. An in-memory dict gives object *identity*
+within a process (``runner.trace(b) is runner.trace(b)``), preserving the
+old ``Runner`` memoization contract; an optional on-disk layer under
+``root`` persists artifacts across processes and interpreter restarts and
+is what lets scheduler worker processes share upstream work. Disk writes
+are atomic (temp file + ``os.replace``) so a crashed or killed worker can
+never publish a torn artifact, and unreadable payloads are treated as
+misses and deleted rather than propagated.
+
+Layout on disk::
+
+    <root>/ab/<sha256>.pkl    # pickled payload  (sharded by 2-hex prefix)
+    <root>/ab/<sha256>.json   # sidecar: kind, params, created, size
+
+The sidecars make the store introspectable without unpickling anything;
+``repro cache stats|clear|prune`` is built on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Sentinel returned by :meth:`ArtifactStore.get` on a miss, so that
+#: ``None`` remains a storable value.
+MISS = object()
+
+#: Subpackages whose sources determine artifact values. ``harness`` and
+#: ``exec`` are deliberately excluded: they orchestrate, they don't
+#: change what a trace/plan/timing run contains.
+_SALT_PACKAGES = ("isa", "pipeline", "minigraph", "workloads", "analysis")
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Salt for artifact keys: SHA-256 over the simulator sources.
+
+    Any edit to the ISA, pipeline model, mini-graph machinery, workload
+    builders, or analysis code changes the salt and silently invalidates
+    every cached artifact — stale results can never be served after a
+    code change.
+    """
+    global _code_version
+    if _code_version is None:
+        digest = hashlib.sha256()
+        pkg_root = Path(__file__).resolve().parent.parent
+        for package in _SALT_PACKAGES:
+            for path in sorted((pkg_root / package).glob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+@dataclass
+class StoreStats:
+    """Lookup counters for one :class:`ArtifactStore` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt_dropped: int = 0
+    by_kind: Dict[str, List[int]] = field(default_factory=dict)  # [hit, miss]
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record(self, kind: str, hit: bool) -> None:
+        entry = self.by_kind.setdefault(kind, [0, 0])
+        entry[0 if hit else 1] += 1
+
+    def render(self) -> str:
+        parts = [f"{self.hits} hits / {self.lookups} lookups "
+                 f"({self.hit_rate:.1%})",
+                 f"{self.puts} writes"]
+        if self.corrupt_dropped:
+            parts.append(f"{self.corrupt_dropped} corrupt dropped")
+        detail = ", ".join(
+            f"{kind} {hit}/{hit + miss}"
+            for kind, (hit, miss) in sorted(self.by_kind.items()))
+        line = "[cache] " + ", ".join(parts)
+        return f"{line}\n[cache] by kind: {detail}" if detail else line
+
+
+def resolve_cache_dir(arg: Optional[str],
+                      no_cache: bool = False) -> Optional[str]:
+    """CLI policy for the disk layer: flag > ``$REPRO_CACHE_DIR`` > none."""
+    if no_cache:
+        return None
+    return arg or os.environ.get("REPRO_CACHE_DIR") or None
+
+
+class ArtifactStore:
+    """Two-layer (memory + optional disk) content-addressed cache.
+
+    ``root=None`` gives a memory-only store with the exact semantics of
+    the old in-``Runner`` memo dicts. With a ``root``, artifacts also
+    persist to disk and are shared with any process pointed at the same
+    directory.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 salt: Optional[str] = None):
+        self.root = Path(root).expanduser() if root else None
+        self.salt = salt if salt is not None else code_version()
+        self._memory: Dict[str, Any] = {}
+        self.stats = StoreStats()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    # -- keys -----------------------------------------------------------------
+
+    def key(self, kind: str, params: Dict[str, Any]) -> str:
+        """Content address: SHA-256 of kind + canonical params + salt.
+
+        ``params`` must be JSON-serializable; the canonical form sorts
+        keys so dict construction order cannot perturb the address.
+        """
+        canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+        blob = f"{kind}|{self.salt}|{canonical}".encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _payload_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _sidecar_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup / insert ------------------------------------------------------
+
+    def get(self, key: str, kind: str = "?") -> Any:
+        """The stored value, or :data:`MISS`.
+
+        A disk payload that fails to unpickle (torn write from a killed
+        process, version skew, bit rot) is deleted and reported as a
+        miss: corruption degrades to recomputation, never to an error.
+        """
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            self.stats.record(kind, hit=True)
+            return self._memory[key]
+        if self.root is not None:
+            path = self._payload_path(key)
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                pass
+            except Exception:
+                self.stats.corrupt_dropped += 1
+                for stale in (path, self._sidecar_path(key)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+            else:
+                self._memory[key] = value
+                self.stats.disk_hits += 1
+                self.stats.record(kind, hit=True)
+                return value
+        self.stats.misses += 1
+        self.stats.record(kind, hit=False)
+        return MISS
+
+    def put(self, key: str, value: Any, kind: str = "?",
+            params: Optional[Dict[str, Any]] = None) -> None:
+        """Publish an artifact (memory always; disk atomically if enabled)."""
+        self._memory[key] = value
+        self.stats.puts += 1
+        if self.root is None:
+            return
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        shard = self.root / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(self._payload_path(key), payload)
+        sidecar = json.dumps({
+            "kind": kind,
+            "params": params or {},
+            "created": time.time(),
+            "size": len(payload),
+        }, sort_keys=True).encode()
+        self._atomic_write(self._sidecar_path(key), sidecar)
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=".tmp-", suffix=".part")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(self, kind: str, params: Dict[str, Any],
+                       compute: Callable[[], Any]) -> Any:
+        """Memoize ``compute()`` under the content address of ``params``."""
+        key = self.key(kind, params)
+        value = self.get(key, kind)
+        if value is MISS:
+            value = compute()
+            self.put(key, value, kind, params)
+        return value
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _sidecars(self) -> Iterable[Tuple[str, Dict[str, Any]]]:
+        if self.root is None:
+            return
+        for sidecar in sorted(self.root.glob("??/*.json")):
+            try:
+                meta = json.loads(sidecar.read_text())
+            except (OSError, ValueError):
+                meta = {}
+            yield sidecar.stem, meta
+
+    def disk_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind ``{count, bytes}`` from the sidecar index."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for _key, meta in self._sidecars():
+            kind = meta.get("kind", "?")
+            entry = summary.setdefault(kind, {"count": 0, "bytes": 0})
+            entry["count"] += 1
+            entry["bytes"] += int(meta.get("size", 0))
+        return summary
+
+    def _delete(self, key: str) -> None:
+        for path in (self._payload_path(key), self._sidecar_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._memory.pop(key, None)
+
+    def clear(self) -> int:
+        """Drop every artifact (memory and disk); returns artifacts removed."""
+        removed = len(self._memory)
+        self._memory.clear()
+        if self.root is not None:
+            removed = 0
+            for key, _meta in list(self._sidecars()):
+                self._delete(key)
+                removed += 1
+            # Payloads whose sidecar was already lost.
+            for orphan in list(self.root.glob("??/*.pkl")):
+                orphan.unlink()
+                removed += 1
+        return removed
+
+    def prune(self, max_age: Optional[float] = None,
+              kinds: Optional[Iterable[str]] = None) -> int:
+        """Delete disk artifacts older than ``max_age`` seconds / by kind."""
+        if self.root is None:
+            return 0
+        kind_set = set(kinds) if kinds is not None else None
+        cutoff = time.time() - max_age if max_age is not None else None
+        removed = 0
+        for key, meta in list(self._sidecars()):
+            if kind_set is not None and meta.get("kind") not in kind_set:
+                continue
+            if cutoff is not None and meta.get("created", 0) > cutoff:
+                continue
+            self._delete(key)
+            removed += 1
+        return removed

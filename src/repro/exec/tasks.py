@@ -1,0 +1,163 @@
+"""Picklable task payloads executed inside scheduler worker processes.
+
+Every function here takes one plain-dict ``spec`` (JSON-ish: strings,
+numbers, bools, lists) and returns a *small* summary dict; the real
+artifact lands in the on-disk :class:`~repro.exec.store.ArtifactStore`
+shared between the parent and all workers, which is how downstream tasks
+(and the parent's final reporting pass) pick it up without shipping
+multi-megabyte traces over the result pipe.
+
+Specs carry the runner parameters (``budget``, ``max_mg_size``,
+``warm_caches``, ``max_insts``, ``cache_dir``); each worker process keeps
+one :class:`~repro.harness.runner.Runner` per distinct parameter set so
+that repeated tasks in the same worker also share the in-memory layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .store import ArtifactStore
+
+# Per-process caches (workers are forked/fresh processes; the parent's
+# copies are only used by the serial degradation path).
+_RUNNERS: Dict[Tuple, Any] = {}
+_SITES: Dict[Tuple, list] = {}
+
+
+def runner_params(runner) -> Dict[str, Any]:
+    """The spec fragment that reconstructs ``runner`` in a worker."""
+    return {
+        "budget": runner.budget,
+        "max_mg_size": runner.max_mg_size,
+        "warm_caches": runner.warm_caches,
+        "max_insts": runner.max_insts,
+        "cache_dir": str(runner.store.root) if runner.store.persistent
+        else None,
+    }
+
+
+def _runner(spec: Dict[str, Any]):
+    from ..harness.runner import Runner
+    key = (spec["budget"], spec["max_mg_size"], spec["warm_caches"],
+           spec["max_insts"], spec["cache_dir"])
+    if key not in _RUNNERS:
+        _RUNNERS[key] = Runner(
+            budget=spec["budget"], max_mg_size=spec["max_mg_size"],
+            warm_caches=spec["warm_caches"], max_insts=spec["max_insts"],
+            store=ArtifactStore(spec["cache_dir"]))
+    return _RUNNERS[key]
+
+
+def _config(name: str):
+    from ..pipeline.config import config_by_name
+    return config_by_name(name)
+
+
+def selector_from_spec(spec: Dict[str, Any]):
+    """Inverse of :meth:`repro.minigraph.selectors.Selector.spec`."""
+    from ..minigraph import selectors
+    kind = spec["kind"]
+    simple = {"struct-all": selectors.StructAll,
+              "struct-none": selectors.StructNone,
+              "struct-bounded": selectors.StructBounded,
+              "slack-dynamic": selectors.SlackDynamicSelector}
+    if kind in simple:
+        return simple[kind]()
+    if kind == "slack-profile":
+        return selectors.SlackProfileSelector(
+            variant=spec.get("variant", "full"),
+            unprofiled_ok=spec.get("unprofiled_ok", True),
+            measured_latencies=spec.get("measured_latencies", False))
+    if kind == "fixed-set":
+        return selectors.FixedSetSelector(set(spec["allowed"]))
+    raise ValueError(f"unknown selector spec {spec!r}")
+
+
+# -- pipeline-stage tasks ------------------------------------------------------
+
+def run_trace(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Materialize the functional trace artifact for one benchmark."""
+    trace = _runner(spec).trace(spec["bench"], spec["input"])
+    return {"records": len(trace.records)}
+
+
+def run_candidates(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Materialize the candidate enumeration artifact."""
+    candidates = _runner(spec).candidates(spec["bench"], spec["input"])
+    return {"candidates": len(candidates)}
+
+
+def run_baseline(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Singleton timing run on the named machine configuration."""
+    stats = _runner(spec).baseline(spec["bench"], _config(spec["config"]),
+                                   spec["input"])
+    return {"ipc": stats.ipc}
+
+
+def run_profile(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Slack-profiling run (local or global slack)."""
+    profile = _runner(spec).slack_profile(
+        spec["bench"], _config(spec["config"]), spec["input"],
+        global_slack=spec.get("global_slack", False))
+    return {"entries": len(profile)}
+
+
+def run_plan(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Selection plan for one (benchmark, selector) pair."""
+    runner = _runner(spec)
+    plan = runner.plan(
+        spec["bench"], selector_from_spec(spec["selector"]),
+        input_name=spec["input"],
+        profile_config=_config(spec["profile_config"])
+        if spec.get("profile_config") else None,
+        profile_input=spec.get("profile_input"),
+        global_slack=spec.get("global_slack", False))
+    return {"templates": plan.n_templates}
+
+
+def run_timing(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Timing run for one experiment grid point."""
+    runner = _runner(spec)
+    if spec["point_kind"] == "slack-dynamic":
+        run = runner.run_slack_dynamic(
+            spec["bench"], _config(spec["config"]),
+            input_name=spec["input"],
+            **dict(spec.get("policy") or {}))
+    elif spec["point_kind"] == "baseline":
+        stats = runner.baseline(spec["bench"], _config(spec["config"]),
+                                spec["input"])
+        return {"ipc": stats.ipc, "coverage": 0.0}
+    else:
+        run = runner.run_selector(
+            spec["bench"], selector_from_spec(spec["selector"]),
+            _config(spec["config"]), input_name=spec["input"],
+            profile_config=_config(spec["profile_config"])
+            if spec.get("profile_config") else None,
+            profile_input=spec.get("profile_input"),
+            global_slack=spec.get("global_slack", False))
+    return {"ipc": run.ipc, "coverage": run.coverage}
+
+
+# -- limit-study tasks ---------------------------------------------------------
+
+def _limit_sites(runner, bench: str, input_name: str, count: int):
+    from ..analysis.limit_study import top_nonoverlapping_sites
+    key = (id(runner), bench, input_name, count)
+    if key not in _SITES:
+        _SITES[key] = top_nonoverlapping_sites(runner, bench, input_name,
+                                               count)
+    return _SITES[key]
+
+
+def run_subset(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one limit-study subset mask (Figure 8 scatter point)."""
+    from ..analysis.limit_study import _evaluate_subset
+    runner = _runner(spec)
+    sites = _limit_sites(runner, spec["bench"], spec["input"],
+                         spec["n_candidates"])
+    point = _evaluate_subset(runner, spec["bench"], spec["input"],
+                             _config(spec["config"]), sites, spec["mask"],
+                             spec["baseline_ipc"])
+    return {"mask": point.mask, "coverage": point.coverage,
+            "relative_ipc": point.relative_ipc}

@@ -281,10 +281,11 @@ def fig8(runner: Runner, benches) -> ExperimentResult:
     """Exhaustive 1024-subset limit study on the ADPCM coder (§5.4).
 
     The benchmark population argument is unused — the study is defined on
-    one short-running program, as in the paper.
+    one short-running program, as in the paper. Parallelized over subset
+    masks when the runner carries ``jobs > 1``.
     """
     from ..analysis.limit_study import run_limit_study
-    study = run_limit_study(runner)
+    study = run_limit_study(runner, jobs=runner.jobs)
     result = ExperimentResult("FIG8 limit study (adpcm)")
     result.notes.append(study.render())
     return result
@@ -299,6 +300,71 @@ EXPERIMENTS = {
     "fig9-machines": fig9_machines,
     "fig9-inputs": fig9_inputs,
 }
+
+
+# ---------------------------------------------------------------------------
+# Grid declarations: the same points the drivers above walk serially,
+# expressed as repro.exec grid Points so --jobs can prewarm the artifact
+# store in parallel before the driver replays them from cache.
+# ---------------------------------------------------------------------------
+
+def grid_points(name: str, benches) -> list:
+    """The (bench × selector × machine) points behind one experiment."""
+    from ..exec.grid import baseline_point, dynamic_point, selector_point
+    points = []
+    names = [b.name for b in benches]
+    if name == "fig8":
+        return points  # run_limit_study schedules its own subset tasks
+    for bench in names:
+        points.append(baseline_point(bench, "full"))
+
+    def selectors_on(configs, selectors):
+        for bench in names:
+            for config in configs:
+                for selector in selectors:
+                    points.append(selector_point(bench, selector, config))
+
+    if name == "fig1":
+        points.extend(baseline_point(b, "reduced") for b in names)
+        selectors_on(["reduced"], [StructAll(), StructNone(),
+                                   SlackProfileSelector()])
+    elif name == "fig3":
+        points.extend(baseline_point(b, "reduced") for b in names)
+        selectors_on(["reduced", "full"], [StructAll(), StructNone()])
+    elif name == "fig6":
+        for bench in names:
+            for config in ("reduced", "full"):
+                points.append(baseline_point(bench, config))
+                points.append(dynamic_point(bench, config, mode="full",
+                                            outlining_penalty=True))
+        selectors_on(["reduced", "full"],
+                     [StructAll(), StructNone(), StructBounded(),
+                      SlackProfileSelector()])
+    elif name == "fig7":
+        selectors_on(["reduced"],
+                     [StructAll(), StructNone(),
+                      SlackProfileSelector("sial"),
+                      SlackProfileSelector("delay"),
+                      SlackProfileSelector("full")])
+        for bench in names:
+            for mode, penalty in (("full", True), ("full", False),
+                                  ("delay", False), ("sial", False)):
+                points.append(dynamic_point(bench, "reduced", mode=mode,
+                                            outlining_penalty=penalty))
+    elif name == "fig9-machines":
+        for bench in names:
+            for trainer in ("reduced", "cross-2way", "cross-8way",
+                            "cross-dmem4"):
+                points.append(selector_point(bench, SlackProfileSelector(),
+                                             "reduced",
+                                             profile_config=trainer))
+    elif name == "fig9-inputs":
+        for bench in names:
+            for profile_input in ("train", "ref"):
+                points.append(selector_point(bench, SlackProfileSelector(),
+                                             "reduced",
+                                             profile_input=profile_input))
+    return points
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -318,24 +384,71 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="draw terminal S-curve plots per group")
     parser.add_argument("--budget", type=int, default=512,
                         help="MGT template budget")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment grid "
+                             "(1 = serial in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent artifact store directory "
+                             "(default: $REPRO_CACHE_DIR, else none)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir/$REPRO_CACHE_DIR; "
+                             "memory-only memoization")
+    parser.add_argument("--save-json", default=None, metavar="PATH",
+                        help="archive the regenerated curves as JSON "
+                             "(see repro.harness.reporting)")
     args = parser.parse_args(argv)
+
+    import sys as _sys
+
+    from ..exec import ArtifactStore, ProgressPrinter, resolve_cache_dir
+    from ..exec.grid import run_points
+
+    cache_dir = resolve_cache_dir(args.cache_dir, args.no_cache)
+    scratch = None
+    if args.jobs > 1 and cache_dir is None:
+        # Workers hand artifacts back through the store, so parallel
+        # execution needs a disk layer even when the user asked for no
+        # persistent cache; use a run-scoped scratch directory.
+        import tempfile
+        scratch = tempfile.TemporaryDirectory(prefix="repro-exec-")
+        cache_dir = scratch.name
 
     benches = _population(args.suites, args.limit,
                           include_synthetic=not args.no_synthetic)
-    runner = Runner(budget=args.budget)
+    runner = Runner(budget=args.budget, store=ArtifactStore(cache_dir),
+                    jobs=args.jobs)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    for name in names:
-        start = time.time()
-        result = EXPERIMENTS[name](runner, benches)
-        print(result.render(full_tables=args.full_tables))
-        if args.plot:
-            from .plot import plot_scurves
-            for group, curves in result.groups.items():
-                print()
-                print(plot_scurves(curves, title=group, reference=1.0))
-        print(f"[{name}: {time.time() - start:.1f}s, "
-              f"{len(benches)} programs]\n")
+    results = []
+    try:
+        for name in names:
+            start = time.time()
+            if args.jobs > 1:
+                points = grid_points(name, benches)
+                if points:
+                    report = run_points(runner, points, jobs=args.jobs,
+                                        on_event=ProgressPrinter())
+                    print(report.render(), file=_sys.stderr)
+            result = EXPERIMENTS[name](runner, benches)
+            results.append(result)
+            print(result.render(full_tables=args.full_tables))
+            if args.plot:
+                from .plot import plot_scurves
+                for group, curves in result.groups.items():
+                    print()
+                    print(plot_scurves(curves, title=group, reference=1.0))
+            print(f"[{name}: {time.time() - start:.1f}s, "
+                  f"{len(benches)} programs]\n")
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    if runner.store.persistent and scratch is None:
+        print(runner.store.stats.render(), file=_sys.stderr)
+    if args.save_json:
+        from .reporting import save_results
+        path = save_results(results, args.save_json)
+        print(f"[saved {len(results)} experiment(s) to {path}]",
+              file=_sys.stderr)
     return 0
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from .experiments import ExperimentResult
 from .scurve import SCurve
@@ -38,8 +38,15 @@ def experiment_to_dict(result: ExperimentResult) -> Dict:
     }
 
 
-def dict_to_experiment(payload: Dict) -> ExperimentResult:
-    """Inverse of :func:`experiment_to_dict` (summaries are recomputed)."""
+def experiment_from_dict(payload: Dict) -> ExperimentResult:
+    """Inverse of :func:`experiment_to_dict` (summaries are recomputed).
+
+    Round-trip property: ``experiment_from_dict(experiment_to_dict(r))``
+    preserves name, notes, group order, curve labels, and per-program
+    values; derived statistics (mean/median/min/max) are recomputed from
+    the values and will match the archived ones, which are retained in
+    the JSON purely for human diffing.
+    """
     result = ExperimentResult(payload["name"])
     result.notes = list(payload.get("notes", ()))
     for group, curves in payload.get("groups", {}).items():
@@ -47,6 +54,10 @@ def dict_to_experiment(payload: Dict) -> ExperimentResult:
             SCurve(entry["label"], entry["by_program"]) for entry in curves
         ]
     return result
+
+
+#: Backwards-compatible alias for :func:`experiment_from_dict`.
+dict_to_experiment = experiment_from_dict
 
 
 def save_results(results: List[ExperimentResult],
@@ -61,7 +72,28 @@ def save_results(results: List[ExperimentResult],
 def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
     """Read experiments back from a JSON archive."""
     payload = json.loads(Path(path).read_text())
-    return [dict_to_experiment(entry) for entry in payload]
+    return [experiment_from_dict(entry) for entry in payload]
+
+
+def load_experiment(path: Union[str, Path],
+                    name: Optional[str] = None) -> ExperimentResult:
+    """One experiment from an archive, by name (or the only one).
+
+    Lets archived regenerations (``--save-json``) be reloaded and diffed
+    against fresh runs without indexing into the full list.
+    """
+    results = load_results(path)
+    if name is None:
+        if len(results) != 1:
+            raise ValueError(
+                f"{path} holds {len(results)} experiments; pass name=")
+        return results[0]
+    for result in results:
+        if result.name == name:
+            return result
+    known = [result.name for result in results]
+    raise KeyError(f"no experiment named {name!r} in {path} "
+                   f"(found {known})")
 
 
 def markdown_table(result: ExperimentResult, group: str) -> str:

@@ -1,9 +1,16 @@
 """Experiment runner: composes tracing, profiling, selection, and timing.
 
 A :class:`Runner` memoizes every expensive intermediate (functional traces,
-slack profiles, candidate enumerations, selection plans) so that the
-figure-regeneration experiments share work. All methods are keyed by
-benchmark name, input set, and machine configuration name.
+slack profiles, candidate enumerations, selection plans, timing runs)
+through a content-addressed :class:`~repro.exec.store.ArtifactStore`.
+Every memo key includes *all* parameters the value depends on —
+benchmark, input, machine configuration (full sizing, not just the name),
+selector parameters, ``budget``, ``max_mg_size``, ``max_insts``,
+``warm_caches`` — plus a code-version salt, so a key can never alias two
+different results. By default the store is memory-only and dies with the
+process (the historical behavior); pass ``store=ArtifactStore(cache_dir)``
+to persist artifacts across runs and share them with scheduler workers
+(see :mod:`repro.exec`).
 
 The mini-graph flow for one (program, selector, machine) run:
 
@@ -18,9 +25,10 @@ The mini-graph flow for one (program, selector, machine) run:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
+from ..exec.store import ArtifactStore
 from ..isa.interp import Trace, execute
 from ..minigraph.candidates import Candidate, enumerate_candidates
 from ..minigraph.dynamic import MiniGraphPolicy, SlackDynamicPolicy
@@ -37,9 +45,15 @@ DEFAULT_INPUT = "train"
 DEFAULT_MAX_INSTS = 2_000_000
 
 
-@dataclass
+@dataclass(frozen=True)
 class SelectorRun:
-    """Outcome of one selector × machine × program timing run."""
+    """Outcome of one selector × machine × program timing run.
+
+    Frozen: results are placed in the artifact store and shared between
+    callers, so no field may be rebound after construction. Display-name
+    variants (e.g. ``ideal-slack-dynamic-sial``) are passed into the
+    constructor via :meth:`Runner.run_selector`'s ``label``.
+    """
 
     program: str
     selector: str
@@ -56,21 +70,28 @@ class SelectorRun:
         return self.stats.coverage
 
 
+def _config_params(config: MachineConfig) -> Dict:
+    """The complete machine sizing, not just the name: a custom
+    ``config.scaled(...)`` must never collide with its namesake."""
+    return asdict(config)
+
+
 class Runner:
     """Caching orchestrator for all paper experiments."""
 
     def __init__(self, budget: int = 512, max_mg_size: int = 4,
                  warm_caches: bool = True,
-                 max_insts: int = DEFAULT_MAX_INSTS):
+                 max_insts: int = DEFAULT_MAX_INSTS,
+                 store: Optional[ArtifactStore] = None,
+                 jobs: int = 1):
         self.budget = budget
         self.max_mg_size = max_mg_size
         self.warm_caches = warm_caches
         self.max_insts = max_insts
-        self._traces: Dict[Tuple[str, str], Trace] = {}
-        self._profiles: Dict[Tuple[str, str, str], SlackProfile] = {}
-        self._baselines: Dict[Tuple[str, str, str], RunStats] = {}
-        self._candidates: Dict[Tuple[str, str, int], List[Candidate]] = {}
-        self._plans: Dict[Tuple, MiniGraphPlan] = {}
+        self.store = store if store is not None else ArtifactStore()
+        #: Degree of process fan-out used by drivers that schedule their
+        #: own work through :mod:`repro.exec` (e.g. the limit study).
+        self.jobs = jobs
 
     # -- benchmark helpers -----------------------------------------------------
 
@@ -80,23 +101,28 @@ class Runner:
     def trace(self, bench, input_name: str = DEFAULT_INPUT) -> Trace:
         """Functional (singleton) trace of a benchmark."""
         bench = self._bench(bench)
-        key = (bench.name, input_name)
-        if key not in self._traces:
+        params = {"bench": bench.name, "input": input_name,
+                  "max_insts": self.max_insts}
+
+        def compute() -> Trace:
             program = bench.program(input_name)
-            self._traces[key] = execute(program, max_insts=self.max_insts,
-                                        input_name=input_name)
-        return self._traces[key]
+            return execute(program, max_insts=self.max_insts,
+                           input_name=input_name)
+
+        return self.store.get_or_compute("trace", params, compute)
 
     def candidates(self, bench,
                    input_name: str = DEFAULT_INPUT) -> List[Candidate]:
         """Memoized candidate enumeration for a benchmark program."""
         bench = self._bench(bench)
-        key = (bench.name, input_name, self.max_mg_size)
-        if key not in self._candidates:
+        params = {"bench": bench.name, "input": input_name,
+                  "max_mg_size": self.max_mg_size}
+
+        def compute() -> List[Candidate]:
             program = bench.program(input_name)
-            self._candidates[key] = enumerate_candidates(
-                program, max_size=self.max_mg_size)
-        return self._candidates[key]
+            return enumerate_candidates(program, max_size=self.max_mg_size)
+
+        return self.store.get_or_compute("candidates", params, compute)
 
     # -- timing runs --------------------------------------------------------------
 
@@ -104,15 +130,20 @@ class Runner:
                  input_name: str = DEFAULT_INPUT) -> RunStats:
         """Singleton (no mini-graphs) timing run."""
         bench = self._bench(bench)
-        key = (bench.name, input_name, config.name)
-        if key not in self._baselines:
+        params = {"bench": bench.name, "input": input_name,
+                  "config": _config_params(config),
+                  "warm_caches": self.warm_caches,
+                  "max_insts": self.max_insts}
+
+        def compute() -> RunStats:
             trace = self.trace(bench, input_name)
             core = OoOCore(config, trace.records,
                            warm_caches=self.warm_caches)
             stats = core.run()
             stats.program_name = bench.name
-            self._baselines[key] = stats
-        return self._baselines[key]
+            return stats
+
+        return self.store.get_or_compute("baseline", params, compute)
 
     def slack_profile(self, bench, config: MachineConfig,
                       input_name: str = DEFAULT_INPUT,
@@ -124,8 +155,13 @@ class Runner:
         alternative the paper argues against.
         """
         bench = self._bench(bench)
-        key = (bench.name, input_name, config.name, global_slack)
-        if key not in self._profiles:
+        params = {"bench": bench.name, "input": input_name,
+                  "config": _config_params(config),
+                  "global_slack": global_slack,
+                  "warm_caches": self.warm_caches,
+                  "max_insts": self.max_insts}
+
+        def compute() -> SlackProfile:
             trace = self.trace(bench, input_name)
             if global_slack:
                 from ..analysis.global_slack import GlobalSlackCollector
@@ -140,9 +176,10 @@ class Runner:
                            warm_caches=self.warm_caches)
             stats = core.run()
             stats.program_name = bench.name
-            self._profiles[key] = collector.global_profile() \
-                if global_slack else collector.profile()
-        return self._profiles[key]
+            return collector.global_profile() if global_slack \
+                else collector.profile()
+
+        return self.store.get_or_compute("profile", params, compute)
 
     def plan(self, bench, selector: Selector,
              input_name: str = DEFAULT_INPUT,
@@ -160,9 +197,16 @@ class Runner:
         profile_input = profile_input or input_name
         if profile_config is None:
             profile_config = config_by_name("reduced")
-        key = (bench.name, selector.name, input_name, profile_config.name,
-               profile_input, self.budget, self.max_mg_size, global_slack)
-        if key not in self._plans:
+        params = {"bench": bench.name, "selector": selector.spec(),
+                  "input": input_name,
+                  "profile_config": _config_params(profile_config),
+                  "profile_input": profile_input,
+                  "budget": self.budget, "max_mg_size": self.max_mg_size,
+                  "global_slack": global_slack,
+                  "warm_caches": self.warm_caches,
+                  "max_insts": self.max_insts}
+
+        def compute() -> MiniGraphPlan:
             profile = None
             if selector.needs_profile:
                 profile = self.slack_profile(bench, profile_config,
@@ -177,11 +221,12 @@ class Runner:
                 # same instruction sequence; candidate enumeration runs on
                 # the target program with frequencies from the profile run.
                 freq_counts = self._align_counts(program, freq_counts)
-            self._plans[key] = make_plan(
+            return make_plan(
                 program, freq_counts, selector, profile=profile,
                 budget=self.budget, max_size=self.max_mg_size,
                 candidates=self.candidates(bench, input_name))
-        return self._plans[key]
+
+        return self.store.get_or_compute("plan", params, compute)
 
     @staticmethod
     def _align_counts(program, counts: List[int]) -> List[int]:
@@ -195,9 +240,42 @@ class Runner:
                      profile_config: Optional[MachineConfig] = None,
                      profile_input: Optional[str] = None,
                      policy: Optional[MiniGraphPolicy] = None,
-                     global_slack: bool = False) -> SelectorRun:
-        """Full pipeline for one (program, selector, machine) point."""
+                     global_slack: bool = False,
+                     label: Optional[str] = None) -> SelectorRun:
+        """Full pipeline for one (program, selector, machine) point.
+
+        Memoized through the store unless a caller-supplied ``policy``
+        carries state the key cannot capture.
+        """
         bench = self._bench(bench)
+        if policy is not None:
+            return self._run_selector(bench, selector, config, input_name,
+                                      profile_config, profile_input, policy,
+                                      global_slack, label)
+        # Key on the *resolved* profiling parameters (the same defaults
+        # plan() applies) so an explicit profile_config=reduced_config()
+        # and the default share one artifact.
+        resolved_profile = profile_config if profile_config is not None \
+            else config_by_name("reduced")
+        params = {"bench": bench.name, "selector": selector.spec(),
+                  "config": _config_params(config),
+                  "input": input_name,
+                  "profile_config": _config_params(resolved_profile),
+                  "profile_input": profile_input or input_name,
+                  "budget": self.budget, "max_mg_size": self.max_mg_size,
+                  "global_slack": global_slack,
+                  "warm_caches": self.warm_caches,
+                  "max_insts": self.max_insts,
+                  "label": label}
+        return self.store.get_or_compute(
+            "run", params,
+            lambda: self._run_selector(bench, selector, config, input_name,
+                                       profile_config, profile_input, None,
+                                       global_slack, label))
+
+    def _run_selector(self, bench, selector, config, input_name,
+                      profile_config, profile_input, policy, global_slack,
+                      label) -> SelectorRun:
         plan = self.plan(bench, selector, input_name=input_name,
                          profile_config=profile_config,
                          profile_input=profile_input,
@@ -208,8 +286,8 @@ class Runner:
                        warm_caches=self.warm_caches)
         stats = core.run()
         stats.program_name = bench.name
-        return SelectorRun(bench.name, selector.name, config.name, stats,
-                           plan)
+        return SelectorRun(bench.name, label or selector.name, config.name,
+                           stats, plan)
 
     def run_slack_dynamic(self, bench, config: MachineConfig,
                           mode: str = "full",
@@ -218,12 +296,24 @@ class Runner:
                           **policy_kwargs) -> SelectorRun:
         """Slack-Dynamic: Struct-All pool + run-time disabling policy."""
         from ..minigraph.selectors import SlackDynamicSelector
-        policy = SlackDynamicPolicy(mode=mode,
-                                    outlining_penalty=outlining_penalty,
-                                    **policy_kwargs)
-        run = self.run_selector(bench, SlackDynamicSelector(), config,
-                                input_name=input_name, policy=policy)
+        bench = self._bench(bench)
         suffix = "" if mode == "full" else f"-{mode}"
         ideal = "" if outlining_penalty else "ideal-"
-        run.selector = f"{ideal}slack-dynamic{suffix}"
-        return run
+        name = f"{ideal}slack-dynamic{suffix}"
+        params = {"bench": bench.name, "config": _config_params(config),
+                  "input": input_name, "mode": mode,
+                  "outlining_penalty": outlining_penalty,
+                  "policy": dict(sorted(policy_kwargs.items())),
+                  "budget": self.budget, "max_mg_size": self.max_mg_size,
+                  "warm_caches": self.warm_caches,
+                  "max_insts": self.max_insts}
+
+        def compute() -> SelectorRun:
+            policy = SlackDynamicPolicy(mode=mode,
+                                        outlining_penalty=outlining_penalty,
+                                        **policy_kwargs)
+            return self._run_selector(bench, SlackDynamicSelector(), config,
+                                      input_name, None, None, policy,
+                                      False, name)
+
+        return self.store.get_or_compute("run-dynamic", params, compute)

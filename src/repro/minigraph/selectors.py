@@ -42,6 +42,16 @@ class Selector:
         """Whether a potentially-serializing site joins the pool."""
         raise NotImplementedError
 
+    def spec(self) -> dict:
+        """Canonical JSON-serializable parameter set.
+
+        Used both as a content-address component (every parameter that
+        can change the selection must appear) and to reconstruct the
+        selector in scheduler worker processes
+        (:func:`repro.exec.tasks.selector_from_spec`).
+        """
+        return {"kind": self.name}
+
     def build_pool(self, sites: Iterable[MGSite],
                    profile: Optional[SlackProfile]) -> List[MGSite]:
         """Shape-safe sites plus the admitted serializing ones."""
@@ -131,6 +141,12 @@ class SlackProfileSelector(Selector):
             return not assessment.degrades_delay_only
         return not assessment.degrades_sial
 
+    def spec(self) -> dict:
+        """All three knobs — ``unprofiled_ok`` is not encoded in the name."""
+        return {"kind": "slack-profile", "variant": self.variant,
+                "unprofiled_ok": self.unprofiled_ok,
+                "measured_latencies": self.measured_latencies}
+
 
 class SlackDynamicSelector(Selector):
     """Static side of Slack-Dynamic (§4.4): the aggressive Struct-All pool.
@@ -161,6 +177,9 @@ class FixedSetSelector(Selector):
 
     def admit(self, site: MGSite, profile) -> bool:  # pragma: no cover
         return site.id in self.allowed
+
+    def spec(self) -> dict:
+        return {"kind": "fixed-set", "allowed": sorted(self.allowed)}
 
 
 def make_plan(program, freq_counts: List[int], selector: Selector,

@@ -1,0 +1,184 @@
+"""DAG scheduler: ordering, fan-out, retry, crash and timeout handling.
+
+Task callables live at module level so the ``ProcessPoolExecutor`` can
+pickle them; cross-process/cross-attempt state goes through sentinel
+files in ``tmp_path``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec.dag import ProgressPrinter, Scheduler, Task, TaskError
+
+
+def t_const(value):
+    """Return a constant (trivial task body)."""
+    return value
+
+
+def t_sum(path, addend):
+    """Append to a shared file-backed accumulator and return its length."""
+    with open(path, "a") as handle:
+        handle.write(f"{addend}\n")
+    with open(path) as handle:
+        return len(handle.readlines())
+
+
+def t_fail_once(sentinel, value):
+    """Raise on the first invocation (sentinel missing), succeed after."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("seen")
+        raise ValueError("injected transient failure")
+    return value
+
+
+def t_always_fail():
+    """Deterministic failure."""
+    raise RuntimeError("injected permanent failure")
+
+
+def t_crash_once(sentinel, value):
+    """Kill the worker process outright on first invocation."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("seen")
+        os._exit(13)  # hard death: no exception, no cleanup
+    return value
+
+
+def t_sleep(seconds):
+    """Block long enough to trip a short scheduler timeout."""
+    time.sleep(seconds)
+    return "slept"
+
+
+def _chain(n=3):
+    return [Task(id=f"t{i}", fn=t_const, args=(i,),
+                 deps=(f"t{i-1}",) if i else ())
+            for i in range(n)]
+
+
+# -- graph validation ---------------------------------------------------------
+
+def test_duplicate_ids_rejected():
+    tasks = [Task(id="a", fn=t_const, args=(1,)),
+             Task(id="a", fn=t_const, args=(2,))]
+    with pytest.raises(ValueError, match="duplicate"):
+        Scheduler().run(tasks)
+
+
+def test_unknown_dependency_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        Scheduler().run([Task(id="a", fn=t_const, args=(1,),
+                              deps=("ghost",))])
+
+
+def test_cycle_rejected():
+    tasks = [Task(id="a", fn=t_const, args=(1,), deps=("b",)),
+             Task(id="b", fn=t_const, args=(2,), deps=("a",))]
+    with pytest.raises(ValueError, match="cycle"):
+        Scheduler().run(tasks)
+
+
+# -- serial execution ---------------------------------------------------------
+
+def test_serial_runs_in_dependency_order(tmp_path):
+    log = tmp_path / "log.txt"
+    tasks = [Task(id="late", fn=t_sum, args=(str(log), "late"),
+                  deps=("early",)),
+             Task(id="early", fn=t_sum, args=(str(log), "early"))]
+    report = Scheduler(jobs=1).run(tasks)
+    assert log.read_text().splitlines() == ["early", "late"]
+    assert report.results == {"early": 1, "late": 2}
+    assert report.stage_tasks == {"task": 2}
+
+
+def test_serial_retry_then_success(tmp_path):
+    sentinel = str(tmp_path / "seen")
+    report = Scheduler(jobs=1, retries=2, backoff=0.01).run(
+        [Task(id="flaky", fn=t_fail_once, args=(sentinel, "ok"))])
+    assert report.results == {"flaky": "ok"}
+    assert report.retries == 1
+
+
+def test_serial_failure_poisons_dependents():
+    tasks = [Task(id="bad", fn=t_always_fail, retries=0),
+             Task(id="child", fn=t_const, args=(1,), deps=("bad",)),
+             Task(id="grandchild", fn=t_const, args=(2,), deps=("child",)),
+             Task(id="independent", fn=t_const, args=(3,))]
+    report = Scheduler(jobs=1).run(tasks, raise_on_failure=False)
+    assert report.results == {"independent": 3}
+    assert "injected permanent failure" in report.failures["bad"]
+    assert "skipped" in report.failures["child"]
+    assert "skipped" in report.failures["grandchild"]
+    with pytest.raises(TaskError):
+        Scheduler(jobs=1).run(tasks)
+
+
+# -- parallel execution -------------------------------------------------------
+
+def test_parallel_matches_serial_results():
+    tasks = _chain(6) + [Task(id=f"x{i}", fn=t_const, args=(i * 10,))
+                         for i in range(6)]
+    serial = Scheduler(jobs=1).run(list(tasks)).results
+    parallel = Scheduler(jobs=4).run(list(tasks)).results
+    assert parallel == serial
+
+
+def test_parallel_retry_on_worker_exception(tmp_path):
+    sentinel = str(tmp_path / "seen")
+    tasks = [Task(id="flaky", fn=t_fail_once, args=(sentinel, "ok")),
+             Task(id="steady", fn=t_const, args=(7,))]
+    report = Scheduler(jobs=2, retries=2, backoff=0.01).run(tasks)
+    assert report.results == {"flaky": "ok", "steady": 7}
+    assert report.retries == 1
+
+
+def test_parallel_worker_crash_degrades_to_serial(tmp_path):
+    sentinel = str(tmp_path / "seen")
+    events = []
+    tasks = [Task(id="crasher", fn=t_crash_once, args=(sentinel, "ok")),
+             Task(id="steady", fn=t_const, args=(7,)),
+             Task(id="child", fn=t_const, args=(8,), deps=("crasher",))]
+    report = Scheduler(jobs=2, on_event=events.append).run(tasks)
+    # The crash killed the pool; the survivor pass ran in-process and the
+    # sentinel let the crasher succeed on its serial retry.
+    assert report.degraded
+    assert report.results["crasher"] == "ok"
+    assert report.results["steady"] == 7
+    assert report.results["child"] == 8
+    assert any(event["kind"] == "degraded" for event in events)
+
+
+def test_parallel_timeout_fails_stuck_task():
+    tasks = [Task(id="stuck", fn=t_sleep, args=(30.0,), timeout=0.5),
+             Task(id="quick", fn=t_const, args=(1,))]
+    start = time.monotonic()
+    report = Scheduler(jobs=2).run(tasks, raise_on_failure=False)
+    assert time.monotonic() - start < 20.0  # did not wait the full sleep
+    assert "timeout" in report.failures["stuck"]
+    assert report.results["quick"] == 1
+
+
+def test_events_carry_counts(tmp_path):
+    events = []
+    Scheduler(jobs=1, on_event=events.append).run(_chain(3))
+    done = [event for event in events if event["kind"] == "done"]
+    assert [event["done"] for event in done] == [1, 2, 3]
+    assert all(event["total"] == 3 for event in done)
+
+
+def test_progress_printer_smoke(capsys):
+    printer = ProgressPrinter(min_interval=0.0)
+    printer({"kind": "done", "task": "t0", "stage": "trace",
+             "done": 1, "failed": 0, "running": 2, "queued": 3,
+             "total": 6})
+    printer({"kind": "degraded", "task": None, "stage": None,
+             "done": 1, "failed": 1, "running": 0, "queued": 4,
+             "total": 6})
+    err = capsys.readouterr().err
+    assert "1/6 done" in err
+    assert "serially" in err

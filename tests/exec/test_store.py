@@ -1,0 +1,140 @@
+"""Artifact store: addressing, hit/miss accounting, corruption recovery."""
+
+import pickle
+
+import pytest
+
+from repro.exec.store import MISS, ArtifactStore, code_version
+
+
+def test_key_is_deterministic_and_order_insensitive(tmp_path):
+    store = ArtifactStore(tmp_path)
+    a = store.key("trace", {"bench": "crc32", "max_insts": 100})
+    b = store.key("trace", {"max_insts": 100, "bench": "crc32"})
+    assert a == b
+    assert len(a) == 64
+
+
+def test_key_sensitive_to_every_parameter(tmp_path):
+    store = ArtifactStore(tmp_path)
+    base = {"bench": "crc32", "input": "train", "max_insts": 100}
+    key = store.key("trace", base)
+    assert store.key("trace", dict(base, max_insts=200)) != key
+    assert store.key("trace", dict(base, input="ref")) != key
+    assert store.key("baseline", base) != key
+
+
+def test_key_sensitive_to_salt(tmp_path):
+    base = {"bench": "crc32"}
+    a = ArtifactStore(tmp_path, salt="v1").key("trace", base)
+    b = ArtifactStore(tmp_path, salt="v2").key("trace", base)
+    assert a != b
+
+
+def test_default_salt_is_code_version(tmp_path):
+    assert ArtifactStore(tmp_path).salt == code_version()
+
+
+def test_memory_only_roundtrip():
+    store = ArtifactStore()
+    assert not store.persistent
+    key = store.key("x", {"p": 1})
+    assert store.get(key) is MISS
+    value = {"payload": [1, 2, 3]}
+    store.put(key, value)
+    assert store.get(key) is value  # identity, not equality
+    assert store.stats.misses == 1
+    assert store.stats.memory_hits == 1
+
+
+def test_disk_roundtrip_across_instances(tmp_path):
+    first = ArtifactStore(tmp_path)
+    key = first.key("x", {"p": 1})
+    first.put(key, {"payload": 42}, kind="x", params={"p": 1})
+    second = ArtifactStore(tmp_path)
+    assert second.get(key, "x") == {"payload": 42}
+    assert second.stats.disk_hits == 1
+    # Once read from disk, the memory layer serves identity.
+    assert second.get(key) is second.get(key)
+
+
+def test_get_or_compute_memoizes(tmp_path):
+    store = ArtifactStore(tmp_path)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert store.get_or_compute("k", {"a": 1}, compute) == "value"
+    assert store.get_or_compute("k", {"a": 1}, compute) == "value"
+    assert len(calls) == 1
+    # A changed parameter is a different artifact.
+    assert store.get_or_compute("k", {"a": 2}, compute) == "value"
+    assert len(calls) == 2
+
+
+def test_corrupted_payload_recovers_as_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = store.key("x", {"p": 1})
+    store.put(key, [1, 2, 3], kind="x")
+    payload = store._payload_path(key)
+    payload.write_bytes(b"not a pickle at all")
+
+    fresh = ArtifactStore(tmp_path)
+    assert fresh.get(key, "x") is MISS
+    assert fresh.stats.corrupt_dropped == 1
+    assert not payload.exists()  # dropped, not left to fail again
+    # Recomputation repopulates the slot.
+    assert fresh.get_or_compute("x", {"p": 1}, lambda: [1, 2, 3]) == [1, 2, 3]
+    assert ArtifactStore(tmp_path).get(key) == [1, 2, 3]
+
+
+def test_truncated_payload_recovers_as_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = store.key("x", {"p": 1})
+    store.put(key, list(range(1000)), kind="x")
+    payload = store._payload_path(key)
+    payload.write_bytes(payload.read_bytes()[:10])  # torn write
+    fresh = ArtifactStore(tmp_path)
+    assert fresh.get(key) is MISS
+    assert fresh.stats.corrupt_dropped == 1
+
+
+def test_disk_summary_clear_and_prune(tmp_path):
+    store = ArtifactStore(tmp_path)
+    for i in range(3):
+        store.put(store.key("trace", {"i": i}), i, kind="trace",
+                  params={"i": i})
+    store.put(store.key("plan", {"i": 0}), "p", kind="plan")
+    summary = store.disk_summary()
+    assert summary["trace"]["count"] == 3
+    assert summary["plan"]["count"] == 1
+    assert summary["trace"]["bytes"] > 0
+
+    assert store.prune(kinds=["plan"]) == 1
+    assert "plan" not in store.disk_summary()
+    # Recent artifacts survive an age-based prune.
+    assert store.prune(max_age=3600.0) == 0
+    assert store.clear() == 3
+    assert store.disk_summary() == {}
+    assert store.get(store.key("trace", {"i": 0})) is MISS
+
+
+def test_put_leaves_no_partial_files(tmp_path):
+    store = ArtifactStore(tmp_path)
+    for i in range(5):
+        store.put(store.key("x", {"i": i}), list(range(100)), kind="x")
+    assert list(tmp_path.glob("**/.tmp-*")) == []
+    assert list(tmp_path.glob("**/*.part")) == []
+
+
+def test_stats_render_mentions_rate(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = store.key("x", {"p": 1})
+    store.get(key, "x")
+    store.put(key, 1, "x")
+    store.get(key, "x")
+    text = store.stats.render()
+    assert "1 hits / 2 lookups" in text
+    assert "x 1/2" in text

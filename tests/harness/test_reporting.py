@@ -1,9 +1,11 @@
 """Result serialization and Markdown rendering."""
 
+import pytest
+
 from repro.harness.experiments import ExperimentResult
 from repro.harness.reporting import (
-    dict_to_experiment, experiment_to_dict, load_results, markdown_table,
-    save_results,
+    dict_to_experiment, experiment_from_dict, experiment_to_dict,
+    load_experiment, load_results, markdown_table, save_results,
 )
 from repro.harness.scurve import SCurve
 
@@ -52,3 +54,40 @@ def test_dict_is_json_serializable():
     import json
     payload = experiment_to_dict(_sample_result())
     json.dumps(payload)
+
+
+def test_experiment_from_dict_full_roundtrip():
+    result = _sample_result()
+    back = experiment_from_dict(experiment_to_dict(result))
+    assert back.name == result.name
+    assert back.notes == result.notes
+    assert list(back.groups) == list(result.groups)
+    for group, curves in result.groups.items():
+        restored = back.groups[group]
+        assert [c.label for c in restored] == [c.label for c in curves]
+        for original, copy in zip(curves, restored):
+            assert copy.by_program == original.by_program
+            assert copy.mean == original.mean
+            assert copy.median == original.median
+            assert copy.minimum == original.minimum
+            assert copy.maximum == original.maximum
+    # The alias remains the same callable.
+    assert dict_to_experiment is experiment_from_dict
+
+
+def test_load_experiment_single(tmp_path):
+    path = save_results([_sample_result()], tmp_path / "one.json")
+    result = load_experiment(path)
+    assert result.name == "FIGX demo"
+    assert load_experiment(path, "FIGX demo").name == "FIGX demo"
+
+
+def test_load_experiment_by_name(tmp_path):
+    second = _sample_result()
+    second.name = "FIGY other"
+    path = save_results([_sample_result(), second], tmp_path / "two.json")
+    assert load_experiment(path, "FIGY other").name == "FIGY other"
+    with pytest.raises(ValueError):
+        load_experiment(path)  # ambiguous without a name
+    with pytest.raises(KeyError):
+        load_experiment(path, "FIGZ missing")

@@ -56,6 +56,48 @@ def test_experiments_forwarding(capsys):
     assert "FIG1" in capsys.readouterr().out
 
 
+def test_experiments_cache_dir_and_json(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    out_json = str(tmp_path / "fig1.json")
+    argv = ["experiments", "fig1", "--suites", "comm", "--limit", "2",
+            "--cache-dir", cache, "--save-json", out_json]
+    assert main(list(argv)) == 0
+    first = (tmp_path / "fig1.json").read_text()
+    capsys.readouterr()
+    # Second run is served from the artifact store, byte-identically.
+    assert main(list(argv)) == 0
+    err = capsys.readouterr().err
+    assert (tmp_path / "fig1.json").read_text() == first
+    assert "100.0%" in err
+
+
+def test_limit_study_jobs(capsys, tmp_path):
+    assert main(["limit-study", "--cap", "8", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "FIG8" in capsys.readouterr().out
+
+
+def test_cache_subcommand(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    assert main(["run", "crc32", "--selector", "none",
+                 "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out and "baseline" in out
+    assert main(["cache", "prune", "--cache-dir", cache,
+                 "--kinds", "trace"]) == 0
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "total              0" in capsys.readouterr().out
+
+
+def test_cache_requires_directory(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache", "stats"]) == 1
+
+
 def test_unknown_command():
     with pytest.raises(SystemExit):
         main(["bogus"])
