@@ -25,6 +25,8 @@ from typing import List, Optional
 
 from .exec import ArtifactStore, resolve_cache_dir
 from .harness.runner import Runner
+from .isa.interp import ExecutionLimitExceeded, MemoryFault
+from .isa.validate import ValidationError
 from .minigraph.selectors import (
     SlackProfileSelector, StructAll, StructBounded, StructNone,
 )
@@ -152,6 +154,102 @@ def _cmd_limit_study(args) -> int:
     return 0
 
 
+def _parse_duration(text: str) -> float:
+    """``"60"``, ``"60s"``, ``"2m"`` → seconds."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("ms"):
+        text, scale = text[:-2], 0.001
+    elif text.endswith("s"):
+        text = text[:-1]
+    elif text.endswith("m"):
+        text, scale = text[:-1], 60.0
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise ValueError(f"bad duration {text!r} (try 60s, 90, or 2m)") \
+            from None
+    if seconds <= 0:
+        raise ValueError("duration must be positive")
+    return seconds
+
+
+def _fuzz_selectors(names):
+    from .check.fuzz import default_selectors
+    if not names:
+        return None
+    by_name = {s.name: s for s in default_selectors()}
+    missing = [n for n in names if n not in by_name]
+    if missing:
+        raise ValueError(
+            f"unknown selector(s) {', '.join(missing)} "
+            f"(choose from {', '.join(sorted(by_name))})")
+    return [by_name[n] for n in names]
+
+
+def _cmd_fuzz(args) -> int:
+    from .check.fuzz import replay, run_fuzz
+    selectors = _fuzz_selectors(args.selectors)
+    if args.replay is not None:
+        failure = replay(args.replay, selectors=selectors)
+        if failure is None:
+            print(f"replay {args.replay}: no failure")
+            return 0
+        print(f"replay {args.replay}: {failure.render()}")
+        return 1
+    report = run_fuzz(budget=_parse_duration(args.budget),
+                      seed=args.seed, max_programs=args.programs,
+                      selectors=selectors,
+                      artifacts_dir=args.artifacts,
+                      shrink=not args.no_shrink,
+                      log=lambda line: print(line, file=sys.stderr))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_lint_plan(args) -> int:
+    from .check.lint import lint_plan
+    runner = Runner(budget=args.budget, store=_store_for(args))
+    if args.selector == "slack-dynamic":
+        from .minigraph.selectors import SlackDynamicSelector
+        selector = SlackDynamicSelector()
+    else:
+        selector = SELECTORS[args.selector]()
+    names = [b.name for b in all_benchmarks()] \
+        if args.benchmark == "all" else [args.benchmark]
+    failures = 0
+    for name in names:
+        plan = runner.plan(name, selector, input_name=args.input)
+        program = benchmark(name).program(args.input)
+        issues = lint_plan(program, plan, max_size=runner.max_mg_size,
+                           budget=runner.budget)
+        if issues:
+            failures += 1
+            print(f"{name}/{selector.name}: {len(issues)} issue(s)")
+            for issue in issues:
+                print(f"  {issue.render()}")
+        else:
+            print(f"{name}/{selector.name}: OK "
+                  f"({len(plan.sites)} sites, {plan.n_templates} "
+                  f"templates)")
+    return 1 if failures else 0
+
+
+def _cmd_gen(args) -> int:
+    from .isa.validate import check
+    from .workloads.generator import synth_program
+    program = synth_program(
+        args.seed, args.input, profile=args.profile,
+        n_loops=args.n_loops, trips=args.trips, ops=args.ops,
+        array_sizes=args.array_sizes)
+    check(program)
+    print(f"# {program.name}: {len(program)} instructions, "
+          f"{len(program.data)} data words (seed {args.seed}, "
+          f"{args.input} input)")
+    print(program.listing())
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache_dir = resolve_cache_dir(args.cache_dir)
     if cache_dir is None:
@@ -236,6 +334,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_cache_flags(p_limit)
     p_limit.set_defaults(fn=_cmd_limit_study)
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="property-based fuzz of the mini-graph pipeline")
+    p_fuzz.add_argument("--budget", default="60s",
+                        help="time budget, e.g. 60s, 90, 2m (default 60s)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (disjoint spec streams)")
+    p_fuzz.add_argument("--programs", type=int, default=None,
+                        help="stop after N programs even under budget")
+    p_fuzz.add_argument("--selectors", nargs="*", default=None,
+                        help="restrict to these selectors "
+                             "(default: all five)")
+    p_fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write shrunk reproducers here")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging minimization")
+    p_fuzz.add_argument("--replay", type=int, default=None, metavar="SEED",
+                        help="re-check one spec seed instead of fuzzing")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_lint = sub.add_parser(
+        "lint-plan", help="audit a selection plan against the paper's "
+                          "structural contract")
+    p_lint.add_argument("benchmark", help="a benchmark name or 'all'")
+    p_lint.add_argument("--selector", default="slack-profile",
+                        choices=sorted(SELECTORS) + ["slack-dynamic"])
+    p_lint.add_argument("--input", default="train")
+    p_lint.add_argument("--budget", type=int, default=512,
+                        help="MGT template budget")
+    _add_cache_flags(p_lint)
+    p_lint.set_defaults(fn=_cmd_lint_plan)
+
+    p_gen = sub.add_parser(
+        "gen", help="print one synthetic generator program")
+    p_gen.add_argument("--seed", type=int, required=True,
+                       help="generator seed (exact reproducer)")
+    p_gen.add_argument("--input", default="train",
+                       choices=["train", "ref"])
+    p_gen.add_argument("--profile", default=None,
+                       choices=["compute", "memory", "branchy", "serial"])
+    p_gen.add_argument("--n-loops", type=int, default=None)
+    p_gen.add_argument("--trips", type=int, default=None)
+    p_gen.add_argument("--ops", type=int, default=None)
+    p_gen.add_argument("--array-sizes", type=int, nargs="*", default=None,
+                       help="power-of-two array sizes")
+    p_gen.set_defaults(fn=_cmd_gen)
+
     p_cache = sub.add_parser("cache",
                              help="artifact store maintenance")
     p_cache.add_argument("action", choices=["stats", "clear", "prune"])
@@ -259,6 +403,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         return 0
+    except (ValidationError, MemoryFault, ExecutionLimitExceeded,
+            ValueError) as error:
+        # Anticipated failures (bad benchmark/selector names, assembler
+        # and validation errors, runaway or faulting programs) get a
+        # one-line diagnostic, not a traceback.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,29 @@
+"""Correctness subsystem: lockstep checking, plan linting, fuzzing.
+
+Three layers of defense against selection/transform bugs silently
+corrupting IPC results:
+
+* :mod:`repro.check.lockstep` — differential co-execution of a program
+  and its mini-graph transform, comparing architectural state at every
+  original-instruction boundary;
+* :mod:`repro.check.lint` — static audit of a
+  :class:`~repro.minigraph.selection.MiniGraphPlan` against the paper's
+  structural contract and internal consistency;
+* :mod:`repro.check.fuzz` / :mod:`repro.check.shrink` — property-based
+  fuzzing of generated programs across all selectors, with
+  delta-debugging minimization of failures.
+
+See ``docs/correctness.md`` for the model and workflow.
+"""
+
+from .lint import PlanInvariantError, PlanIssue, check_plan, lint_plan
+from .lockstep import (
+    Divergence, LockstepError, LockstepReport, assert_lockstep,
+    lockstep_check,
+)
+
+__all__ = [
+    "Divergence", "LockstepError", "LockstepReport", "PlanInvariantError",
+    "PlanIssue", "assert_lockstep", "check_plan", "lint_plan",
+    "lockstep_check",
+]

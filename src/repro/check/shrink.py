@@ -1,0 +1,123 @@
+"""Delta-debugging minimization of failing programs.
+
+When the fuzzer finds a program whose transform diverges (or whose plan
+fails the linter), the raw reproducer is a few hundred instructions of
+generated loop nest — too big to eyeball. This module shrinks it with the
+classic ddmin algorithm of Zeller & Hildebrandt, specialized to
+instruction sequences: a reduction candidate deletes a subset of
+instructions and remaps surviving control-transfer targets to the next
+surviving instruction; the reduction is kept only when the *same* failure
+still reproduces (the caller's predicate enforces the failure signature,
+so a reduction that merely breaks the program differently is rejected).
+
+The result is typically a handful of instructions that still trigger the
+bug — small enough to paste into a regression test.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, List, Optional, Sequence
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import JR, OC_BRANCH, OC_JUMP
+from ..isa.program import Program
+
+DEFAULT_MAX_EVALS = 400
+
+
+def delete_instructions(program: Program,
+                        keep: Sequence[int]) -> Optional[Program]:
+    """The program restricted to the instruction indices in ``keep``.
+
+    Control-transfer targets are remapped: a target that survives maps to
+    its new index; a deleted target maps to the next surviving
+    instruction after it. Returns ``None`` when the reduction cannot be
+    expressed (nothing kept, or a transfer targets past the end of the
+    kept sequence). The data segment and memory size are preserved —
+    failures often depend on the initial data image.
+    """
+    kept = sorted(set(keep))
+    if not kept:
+        return None
+    new_index = {old: new for new, old in enumerate(kept)}
+
+    def remap(target: int) -> Optional[int]:
+        pos = bisect_left(kept, target)
+        return pos if pos < len(kept) else None
+
+    instructions: List[Instruction] = []
+    for old in kept:
+        inst = program.instructions[old]
+        imm = inst.imm
+        if inst.opclass in (OC_BRANCH, OC_JUMP) and inst.op != JR:
+            mapped = remap(inst.imm)
+            if mapped is None:
+                return None
+            imm = mapped
+        instructions.append(Instruction(inst.op, rd=inst.rd,
+                                        srcs=inst.srcs, imm=imm))
+    labels = {label: new_index[pc] for label, pc in program.labels.items()
+              if pc in new_index}
+    return Program(f"{program.name}-shrunk", instructions,
+                   data=program.data, labels=labels,
+                   memory_words=program.memory_words)
+
+
+def _chunks(items: List[int], n: int) -> List[List[int]]:
+    size = max(1, len(items) // n)
+    out = [items[i:i + size] for i in range(0, len(items), size)]
+    return out[:n - 1] + [sum(out[n - 1:], [])] if len(out) > n else out
+
+
+def ddmin(items: List[int], keep_ok: Callable[[List[int]], bool],
+          max_evals: int = DEFAULT_MAX_EVALS) -> List[int]:
+    """Minimal (1-minimal up to the eval budget) subset of ``items``.
+
+    ``keep_ok(subset)`` must return True when the failure of interest
+    still reproduces with only ``subset`` kept. ``items`` itself is
+    assumed to satisfy the predicate.
+    """
+    current = list(items)
+    granularity = 2
+    evals = 0
+    while len(current) >= 2 and evals < max_evals:
+        reduced = False
+        for chunk in _chunks(current, granularity):
+            if len(chunk) == len(current):
+                continue
+            removed = set(chunk)
+            candidate = [x for x in current if x not in removed]
+            evals += 1
+            if keep_ok(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if evals >= max_evals:
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def shrink_program(program: Program,
+                   still_fails: Callable[[Program], bool],
+                   max_evals: int = DEFAULT_MAX_EVALS) -> Program:
+    """Instruction-level ddmin of ``program`` under ``still_fails``.
+
+    ``still_fails`` receives a reduced program and must return True only
+    when the original failure signature reproduces; it must not raise
+    (classify crashes as False). Returns the smallest failing program
+    found (possibly ``program`` itself).
+    """
+
+    def keep_ok(keep: List[int]) -> bool:
+        reduced = delete_instructions(program, keep)
+        return reduced is not None and still_fails(reduced)
+
+    kept = ddmin(list(range(len(program))), keep_ok, max_evals=max_evals)
+    reduced = delete_instructions(program, kept)
+    return reduced if reduced is not None else program

@@ -81,8 +81,18 @@ def dynamic_point(bench: str, config: str, input_name: str = "train",
                  policy=_freeze(policy_kwargs))
 
 
-def build_tasks(points: Sequence[Point], runner) -> List[Task]:
-    """Expand points into a deduplicated trace→profile→plan→timing DAG."""
+def build_tasks(points: Sequence[Point], runner,
+                check: bool = False) -> List[Task]:
+    """Expand points into a deduplicated trace→profile→plan→timing DAG.
+
+    With ``check`` every selector and slack-dynamic point also gets a
+    validation node (stage ``check``, deduplicated per (program,
+    selector, plan parameters)) that replays the plan through the
+    lockstep engine and the invariant linter and fails the run on any
+    divergence (:func:`repro.exec.tasks.run_check`). Check nodes depend
+    only on the plan and trace, so they run concurrently with the timing
+    runs they vouch for.
+    """
     base = task_fns.runner_params(runner)
     table: Dict[str, Task] = {}
 
@@ -133,7 +143,33 @@ def build_tasks(points: Sequence[Point], runner) -> List[Task]:
             fn=task_fns.run_plan, args=(spec,), deps=tuple(deps),
             stage="plan"))
 
+    def check_task(point: Point) -> str:
+        selector = _thaw(point.selector)
+        profile_config = point.profile_config or "reduced"
+        profile_input = point.profile_input or point.input_name
+        spec = dict(base, bench=point.bench, input=point.input_name,
+                    selector=selector, profile_config=point.profile_config,
+                    profile_input=point.profile_input,
+                    global_slack=point.global_slack)
+        sel_tag = selector["kind"] if "variant" not in selector \
+            else f"{selector['kind']}-{selector['variant']}"
+        return add(Task(
+            id=f"check/{point.bench}/{point.input_name}/{sel_tag}"
+               f"/{profile_config}/{profile_input}/{point.global_slack}",
+            fn=task_fns.run_check, args=(spec,),
+            deps=(plan_task(point),
+                  trace_task(point.bench, point.input_name)),
+            stage="check", retries=0))
+
     for point in points:
+        if check and point.kind != "baseline":
+            # Slack-Dynamic folds the same Struct-All-pool plan as its
+            # static selector point; its run-time policy never alters
+            # the folded record stream, so one check covers both.
+            check_task(point if point.kind == "selector"
+                       else selector_point(point.bench,
+                                           {"kind": "slack-dynamic"},
+                                           point.config, point.input_name))
         if point.kind == "baseline":
             spec = dict(base, bench=point.bench, input=point.input_name,
                         config=point.config)
@@ -181,11 +217,15 @@ def build_tasks(points: Sequence[Point], runner) -> List[Task]:
 def run_points(runner, points: Sequence[Point], jobs: int,
                retries: int = 1, timeout: Optional[float] = None,
                on_event: Optional[Callable[[Dict], None]] = None,
-               raise_on_failure: bool = False) -> ExecReport:
+               raise_on_failure: bool = False,
+               check: bool = False) -> ExecReport:
     """Prewarm the runner's store by executing the point DAG in parallel.
 
     Requires a persistent store when ``jobs > 1`` — worker processes can
-    only hand artifacts back through the shared cache directory.
+    only hand artifacts back through the shared cache directory. With
+    ``check`` the DAG carries a lockstep+lint validation node per
+    (program, selector) point; a divergence fails the run (see
+    :func:`build_tasks`).
     """
     if jobs > 1 and not runner.store.persistent:
         raise ValueError(
@@ -193,5 +233,5 @@ def run_points(runner, points: Sequence[Point], jobs: int,
             "Runner with ArtifactStore(cache_dir) or use --cache-dir")
     scheduler = Scheduler(jobs=jobs, retries=retries, timeout=timeout,
                           on_event=on_event)
-    return scheduler.run(build_tasks(points, runner),
+    return scheduler.run(build_tasks(points, runner, check=check),
                          raise_on_failure=raise_on_failure)

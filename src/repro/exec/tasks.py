@@ -139,6 +139,48 @@ def run_timing(spec: Dict[str, Any]) -> Dict[str, Any]:
     return {"ipc": run.ipc, "coverage": run.coverage}
 
 
+class CheckFailed(RuntimeError):
+    """A validation task found a divergence or an illegal plan.
+
+    Deterministic by construction — check tasks are scheduled with
+    ``retries=0``, since re-running the same comparison cannot succeed.
+    """
+
+
+def run_check(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Validation node for one (program, selector) grid point.
+
+    Replays the already-materialized plan and trace through the
+    differential lockstep engine and the plan invariant linter
+    (:mod:`repro.check`); raises :class:`CheckFailed` on the first
+    divergence or lint issue, which fails the experiment run.
+    """
+    from ..check.lint import lint_plan
+    from ..check.lockstep import lockstep_check
+    runner = _runner(spec)
+    selector = selector_from_spec(spec["selector"])
+    plan = runner.plan(
+        spec["bench"], selector, input_name=spec["input"],
+        profile_config=_config(spec["profile_config"])
+        if spec.get("profile_config") else None,
+        profile_input=spec.get("profile_input"),
+        global_slack=spec.get("global_slack", False))
+    trace = runner.trace(spec["bench"], spec["input"])
+    report = lockstep_check(trace.program, plan, trace=trace,
+                            selector=selector.name,
+                            max_insts=spec["max_insts"])
+    if report.divergence is not None:
+        raise CheckFailed(f"lockstep divergence: {report.render()}")
+    issues = lint_plan(trace.program, plan,
+                       max_size=spec["max_mg_size"],
+                       budget=spec["budget"])
+    if issues:
+        rendered = "; ".join(issue.render() for issue in issues[:5])
+        raise CheckFailed(f"plan invariant violations: {rendered}")
+    return {"records": report.records, "handles": report.handles,
+            "sites": len(plan.sites)}
+
+
 # -- limit-study tasks ---------------------------------------------------------
 
 def _limit_sites(runner, bench: str, input_name: str, count: int):

@@ -387,6 +387,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the experiment grid "
                              "(1 = serial in-process)")
+    parser.add_argument("--check", action="store_true",
+                        help="add a lockstep+lint validation node per "
+                             "(program, selector) point; any divergence "
+                             "fails the run (see docs/correctness.md)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent artifact store directory "
                              "(default: $REPRO_CACHE_DIR, else none)")
@@ -423,11 +427,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         for name in names:
             start = time.time()
-            if args.jobs > 1:
+            if args.jobs > 1 or args.check:
                 points = grid_points(name, benches)
                 if points:
-                    report = run_points(runner, points, jobs=args.jobs,
-                                        on_event=ProgressPrinter())
+                    from ..exec.dag import TaskError
+                    try:
+                        report = run_points(runner, points, jobs=args.jobs,
+                                            on_event=ProgressPrinter(),
+                                            check=args.check,
+                                            raise_on_failure=args.check)
+                    except TaskError as error:
+                        print(f"experiments: check failed: {error}",
+                              file=_sys.stderr)
+                        return 1
                     print(report.render(), file=_sys.stderr)
             result = EXPERIMENTS[name](runner, benches)
             results.append(result)

@@ -106,6 +106,164 @@ class MemoryFault(RuntimeError):
     """A load or store accessed an address outside program memory."""
 
 
+# --------------------------------------------------------------------------
+# Stepwise interpreter (the lockstep / differential-checking substrate)
+# --------------------------------------------------------------------------
+#
+# MachineState implements the ISA a second time, structured differently from
+# execute()'s fused dispatch loop: per-opcode lambdas in dispatch tables, one
+# instruction per step() call, with the architectural state (registers,
+# memory, PC) exposed between steps. repro.check uses it as the oracle for
+# differential lockstep checking, and the test-suite cross-checks the two
+# implementations record-for-record — a bug in either shows up as a
+# disagreement rather than silently corrupting results in both.
+
+_ALU_EVAL = {
+    oc.ADD: lambda r, s, i: (r[s[0]] + r[s[1]]) & _MASK,
+    oc.ADDI: lambda r, s, i: (r[s[0]] + i) & _MASK,
+    oc.SUB: lambda r, s, i: (r[s[0]] - r[s[1]]) & _MASK,
+    oc.AND: lambda r, s, i: r[s[0]] & r[s[1]],
+    oc.OR: lambda r, s, i: r[s[0]] | r[s[1]],
+    oc.XOR: lambda r, s, i: r[s[0]] ^ r[s[1]],
+    oc.NOR: lambda r, s, i: ~(r[s[0]] | r[s[1]]) & _MASK,
+    oc.SLL: lambda r, s, i: (r[s[0]] << (r[s[1]] & 63)) & _MASK,
+    oc.SRL: lambda r, s, i: r[s[0]] >> (r[s[1]] & 63),
+    oc.SRA: lambda r, s, i: to_unsigned(to_signed(r[s[0]]) >> (r[s[1]] & 63)),
+    oc.SLT: lambda r, s, i: int(to_signed(r[s[0]]) < to_signed(r[s[1]])),
+    oc.SLTU: lambda r, s, i: int(r[s[0]] < r[s[1]]),
+    oc.SEQ: lambda r, s, i: int(r[s[0]] == r[s[1]]),
+    oc.ANDI: lambda r, s, i: r[s[0]] & to_unsigned(i),
+    oc.ORI: lambda r, s, i: r[s[0]] | to_unsigned(i),
+    oc.XORI: lambda r, s, i: r[s[0]] ^ to_unsigned(i),
+    oc.SLLI: lambda r, s, i: (r[s[0]] << (i & 63)) & _MASK,
+    oc.SRLI: lambda r, s, i: r[s[0]] >> (i & 63),
+    oc.SRAI: lambda r, s, i: to_unsigned(to_signed(r[s[0]]) >> (i & 63)),
+    oc.SLTI: lambda r, s, i: int(to_signed(r[s[0]]) < i),
+    oc.SEQI: lambda r, s, i: int(to_signed(r[s[0]]) == i),
+    oc.LI: lambda r, s, i: to_unsigned(i),
+    oc.CMOVZ: lambda r, s, i: r[s[0]] if r[s[1]] == 0 else r[s[2]],
+    oc.CMOVN: lambda r, s, i: r[s[0]] if r[s[1]] != 0 else r[s[2]],
+    oc.MUL: lambda r, s, i: (r[s[0]] * r[s[1]]) & _MASK,
+    oc.MULH: lambda r, s, i: to_unsigned(
+        (to_signed(r[s[0]]) * to_signed(r[s[1]])) >> 64),
+    oc.DIV: lambda r, s, i: 0 if to_signed(r[s[1]]) == 0 else to_unsigned(
+        int(to_signed(r[s[0]]) / to_signed(r[s[1]]))),
+    oc.REM: lambda r, s, i: 0 if to_signed(r[s[1]]) == 0 else to_unsigned(
+        to_signed(r[s[0]]) - int(to_signed(r[s[0]]) / to_signed(r[s[1]]))
+        * to_signed(r[s[1]])),
+    oc.FADD: lambda r, s, i: (r[s[0]] + r[s[1]]) & _MASK,
+    oc.FMUL: lambda r, s, i: to_unsigned(
+        (to_signed(r[s[0]]) * to_signed(r[s[1]])) >> 16),
+}
+
+_BRANCH_EVAL = {
+    oc.BEQ: lambda a, b: a == b,
+    oc.BNE: lambda a, b: a != b,
+    oc.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    oc.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+    oc.BLTU: lambda a, b: a < b,
+    oc.BGEU: lambda a, b: a >= b,
+}
+
+
+class MachineState:
+    """Architectural machine state with a one-instruction ``step()``.
+
+    State starts exactly as :func:`execute` starts it: PC 0, zeroed
+    registers (unless ``regs_init`` is given), data segment loaded at
+    address 0, the rest of memory zeroed.
+    """
+
+    __slots__ = ("program", "regs", "memory", "pc", "retired", "halted")
+
+    def __init__(self, program: Program,
+                 regs_init: Optional[List[int]] = None):
+        self.program = program
+        self.memory = list(program.data) + [0] * (program.memory_words
+                                                  - len(program.data))
+        self.regs = list(regs_init) if regs_init is not None else [0] * 32
+        self.regs[0] = 0
+        self.pc = 0
+        self.retired = 0
+        self.halted = False
+
+    def step(self) -> TraceRecord:
+        """Execute the instruction at the current PC; return its record."""
+        if self.halted:
+            raise RuntimeError(f"{self.program.name}: stepped past halt")
+        pc = self.pc
+        insts = self.program.instructions
+        if not 0 <= pc < len(insts):
+            raise MemoryFault(f"{self.program.name}: control left program "
+                              f"at PC {pc}")
+        inst = insts[pc]
+        op = inst.op
+        opclass = inst.opclass
+        srcs = inst.srcs
+        regs = self.regs
+        addr = -1
+        taken = False
+        next_pc = pc + 1
+        value = None
+
+        if op in _ALU_EVAL:
+            value = _ALU_EVAL[op](regs, srcs, inst.imm)
+        elif opclass == oc.OC_LOAD:
+            addr = (regs[srcs[0]] + inst.imm) & _MASK
+            if addr >= len(self.memory):
+                raise MemoryFault(
+                    f"{self.program.name}: load from {addr} at PC {pc}")
+            value = self.memory[addr]
+        elif opclass == oc.OC_STORE:
+            addr = (regs[srcs[0]] + inst.imm) & _MASK
+            if addr >= len(self.memory):
+                raise MemoryFault(
+                    f"{self.program.name}: store to {addr} at PC {pc}")
+            self.memory[addr] = regs[srcs[1]]
+        elif opclass == oc.OC_BRANCH:
+            taken = _BRANCH_EVAL[op](regs[srcs[0]], regs[srcs[1]])
+            if taken:
+                next_pc = inst.imm
+        elif opclass == oc.OC_JUMP:
+            taken = True
+            if op == oc.JMP:
+                next_pc = inst.imm
+            elif op == oc.JAL:
+                value = pc + 1
+                next_pc = inst.imm
+            else:  # JR
+                next_pc = regs[srcs[0]]
+        elif opclass == oc.OC_NOP:
+            pass
+        elif opclass == oc.OC_HALT:
+            self.halted = True
+            return TraceRecord(pc, op, opclass, inst.latency, -1, srcs,
+                               -1, False, pc)
+        else:  # pragma: no cover - MGH never appears in source programs
+            raise NotImplementedError(oc.op_name(op))
+
+        rd = inst.rd
+        if value is not None and rd is not None and rd != 0:
+            regs[rd] = value
+        self.retired += 1
+        self.pc = next_pc
+        return TraceRecord(pc, op, opclass, inst.latency,
+                           rd if (rd is not None and rd != 0
+                                  and inst.writes_reg) else -1,
+                           srcs, addr, taken, next_pc)
+
+    def run(self, max_insts: int = 2_000_000) -> List[TraceRecord]:
+        """Step to halt (or the budget); returns the record list."""
+        records: List[TraceRecord] = []
+        while not self.halted:
+            if self.retired >= max_insts:
+                raise ExecutionLimitExceeded(
+                    f"{self.program.name}: exceeded {max_insts} dynamic "
+                    f"instructions")
+            records.append(self.step())
+        return records
+
+
 def execute(program: Program, max_insts: int = 2_000_000,
             input_name: str = "default",
             regs_init: Optional[List[int]] = None,

@@ -21,6 +21,7 @@ accounting with the operand-arrival-order heuristic of macro-op scheduling.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Optional, Set
 
 from .candidates import Candidate, enumerate_candidates
@@ -185,16 +186,29 @@ class FixedSetSelector(Selector):
 def make_plan(program, freq_counts: List[int], selector: Selector,
               profile: Optional[SlackProfile] = None, budget: int = 512,
               max_size: int = 4,
-              candidates: Optional[List[Candidate]] = None) -> MiniGraphPlan:
+              candidates: Optional[List[Candidate]] = None,
+              verify: Optional[bool] = None) -> MiniGraphPlan:
     """Enumerate, filter, and select mini-graphs for ``program``.
 
     ``freq_counts`` are per-static-PC dynamic execution counts from the
     profiling input (used both for template scores and, with profile-based
     selectors, for rule evaluation via ``profile``).
+
+    ``verify=True`` audits the resulting plan against the paper's
+    structural contract (:func:`repro.check.lint.check_plan`) and raises
+    :class:`repro.check.lint.PlanInvariantError` on any violation. The
+    default consults the ``REPRO_CHECK_PLANS`` environment variable, so a
+    whole run can be hardened without touching call sites.
     """
     if candidates is None:
         candidates = enumerate_candidates(program, max_size=max_size)
     templates = build_templates(candidates, freq_counts)
     sites = [site for template in templates for site in template.sites]
     pool = selector.build_pool(sites, profile)
-    return select(pool, budget=budget)
+    plan = select(pool, budget=budget)
+    if verify is None:
+        verify = bool(os.environ.get("REPRO_CHECK_PLANS"))
+    if verify:
+        from ..check.lint import check_plan
+        check_plan(program, plan, max_size=max_size, budget=budget)
+    return plan

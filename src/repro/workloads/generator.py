@@ -11,18 +11,27 @@ claims need.
 
 Programs are guaranteed to terminate: all loops are counted, and forward
 branches only skip within the loop body.
+
+:func:`synth_program` is the parameterized entry point: every mix
+parameter can be pinned explicitly (the correctness fuzzer does this to
+make failing programs exactly reproducible from ``(seed, params)``), and
+any parameter left ``None`` is drawn from the seeded stream at the same
+point the original generator drew it — so the registered ``synthNN``
+benchmarks are byte-identical to their pre-parameterization form.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional, Sequence
 
 from ..isa.assembler import Assembler
 from ..isa.program import Program
 from .suite import Benchmark, register
 
 N_SYNTHETIC = 32
+
+PROFILES = ("compute", "memory", "branchy", "serial")
 
 # Register allocation contract for generated code:
 #   r1  loop index    r2 trip count     r3 scratch for branches
@@ -132,52 +141,90 @@ class _BodyGenerator:
         self.a.xor("r15", "r15", self._pick_temp())
 
 
+def synth_program(seed: int, input_name: str = "train", *,
+                  name: Optional[str] = None,
+                  profile: Optional[str] = None,
+                  n_loops: Optional[int] = None,
+                  trips: Optional[int] = None,
+                  ops: Optional[int] = None,
+                  array_sizes: Optional[Sequence[int]] = None,
+                  ref_scale: float = 1.7) -> Program:
+    """Build the synthetic program for ``seed``.
+
+    Every keyword left at ``None`` is drawn from the seeded stream at the
+    same point the unparameterized generator drew it, so defaults
+    reproduce the registered ``synthNN`` programs exactly. Pinning a
+    keyword skips only that parameter's draws; the remaining stream is
+    still a pure function of ``seed``, so ``(seed, params)`` is an exact
+    reproducer — this is what ``repro fuzz`` records for its shrunk
+    failures, and what ``repro gen --seed`` exposes on the command line.
+
+    ``trips``/``ops``, when pinned, apply to every loop. ``array_sizes``
+    entries must be powers of two (indices are masked, not bounds-checked).
+    """
+    # Two streams: *structure* must be identical across inputs (the
+    # cross-input robustness study profiles on one input and runs on
+    # another, so static code must line up PC-for-PC); *data* varies.
+    rng = random.Random(seed * 7919)
+    data_rng = random.Random(seed * 7919 + (0 if input_name == "train"
+                                            else 104729))
+    a = Assembler(name if name is not None else f"synth{seed:02d}")
+    # Arrays (power-of-two sizes so indices mask cheaply).
+    if array_sizes is None:
+        n_arrays = rng.randint(2, 4)
+        sizes_in: List[Optional[int]] = [None] * n_arrays
+    else:
+        sizes_in = list(array_sizes)
+    bases: List[int] = []
+    sizes: List[int] = []
+    for i, pinned in enumerate(sizes_in):
+        size = pinned if pinned is not None \
+            else rng.choice([64, 128, 256, 512])
+        if size & (size - 1) or size <= 0:
+            raise ValueError(f"array size {size} is not a power of two")
+        addr = a.data_words(
+            [data_rng.getrandbits(16) for _ in range(size)],
+            label=f"arr{i}")
+        bases.append(4 + i)
+        sizes.append(size)
+        a.li(f"r{4 + i}", addr)
+    a.data_zeros(1, label="result")
+    result = a.data_addr("result")
+
+    for reg in _TEMPS:
+        a.li(f"r{reg}", data_rng.getrandbits(12))
+    a.li("r15", 0)
+
+    if profile is None:
+        profile = rng.choice(list(PROFILES))
+    elif profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r} "
+                         f"(choose from {', '.join(PROFILES)})")
+    if n_loops is None:
+        n_loops = rng.randint(1, 3)
+    scale = 1.0 if input_name == "train" else ref_scale
+    for loop_index in range(n_loops):
+        loop_trips = trips if trips is not None else rng.randint(40, 160)
+        loop_trips = int(loop_trips * scale)
+        uid = f"L{loop_index}"
+        a.li("r1", 0)
+        a.li("r2", loop_trips)
+        a.label(f"{uid}_top")
+        body = _BodyGenerator(a, rng, bases, sizes, uid)
+        loop_ops = ops if ops is not None else rng.randint(5, 14)
+        body.emit_body(loop_ops, profile)
+        a.addi("r1", "r1", 1)
+        a.blt("r1", "r2", f"{uid}_top")
+    a.st("r15", "r0", result)
+    a.halt()
+    return a.build()
+
+
 def synth_builder(seed: int):
     """A builder function for the synthetic benchmark with ``seed``."""
 
     def build(input_name: str) -> Program:
-        # Two streams: *structure* must be identical across inputs (the
-        # cross-input robustness study profiles on one input and runs on
-        # another, so static code must line up PC-for-PC); *data* varies.
-        rng = random.Random(seed * 7919)
-        data_rng = random.Random(seed * 7919 + (0 if input_name == "train"
-                                                else 104729))
-        a = Assembler(f"synth{seed:02d}")
-        # Arrays (power-of-two sizes so indices mask cheaply).
-        n_arrays = rng.randint(2, 4)
-        bases: List[int] = []
-        sizes: List[int] = []
-        for i in range(n_arrays):
-            size = rng.choice([64, 128, 256, 512])
-            addr = a.data_words(
-                [data_rng.getrandbits(16) for _ in range(size)],
-                label=f"arr{i}")
-            bases.append(4 + i)
-            sizes.append(size)
-            a.li(f"r{4 + i}", addr)
-        a.data_zeros(1, label="result")
-        result = a.data_addr("result")
-
-        for reg in _TEMPS:
-            a.li(f"r{reg}", data_rng.getrandbits(12))
-        a.li("r15", 0)
-
-        profile = rng.choice(["compute", "memory", "branchy", "serial"])
-        n_loops = rng.randint(1, 3)
-        scale = 1.0 if input_name == "train" else 1.7
-        for loop_index in range(n_loops):
-            trips = int(rng.randint(40, 160) * scale)
-            uid = f"L{loop_index}"
-            a.li("r1", 0)
-            a.li("r2", trips)
-            a.label(f"{uid}_top")
-            body = _BodyGenerator(a, rng, bases, sizes, uid)
-            body.emit_body(rng.randint(5, 14), profile)
-            a.addi("r1", "r1", 1)
-            a.blt("r1", "r2", f"{uid}_top")
-        a.st("r15", "r0", result)
-        a.halt()
-        return a.build()
+        return synth_program(seed, input_name)
 
     return build
 

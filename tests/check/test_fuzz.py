@@ -1,0 +1,184 @@
+"""Property-based fuzzer, shrinker, and the acceptance scenario:
+an intentionally broken selector must be caught by lockstep and shrunk
+to a tiny reproducer."""
+
+import json
+
+from repro.check.fuzz import (
+    CheckFailure, FuzzSpec, check_program, default_selectors, replay,
+    run_fuzz,
+)
+from repro.check.shrink import ddmin, delete_instructions
+from repro.minigraph import StructAll
+from repro.minigraph.candidates import Candidate
+from repro.workloads.generator import PROFILES
+
+
+# -- spec determinism ------------------------------------------------------
+
+def test_spec_derive_is_deterministic():
+    for seed in (0, 7, 123456789):
+        a, b = FuzzSpec.derive(seed), FuzzSpec.derive(seed)
+        assert a == b
+        assert a.profile in PROFILES
+        assert 1 <= a.n_loops <= 3
+        assert 4 <= a.trips <= 32
+        assert 2 <= a.ops <= 10
+        assert all(size in (16, 32, 64, 128) for size in a.array_sizes)
+    assert len({FuzzSpec.derive(s) for s in range(20)}) > 1
+
+
+def test_spec_build_is_deterministic():
+    spec = FuzzSpec.derive(3)
+    assert spec.build().listing() == spec.build().listing()
+
+
+def test_spec_dict_roundtrip():
+    spec = FuzzSpec.derive(42)
+    assert FuzzSpec.from_dict(spec.to_dict()) == spec
+
+
+# -- clean campaigns -------------------------------------------------------
+
+def test_check_program_clean():
+    assert check_program(FuzzSpec.derive(0).build()) is None
+
+
+def test_run_fuzz_clean_campaign():
+    report = run_fuzz(budget=600.0, seed=0, max_programs=6)
+    assert report.ok
+    assert report.programs == 6
+    assert report.checks == 6 * len(default_selectors())
+    assert len(report.selectors) == 5
+    assert "no divergences" in report.render()
+
+
+def test_replay_clean():
+    assert replay(0) is None
+
+
+# -- broken-selector injection (the acceptance scenario) -------------------
+
+def _swap_candidate(site, **overrides):
+    cand = site.candidate
+    fields = dict(program=cand.program, start=cand.start, end=cand.end,
+                  ext_inputs=cand.ext_inputs, output=cand.output,
+                  edges=cand.edges, serialization=cand.serialization)
+    fields.update(overrides)
+    site.candidate = Candidate(
+        fields["program"], fields["start"], fields["end"],
+        fields["ext_inputs"], fields["output"], fields["edges"],
+        fields["serialization"])
+
+
+def _drop_output_hook(program, selector, plan):
+    """A buggy selector that treats one live output as interior state."""
+    for site in plan.sites:
+        if site.candidate.output is not None and site.frequency > 0:
+            _swap_candidate(site, output=None)
+            break
+    return plan
+
+
+def _corrupt_edges_hook(program, selector, plan):
+    """A statically illegal plan that still executes correctly."""
+    for site in plan.sites:
+        if site.candidate.edges:
+            _swap_candidate(site, edges=())
+            break
+    return plan
+
+
+def test_broken_selector_caught_and_shrunk(tmp_path):
+    report = run_fuzz(budget=600.0, seed=0, max_programs=5,
+                      selectors=[StructAll()],
+                      plan_hook=_drop_output_hook,
+                      lint_plans=False,   # force the *lockstep* engine to catch it
+                      artifacts_dir=str(tmp_path),
+                      shrink_max_evals=200)
+    assert not report.ok
+    result = report.failures[0]
+    assert result.failure.kind == "lockstep"
+    assert result.failure.selector == StructAll().name
+    assert result.failure.divergence is not None
+    # The acceptance bar: a reproducer of at most 20 instructions.
+    assert result.shrunk_program is not None
+    assert len(result.shrunk_program) <= 20
+    assert result.shrunk_failure.signature == result.failure.signature
+    # Artifacts: a JSON reproducer with an exact replay command, and a
+    # human-readable listing.
+    assert len(result.artifact_paths) == 2
+    meta = json.loads((tmp_path / f"reproducer-{result.spec.seed}.json")
+                      .read_text())
+    assert meta["replay"] == f"repro fuzz --replay {result.spec.seed}"
+    assert FuzzSpec.from_dict(meta["spec"]) == result.spec
+    txt = (tmp_path / f"reproducer-{result.spec.seed}.txt").read_text()
+    assert "shrunk program" in txt
+
+
+def test_statically_illegal_plan_caught_by_lint():
+    report = run_fuzz(budget=600.0, seed=0, max_programs=3,
+                      selectors=[StructAll()],
+                      plan_hook=_corrupt_edges_hook,
+                      shrink=False)
+    assert not report.ok
+    failure = report.failures[0].failure
+    assert failure.kind == "lint"   # lockstep passed; the linter flagged it
+    assert "stale-edges" in failure.message
+    assert failure.issues
+
+
+def test_check_failure_signature_and_render():
+    failure = CheckFailure("lockstep", "struct-all", "boom")
+    assert failure.signature == ("lockstep", "struct-all")
+    assert "[lockstep]" in failure.render()
+    assert "struct-all" in failure.render()
+
+
+# -- the shrinker in isolation ---------------------------------------------
+
+def test_ddmin_finds_minimal_subset():
+    required = {3, 11}
+    evals = []
+
+    def keep_ok(subset):
+        evals.append(len(subset))
+        return required <= set(subset)
+
+    kept = ddmin(list(range(20)), keep_ok)
+    assert set(kept) == required
+    assert len(evals) <= 400
+
+
+def test_delete_instructions_remaps_branch_targets(sum_loop):
+    branch_pc, branch = next(
+        (pc, inst) for pc, inst in enumerate(sum_loop.instructions)
+        if inst.is_branch)
+    target = branch.imm
+    victim = next(pc for pc in range(target)
+                  if pc != branch_pc
+                  and not sum_loop.instructions[pc].is_control)
+    keep = [pc for pc in range(len(sum_loop)) if pc != victim]
+    reduced = delete_instructions(sum_loop, keep)
+    assert reduced is not None
+    assert len(reduced) == len(sum_loop) - 1
+    new_branch = reduced.instructions[keep.index(branch_pc)]
+    assert new_branch.imm == target - 1
+
+
+def test_delete_instructions_remaps_deleted_target(sum_loop):
+    branch_pc, branch = next(
+        (pc, inst) for pc, inst in enumerate(sum_loop.instructions)
+        if inst.is_branch)
+    target = branch.imm
+    keep = [pc for pc in range(len(sum_loop)) if pc != target]
+    reduced = delete_instructions(sum_loop, keep)
+    assert reduced is not None
+    # The deleted target now resolves to the next surviving instruction,
+    # which occupies the target's old (shifted) slot.
+    new_branch = reduced.instructions[keep.index(branch_pc)]
+    assert new_branch.imm == keep.index(target + 1)
+
+
+def test_delete_instructions_empty_keep(sum_loop):
+    assert delete_instructions(sum_loop, []) is None

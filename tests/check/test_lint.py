@@ -1,0 +1,160 @@
+"""Plan invariant linter: clean plans and seeded violations."""
+
+import pytest
+
+from repro.check.lint import (
+    PlanInvariantError, check_plan, lint_plan,
+)
+from repro.minigraph import StructAll, make_plan
+from repro.minigraph.candidates import Candidate
+from repro.minigraph.selection import MiniGraphPlan
+from repro.minigraph.selectors import (
+    SlackDynamicSelector, StructBounded, StructNone,
+)
+from repro.minigraph.templates import MGSite, MGTemplate, canonical_key
+
+
+def _plan_for(program, trace, selector=None):
+    return make_plan(program, trace.dynamic_count_of(),
+                     selector or StructAll())
+
+
+def _corrupt(site, **overrides):
+    cand = site.candidate
+    fields = dict(program=cand.program, start=cand.start, end=cand.end,
+                  ext_inputs=cand.ext_inputs, output=cand.output,
+                  edges=cand.edges, serialization=cand.serialization)
+    fields.update(overrides)
+    site.candidate = Candidate(
+        fields["program"], fields["start"], fields["end"],
+        fields["ext_inputs"], fields["output"], fields["edges"],
+        fields["serialization"])
+
+
+def _rules(issues):
+    return {issue.rule for issue in issues}
+
+
+# -- clean plans -----------------------------------------------------------
+
+def test_clean_plans_pass(sum_loop, sum_trace, branchy_loop, branchy_trace):
+    for program, trace in ((sum_loop, sum_trace),
+                           (branchy_loop, branchy_trace)):
+        for selector in (StructAll(), StructNone(), StructBounded(),
+                         SlackDynamicSelector()):
+            plan = _plan_for(program, trace, selector)
+            issues = lint_plan(program, plan)
+            assert issues == [], [i.render() for i in issues]
+            assert check_plan(program, plan) is plan
+
+
+# -- seeded violations -----------------------------------------------------
+
+def test_bounds_violation(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = plan.sites[0]
+    _corrupt(site, end=len(sum_loop.instructions) + 5)
+    assert "bounds" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_size_violation(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = plan.sites[0]
+    _corrupt(site, end=site.candidate.start + 1)  # a 1-constituent group
+    assert "size" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_basic_block_violation(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    n = len(sum_loop.instructions)
+    site = next(s for s in plan.sites
+                if sum_loop.block_of(s.start).end + 1 <= n)
+    _corrupt(site, end=sum_loop.block_of(site.start).end + 1)
+    assert "basic-block" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_stale_output(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = next(s for s in plan.sites if s.candidate.output is not None)
+    _corrupt(site, output=None)
+    assert "stale-output" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_stale_edges(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = next(s for s in plan.sites if s.candidate.edges)
+    _corrupt(site, edges=())
+    assert "stale-edges" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_stale_inputs(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = next(s for s in plan.sites if s.candidate.ext_inputs)
+    _corrupt(site, ext_inputs=site.candidate.ext_inputs[1:])
+    assert "stale-inputs" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_overlapping_sites(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = plan.sites[0]
+    clone = MGSite(999, site.template, site.candidate, 1)
+    bad = MiniGraphPlan(list(plan.sites) + [clone], plan.templates)
+    assert "overlap" in _rules(lint_plan(sum_loop, bad))
+
+
+def test_orphan_site(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    bad = MiniGraphPlan([plan.sites[0]], [])
+    assert "orphan-site" in _rules(lint_plan(sum_loop, bad))
+
+
+def test_duplicate_template(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    template = plan.sites[0].template
+    bad = MiniGraphPlan([plan.sites[0]], [template, template])
+    assert "duplicate-template" in _rules(lint_plan(sum_loop, bad))
+
+
+def test_template_shape_mismatch(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = plan.sites[0]
+    other = next(s.candidate for s in plan.sites
+                 if canonical_key(s.candidate)
+                 != canonical_key(site.candidate))
+    site.template = MGTemplate(site.template.id,
+                               canonical_key(other), other)
+    assert "template-shape" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_missing_template(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    plan.sites[0].template = None
+    assert "template" in _rules(lint_plan(sum_loop, plan))
+
+
+def test_budget_violation(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    assert len(plan.templates) > 0
+    issues = lint_plan(sum_loop, plan, budget=0)
+    assert "budget" in _rules(issues)
+    assert lint_plan(sum_loop, plan, budget=len(plan.templates)) == []
+
+
+def test_check_plan_raises_with_all_issues(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    for site in plan.sites[:2]:
+        _corrupt(site, output=None if site.candidate.output else (1, 0))
+    with pytest.raises(PlanInvariantError) as exc:
+        check_plan(sum_loop, plan)
+    assert exc.value.issues
+    assert sum_loop.name in str(exc.value)
+
+
+def test_issue_render_mentions_site_and_rule(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    site = next(s for s in plan.sites if s.candidate.output is not None)
+    _corrupt(site, output=None)
+    issue = next(i for i in lint_plan(sum_loop, plan)
+                 if i.rule == "stale-output")
+    assert f"site #{site.id}" in issue.render()
+    assert "stale-output" in issue.render()

@@ -1,0 +1,151 @@
+"""Differential lockstep engine: clean runs and seeded corruptions."""
+
+import pytest
+
+from repro.check.lockstep import (
+    LockstepError, assert_lockstep, lockstep_check,
+)
+from repro.isa.interp import MachineState, execute
+from repro.minigraph import StructAll, empty_plan, make_plan
+from repro.minigraph.candidates import Candidate
+from repro.minigraph.selectors import (
+    SlackDynamicSelector, StructBounded, StructNone,
+)
+from repro.workloads.suite import benchmark
+
+
+def _plan_for(program, trace, selector=None):
+    return make_plan(program, trace.dynamic_count_of(),
+                     selector or StructAll())
+
+
+# -- the two interpreters agree (MachineState is the reference side) ------
+
+def test_machinestate_matches_execute(sum_loop, branchy_loop):
+    for program in (sum_loop, branchy_loop):
+        trace = execute(program, capture_memory=True)
+        machine = MachineState(program)
+        stepped = machine.run()
+        assert len(stepped) == len(trace.records)
+        for a, b in zip(stepped, trace.records):
+            assert (a.pc, a.op, a.rd, a.addr, a.taken, a.next_pc) == \
+                (b.pc, b.op, b.rd, b.addr, b.taken, b.next_pc)
+        assert machine.memory == trace.final_memory
+        assert machine.halted
+
+
+def test_machinestate_matches_execute_on_benchmarks():
+    for name in ("crc32", "adpcm", "dijkstra"):
+        program = benchmark(name).program("train")
+        trace = execute(program, capture_memory=True)
+        machine = MachineState(program)
+        assert len(machine.run()) == len(trace.records)
+        assert machine.memory == trace.final_memory
+
+
+# -- clean plans pass ------------------------------------------------------
+
+def test_lockstep_ok_all_selectors(branchy_loop, branchy_trace):
+    for selector in (StructAll(), StructNone(), StructBounded(),
+                     SlackDynamicSelector()):
+        plan = _plan_for(branchy_loop, branchy_trace, selector)
+        report = lockstep_check(branchy_loop, plan, trace=branchy_trace,
+                                selector=selector.name)
+        assert report.ok, report.render()
+        assert report.records > 0
+
+
+def test_lockstep_counts_handles(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    assert plan.sites
+    report = lockstep_check(sum_loop, plan, trace=sum_trace)
+    assert report.ok
+    assert report.handles > 0
+    assert report.singletons > 0
+    assert report.stores_checked > 0
+    assert "OK" in report.render()
+
+
+def test_lockstep_empty_plan(sum_loop, sum_trace):
+    report = lockstep_check(sum_loop, empty_plan(), trace=sum_trace)
+    assert report.ok
+    assert report.handles == 0
+    assert report.singletons == len(sum_trace.records)
+
+
+def test_lockstep_without_precomputed_trace(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    assert lockstep_check(sum_loop, plan).ok
+
+
+# -- seeded corruptions are detected ---------------------------------------
+
+def _corrupt(site, **overrides):
+    """Replace a site's candidate with a corrupted copy."""
+    cand = site.candidate
+    fields = dict(program=cand.program, start=cand.start, end=cand.end,
+                  ext_inputs=cand.ext_inputs, output=cand.output,
+                  edges=cand.edges, serialization=cand.serialization)
+    fields.update(overrides)
+    site.candidate = Candidate(
+        fields["program"], fields["start"], fields["end"],
+        fields["ext_inputs"], fields["output"], fields["edges"],
+        fields["serialization"])
+
+
+def _site_with_output(plan):
+    return next(site for site in plan.sites
+                if site.candidate.output is not None
+                and site.frequency > 0)
+
+
+def test_detects_dropped_live_output(sum_loop, sum_trace):
+    """A selector treating a live output as interior must be caught."""
+    plan = _plan_for(sum_loop, sum_trace)
+    _corrupt(_site_with_output(plan), output=None)
+    report = lockstep_check(sum_loop, plan, trace=sum_trace)
+    assert not report.ok
+    assert "hidden" in report.divergence.message \
+        or report.divergence.field.startswith("r")
+
+
+def test_detects_phantom_output(sum_loop, sum_trace):
+    """A declared output no constituent writes is a divergence."""
+    plan = _plan_for(sum_loop, sum_trace)
+    site = _site_with_output(plan)
+    written = {inst.rd for inst in site.candidate.instructions()
+               if inst.writes_reg}
+    phantom = next(r for r in range(1, 32) if r not in written)
+    _corrupt(site, output=(phantom, 0))
+    report = lockstep_check(sum_loop, plan, trace=sum_trace)
+    assert not report.ok
+    assert report.divergence.field == "rd"
+
+
+def test_detects_undeclared_input(sum_loop, sum_trace):
+    """Dropping a declared external input must be caught at the read."""
+    plan = _plan_for(sum_loop, sum_trace)
+    site = next(site for site in plan.sites
+                if site.candidate.ext_inputs and site.frequency > 0)
+    _corrupt(site, ext_inputs=site.candidate.ext_inputs[1:])
+    report = lockstep_check(sum_loop, plan, trace=sum_trace)
+    assert not report.ok
+    assert "does not declare" in report.divergence.message
+
+
+def test_divergence_report_has_context(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    _corrupt(_site_with_output(plan), output=None)
+    report = lockstep_check(sum_loop, plan, trace=sum_trace)
+    rendered = report.render()
+    assert "DIVERGED" in rendered
+    assert "folded records" in rendered
+    assert "static code around the fault" in rendered
+
+
+def test_assert_lockstep_raises(sum_loop, sum_trace):
+    plan = _plan_for(sum_loop, sum_trace)
+    assert_lockstep(sum_loop, plan, trace=sum_trace)  # clean: no raise
+    _corrupt(_site_with_output(plan), output=None)
+    with pytest.raises(LockstepError):
+        assert_lockstep(sum_loop, plan, trace=sum_trace)

@@ -101,3 +101,74 @@ def test_cache_requires_directory(capsys, monkeypatch):
 def test_unknown_command():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_error_exit_is_one_line_not_traceback(capsys):
+    assert main(["run", "nosuchbench"]) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("repro: error:")
+    assert "Traceback" not in captured.err
+
+
+def test_fuzz_error_exit_on_bad_duration(capsys):
+    assert main(["fuzz", "--budget", "soon"]) == 2
+    assert capsys.readouterr().err.startswith("repro: error:")
+
+
+def test_fuzz_smoke(capsys):
+    assert main(["fuzz", "--budget", "3s", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "no divergences" in out
+    assert "5 selectors" in out
+
+
+def test_fuzz_bounded_by_programs(capsys):
+    assert main(["fuzz", "--budget", "10m", "--programs", "2",
+                 "--selectors", "struct-all", "struct-none"]) == 0
+    out = capsys.readouterr().out
+    assert "2 programs" in out
+    assert "4 (program, selector) checks" in out
+
+
+def test_fuzz_replay(capsys):
+    assert main(["fuzz", "--replay", "0"]) == 0
+    assert "no failure" in capsys.readouterr().out
+
+
+def test_fuzz_unknown_selector(capsys):
+    assert main(["fuzz", "--selectors", "struct-everything"]) == 2
+    assert "unknown selector" in capsys.readouterr().err
+
+
+def test_lint_plan_clean(capsys):
+    assert main(["lint-plan", "crc32", "--selector", "struct-all"]) == 0
+    out = capsys.readouterr().out
+    assert "crc32/struct-all: OK" in out
+    assert "sites" in out
+
+
+def test_gen_requires_seed_and_prints_listing(capsys):
+    assert main(["gen", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "seed 5" in out
+    assert "halt" in out
+
+
+def test_gen_pinned_parameters(capsys):
+    assert main(["gen", "--seed", "5", "--profile", "branchy",
+                 "--trips", "4", "--array-sizes", "16"]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["gen"])  # --seed is mandatory: reproducers must be exact
+
+
+def test_gen_rejects_bad_array_size(capsys):
+    assert main(["gen", "--seed", "5", "--array-sizes", "17"]) == 2
+    assert capsys.readouterr().err.startswith("repro: error:")
+
+
+def test_experiments_check_flag(capsys, tmp_path):
+    assert main(["experiments", "fig1", "--suites", "comm",
+                 "--limit", "1", "--check",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "FIG1" in capsys.readouterr().out

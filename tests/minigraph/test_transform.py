@@ -1,9 +1,12 @@
 """Outlining transform: binary layout and trace folding."""
 
+from repro.check.lockstep import lockstep_check
 from repro.isa.interp import execute
 from repro.minigraph import (
     StructAll, empty_plan, enumerate_candidates, fold_trace, make_plan,
 )
+from repro.minigraph.selection import MiniGraphPlan
+from repro.minigraph.templates import build_templates
 from repro.minigraph.transform import MGHandleRecord, TransformedBinary
 
 from tests.conftest import build_sum_loop
@@ -105,6 +108,81 @@ def test_fold_is_deterministic(sum_loop, sum_trace):
     second = fold_trace(sum_trace, plan)
     assert [(r.pc, r.kind) for r in first] == \
         [(r.pc, r.kind) for r in second]
+
+
+def _manual_plan(trace, picks):
+    """A plan from hand-picked candidates (bypasses selection)."""
+    templates = build_templates(list(picks), trace.dynamic_count_of())
+    sites = [site for template in templates for site in template.sites]
+    return MiniGraphPlan(sites, templates)
+
+
+def _build_back_to_back():
+    """Two independent 2-instruction groups with no gap between them."""
+    from repro.isa import Assembler
+    a = Assembler("b2b")
+    a.data_zeros(2, label="out")
+    out = a.data_addr("out")
+    a.li("r1", 5)
+    a.li("r2", 7)
+    a.slli("r3", "r1", 1)    # group 1: r3 interior,
+    a.add("r4", "r3", "r1")  #          r4 the live output
+    a.slli("r5", "r2", 1)    # group 2, immediately adjacent
+    a.add("r6", "r5", "r2")
+    a.st("r4", "r0", out)
+    a.st("r6", "r0", out + 1)
+    a.halt()
+    return a.build()
+
+
+def test_fold_back_to_back_minigraphs():
+    """Two immediately adjacent mini-graphs fold into adjacent handles
+    with no singleton between them and an unbroken next_pc chain."""
+    program = _build_back_to_back()
+    trace = execute(program)
+    candidates = enumerate_candidates(program)
+    first, second = next(
+        (a, b) for a in candidates for b in candidates
+        if a.end == b.start)
+    plan = _manual_plan(trace, [first, second])
+    records = fold_trace(trace, plan)
+    pairs = [(x, y) for x, y in zip(records, records[1:])
+             if x.kind == 1 and y.kind == 1
+             and x.site.start == first.start
+             and y.site.start == second.start]
+    assert pairs, "expected adjacent handle records"
+    for x, y in pairs:
+        assert x.next_pc == y.pc
+        assert y.pc == x.pc + 1  # handles are one slot each, no gap
+    total = sum(len(r.constituents) if r.kind == 1 else 1
+                for r in records)
+    assert total == len(trace.records)
+    assert lockstep_check(program, plan, trace=trace).ok
+
+
+def test_fold_minigraph_ending_block_at_taken_branch(sum_loop, sum_trace):
+    """A mini-graph whose final constituent is the block-ending branch:
+    the handle must carry the branch outcome and redirect to the
+    transformed-space target when taken."""
+    branch_pc, branch = next(
+        (pc, inst) for pc, inst in enumerate(sum_loop.instructions)
+        if inst.is_branch)
+    candidate = next(c for c in enumerate_candidates(sum_loop)
+                     if c.end == branch_pc + 1
+                     and c.instructions()[-1].is_branch)
+    plan = _manual_plan(sum_trace, [candidate])
+    records = fold_trace(sum_trace, plan)
+    handles = [r for r in records if r.kind == 1]
+    assert handles
+    outcomes = {h.taken for h in handles}
+    assert outcomes == {True, False}  # loop back-edge plus final exit
+    binary = TransformedBinary(sum_loop, plan)
+    for handle in handles:
+        if handle.taken:
+            assert handle.next_pc == binary.pc_map[branch.imm]
+        else:
+            assert handle.next_pc == handle.pc + 1
+    assert lockstep_check(sum_loop, plan, trace=sum_trace).ok
 
 
 def test_fold_different_programs_independent():

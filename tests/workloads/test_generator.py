@@ -1,7 +1,9 @@
 """Synthetic program generator invariants."""
 
+import pytest
+
 from repro.isa.interp import execute
-from repro.workloads.generator import synth_builder
+from repro.workloads.generator import PROFILES, synth_builder, synth_program
 from repro.workloads import benchmark
 
 
@@ -63,6 +65,46 @@ def test_population_diversity():
         densities.append((round(branches / len(trace), 2),
                           round(loads / len(trace), 2)))
     assert len(set(densities)) >= 6
+
+
+def test_synth_program_defaults_match_builder():
+    """The parameterized entry point with no pins is the registered
+    benchmark, byte for byte — fuzz seeds and synthNN share one stream."""
+    for seed in (1, 6, 19):
+        for input_name in ("train", "ref"):
+            via_builder = synth_builder(seed)(input_name)
+            direct = synth_program(seed, input_name)
+            assert direct.listing() == via_builder.listing()
+            assert direct.data == via_builder.data
+
+
+def test_synth_program_pinned_parameters():
+    program = synth_program(11, "train", profile="branchy", n_loops=1,
+                            trips=4, ops=3, array_sizes=(16,))
+    again = synth_program(11, "train", profile="branchy", n_loops=1,
+                          trips=4, ops=3, array_sizes=(16,))
+    assert program.listing() == again.listing()
+    # Pinned trip count keeps the run short.
+    assert len(execute(program, max_insts=50_000)) < 10_000
+
+
+def test_synth_program_partial_pins_are_deterministic():
+    a = synth_program(11, "train", trips=8)
+    b = synth_program(11, "train", trips=8)
+    assert a.listing() == b.listing()
+    assert a.listing() != synth_program(11, "train", trips=16).listing()
+
+
+def test_synth_program_custom_name():
+    assert synth_program(2, "train", name="fuzz2").name == "fuzz2"
+
+
+def test_synth_program_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        synth_program(1, "train", profile="chaotic")
+    with pytest.raises(ValueError):
+        synth_program(1, "train", array_sizes=(17,))
+    assert set(PROFILES) == {"compute", "memory", "branchy", "serial"}
 
 
 def test_registered_in_suite():
