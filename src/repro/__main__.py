@@ -250,6 +250,38 @@ def _cmd_gen(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .harness.bench import (
+        DEFAULT_BENCHMARKS, DEFAULT_SELECTORS, QUICK_BENCHMARKS,
+        QUICK_SELECTORS, check_against, load_report, run_bench, write_report,
+    )
+    if args.quick:
+        benchmarks = list(args.benchmarks or QUICK_BENCHMARKS)
+        selectors = list(args.selectors or QUICK_SELECTORS)
+    else:
+        benchmarks = list(args.benchmarks or DEFAULT_BENCHMARKS)
+        selectors = list(args.selectors or DEFAULT_SELECTORS)
+    runner = Runner(store=_store_for(args))
+    report = run_bench(benchmarks, selectors,
+                       config=config_by_name(args.config),
+                       label=args.label, repeat=args.repeat, runner=runner,
+                       log=lambda line: print(line, file=sys.stderr))
+    print(report.render())
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    if args.check_against is not None:
+        baseline = load_report(args.check_against)
+        failures = check_against(report, baseline,
+                                 tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"bench: FAIL {failure}", file=sys.stderr)
+            return 1
+        print(f"bench: OK against {args.check_against} "
+              f"(KIPS {report.kips:.1f} vs baseline {baseline.kips:.1f})")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache_dir = resolve_cache_dir(args.cache_dir)
     if cache_dir is None:
@@ -379,6 +411,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_gen.add_argument("--array-sizes", type=int, nargs="*", default=None,
                        help="power-of-two array sizes")
     p_gen.set_defaults(fn=_cmd_gen)
+
+    p_bench = sub.add_parser(
+        "bench", help="simulator throughput benchmark (KIPS) over a "
+                      "benchmark x selector matrix")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small matrix for CI smoke runs")
+    p_bench.add_argument("--benchmarks", nargs="*", default=None,
+                         help="override the benchmark list")
+    p_bench.add_argument("--selectors", nargs="*", default=None,
+                         help="override the selector list "
+                              "(none struct-all struct-none struct-bounded "
+                              "slack-profile)")
+    p_bench.add_argument("--config", default="reduced")
+    p_bench.add_argument("--label", default="local",
+                         help="writes BENCH_<label>.json")
+    p_bench.add_argument("--out", default=".",
+                         help="directory for the BENCH json "
+                              "(default: current directory)")
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="time each point N times, keep the fastest")
+    p_bench.add_argument("--check-against", default=None, metavar="FILE",
+                         help="fail on fidelity drift or aggregate KIPS "
+                              "regression vs this BENCH json")
+    p_bench.add_argument("--tolerance", type=float, default=0.20,
+                         help="allowed fractional KIPS regression "
+                              "(default 0.20)")
+    _add_cache_flags(p_bench)
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_cache = sub.add_parser("cache",
                              help="artifact store maintenance")

@@ -48,6 +48,13 @@ MISS = object()
 #: change what a trace/plan/timing run contains.
 _SALT_PACKAGES = ("isa", "pipeline", "minigraph", "workloads", "analysis")
 
+#: Explicit version of the trace/record memory layout and the timing
+#: core's execution strategy. The source digest below already covers
+#: Python edits; bump this when a change alters artifact content in a
+#: way the digest cannot see (or to force a fleet-wide cache flush).
+#: 2 = flat ``PackedTrace`` columns + event-driven core + compiled kernel.
+LAYOUT_VERSION = 2
+
 _code_version: Optional[str] = None
 
 
@@ -57,14 +64,19 @@ def code_version() -> str:
     Any edit to the ISA, pipeline model, mini-graph machinery, workload
     builders, or analysis code changes the salt and silently invalidates
     every cached artifact — stale results can never be served after a
-    code change.
+    code change. Non-Python sources (the compiled timing kernel) and the
+    explicit :data:`LAYOUT_VERSION` are folded in as well.
     """
     global _code_version
     if _code_version is None:
         digest = hashlib.sha256()
+        digest.update(f"layout:{LAYOUT_VERSION}".encode())
         pkg_root = Path(__file__).resolve().parent.parent
         for package in _SALT_PACKAGES:
-            for path in sorted((pkg_root / package).glob("*.py")):
+            package_root = pkg_root / package
+            paths = sorted(package_root.glob("*.py")) + \
+                sorted(package_root.glob("*.c"))
+            for path in paths:
                 digest.update(path.name.encode())
                 digest.update(path.read_bytes())
         _code_version = digest.hexdigest()[:16]

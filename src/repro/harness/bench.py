@@ -1,0 +1,268 @@
+"""``repro bench``: the performance harness for the simulator itself.
+
+Every experiment in the reproduction bottlenecks on
+:meth:`repro.pipeline.core.OoOCore.run`, so simulator throughput is a
+first-class, regression-gated metric. This module runs a fixed
+benchmark × selector matrix, times the *timing run only* (traces, plans
+and trace folding are prepared — and memoized — before the stopwatch
+starts), and reports per-point and aggregate:
+
+``wall_s``
+    Wall-clock seconds of ``OoOCore.run()``.
+``cycles`` / ``ipc`` / ``coverage``
+    The simulated results, recorded so a perf report doubles as a
+    fidelity check: two BENCH files for the same matrix must agree on
+    these byte-for-byte, whatever their KIPS say.
+``kips``
+    Thousands of trace records retired per wall-second — committed
+    *original-program* instructions (a retired mini-graph handle counts
+    its constituents), so the figure is comparable across selectors.
+
+Results are written to ``BENCH_<label>.json`` so the perf trajectory of
+the simulator is part of the repository history, and
+:func:`check_against` gates CI on both fidelity (exact) and throughput
+(tolerance). See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..pipeline.config import MachineConfig, config_by_name
+from ..pipeline.core import OoOCore
+from .runner import Runner
+
+#: The default matrix: a deliberate mix of compute-bound (crafty, fft),
+#: branchy (gzip, dijkstra), serial (g721pred) and memory-bound (mcf)
+#: workloads so aggregate KIPS cannot be gamed by one behaviour class.
+DEFAULT_BENCHMARKS = ("crc32", "dijkstra", "fft", "g721pred", "mcf",
+                      "gzip", "crafty", "patricia")
+DEFAULT_SELECTORS = ("none", "struct-all", "slack-profile")
+
+#: ``--quick`` matrix for CI smoke runs.
+QUICK_BENCHMARKS = ("crc32", "dijkstra", "mcf")
+QUICK_SELECTORS = ("none", "struct-all")
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchPoint:
+    """One benchmark × selector measurement."""
+
+    bench: str
+    selector: str
+    config: str
+    records: int          # records in the (possibly folded) trace
+    instructions: int     # committed original-program instructions
+    cycles: int
+    ipc: float
+    coverage: float
+    wall_s: float
+    kips: float
+
+
+@dataclass
+class BenchReport:
+    """A full matrix run, serializable to ``BENCH_<label>.json``."""
+
+    label: str
+    schema: int = SCHEMA_VERSION
+    created: str = ""
+    python: str = ""
+    platform: str = ""
+    config: str = "reduced"
+    repeat: int = 1
+    points: List[BenchPoint] = field(default_factory=list)
+    total_instructions: int = 0
+    total_wall_s: float = 0.0
+    kips: float = 0.0
+    peak_rss_kb: int = 0
+
+    def finalize(self) -> None:
+        self.total_instructions = sum(p.instructions for p in self.points)
+        self.total_wall_s = sum(p.wall_s for p in self.points)
+        self.kips = (self.total_instructions / self.total_wall_s / 1e3
+                     if self.total_wall_s else 0.0)
+        self.peak_rss_kb = peak_rss_kb()
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        lines = [f"{'bench':<10s} {'selector':<14s} {'cycles':>9s} "
+                 f"{'ipc':>7s} {'cover':>7s} {'wall_s':>8s} {'KIPS':>8s}"]
+        for p in self.points:
+            lines.append(
+                f"{p.bench:<10s} {p.selector:<14s} {p.cycles:>9d} "
+                f"{p.ipc:>7.3f} {p.coverage:>7.1%} {p.wall_s:>8.3f} "
+                f"{p.kips:>8.1f}")
+        lines.append(
+            f"{'total':<10s} {'':<14s} {'':>9s} {'':>7s} {'':>7s} "
+            f"{self.total_wall_s:>8.3f} {self.kips:>8.1f}")
+        lines.append(f"peak RSS: {self.peak_rss_kb} kB   "
+                     f"({self.python}, {self.platform})")
+        return "\n".join(lines)
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in kB (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kB, macOS bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        peak //= 1024
+    return int(peak)
+
+
+def _prepare_point(runner: Runner, bench: str, selector: str):
+    """Build the record stream for one point (not timed)."""
+    trace = runner.trace(bench)
+    if selector == "none":
+        return trace.packed()
+    from ..minigraph.transform import fold_trace
+    sel = _selector_by_name(selector)
+    plan = runner.plan(bench, sel)
+    return fold_trace(trace, plan)
+
+
+def _selector_by_name(name: str):
+    from ..minigraph.selectors import (
+        SlackProfileSelector, StructAll, StructBounded, StructNone,
+    )
+    table = {"struct-all": StructAll, "struct-none": StructNone,
+             "struct-bounded": StructBounded,
+             "slack-profile": SlackProfileSelector}
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(f"unknown bench selector {name!r} "
+                         f"(choose from none, {', '.join(sorted(table))})") \
+            from None
+
+
+def run_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+              selectors: Sequence[str] = DEFAULT_SELECTORS,
+              config: Optional[MachineConfig] = None,
+              label: str = "local",
+              repeat: int = 1,
+              runner: Optional[Runner] = None,
+              log: Optional[Callable[[str], None]] = None) -> BenchReport:
+    """Run the matrix and return a :class:`BenchReport`.
+
+    ``repeat`` times each point's ``OoOCore.run()`` that many times and
+    keeps the *fastest* wall time (simulated results are deterministic,
+    so repeats only tighten the clock; cycles/IPC/coverage come from the
+    first run and are asserted identical across repeats).
+    """
+    if config is None:
+        config = config_by_name("reduced")
+    if runner is None:
+        runner = Runner()
+    report = BenchReport(
+        label=label,
+        created=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        python=platform.python_version(),
+        platform=f"{platform.system()}-{platform.machine()}",
+        config=config.name, repeat=repeat)
+    for bench in benchmarks:
+        for selector in selectors:
+            records = _prepare_point(runner, bench, selector)
+            best: Optional[Tuple[float, int, float, float, int]] = None
+            for _ in range(max(1, repeat)):
+                core = OoOCore(config, records, warm_caches=True)
+                start = time.perf_counter()
+                stats = core.run()
+                wall = time.perf_counter() - start
+                point = (wall, stats.cycles, stats.ipc, stats.coverage,
+                         stats.original_committed)
+                if best is not None and point[1:] != best[1:]:
+                    raise RuntimeError(
+                        f"{bench}/{selector}: non-deterministic rerun "
+                        f"({point[1:]} vs {best[1:]})")
+                if best is None or wall < best[0]:
+                    best = point
+            wall, cycles, ipc, coverage, insts = best
+            report.points.append(BenchPoint(
+                bench=bench, selector=selector, config=config.name,
+                records=len(records), instructions=insts, cycles=cycles,
+                ipc=ipc, coverage=coverage, wall_s=wall,
+                kips=insts / wall / 1e3 if wall else 0.0))
+            if log is not None:
+                p = report.points[-1]
+                log(f"[bench] {bench}/{selector}: {p.kips:.1f} KIPS "
+                    f"({p.cycles} cycles, ipc {p.ipc:.3f})")
+    report.finalize()
+    return report
+
+
+def write_report(report: BenchReport, out_dir: Path = Path(".")) -> Path:
+    """Write ``BENCH_<label>.json`` and return its path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report.label}.json"
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path) -> BenchReport:
+    """Load a ``BENCH_*.json`` back into a :class:`BenchReport`."""
+    with open(path) as handle:
+        data = json.load(handle)
+    points = [BenchPoint(**p) for p in data.pop("points", [])]
+    known = {f for f in BenchReport.__dataclass_fields__}
+    report = BenchReport(**{k: v for k, v in data.items() if k in known})
+    report.points = points
+    return report
+
+
+def check_against(current: BenchReport, baseline: BenchReport,
+                  tolerance: float = 0.20) -> List[str]:
+    """Regression-gate ``current`` against a committed ``baseline``.
+
+    Returns a list of failures (empty = pass):
+
+    * fidelity — every point present in both reports must agree exactly
+      on cycles, IPC, and coverage (the simulated results are
+      deterministic; any drift is a correctness bug, not noise);
+    * throughput — aggregate KIPS must not fall more than ``tolerance``
+      below the baseline (per-point KIPS is reported but not gated: it
+      is too noisy on shared CI runners).
+    """
+    failures: List[str] = []
+    base_points = {(p.bench, p.selector, p.config): p
+                   for p in baseline.points}
+    compared = 0
+    for point in current.points:
+        base = base_points.get((point.bench, point.selector, point.config))
+        if base is None:
+            continue
+        compared += 1
+        for fld in ("cycles", "ipc", "coverage", "instructions"):
+            got, want = getattr(point, fld), getattr(base, fld)
+            if got != want:
+                failures.append(
+                    f"{point.bench}/{point.selector}: {fld} diverged "
+                    f"from baseline ({got!r} != {want!r})")
+    if not compared:
+        failures.append("no overlapping matrix points with the baseline")
+        return failures
+    if baseline.kips > 0:
+        floor = baseline.kips * (1.0 - tolerance)
+        if current.kips < floor:
+            failures.append(
+                f"aggregate KIPS regressed: {current.kips:.1f} < "
+                f"{floor:.1f} (baseline {baseline.kips:.1f} "
+                f"- {tolerance:.0%})")
+    return failures

@@ -137,7 +137,7 @@ class Runner:
 
         def compute() -> RunStats:
             trace = self.trace(bench, input_name)
-            core = OoOCore(config, trace.records,
+            core = OoOCore(config, trace.packed(),
                            warm_caches=self.warm_caches)
             stats = core.run()
             stats.program_name = bench.name
@@ -172,7 +172,7 @@ class Runner:
                 collector = SlackCollector(bench.program(input_name),
                                            config_name=config.name,
                                            input_name=input_name)
-            core = OoOCore(config, trace.records, collector=collector,
+            core = OoOCore(config, trace.packed(), collector=collector,
                            warm_caches=self.warm_caches)
             stats = core.run()
             stats.program_name = bench.name

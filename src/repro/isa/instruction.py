@@ -48,7 +48,12 @@ class Instruction:
         Symbolic control-flow target; resolved to ``imm`` by the assembler.
     """
 
-    __slots__ = ("op", "rd", "srcs", "imm", "target_label", "pc")
+    __slots__ = ("op", "rd", "srcs", "imm", "target_label", "pc",
+                 # classification, memoized at construction (hot simulator
+                 # loops read these as plain attributes, not properties)
+                 "opclass", "latency", "writes_reg", "is_branch", "is_jump",
+                 "is_control", "is_indirect", "is_load", "is_store",
+                 "is_memory")
 
     def __init__(self, op: int, rd: Optional[int] = None,
                  srcs: Tuple[int, ...] = (), imm: int = 0,
@@ -73,49 +78,18 @@ class Instruction:
         self.target_label = target_label
         self.pc = -1  # assigned when placed into a Program
 
-    # -- classification ----------------------------------------------------
-
-    @property
-    def opclass(self) -> int:
-        return OP_INFO[self.op].opclass
-
-    @property
-    def latency(self) -> int:
-        return OP_INFO[self.op].latency
-
-    @property
-    def writes_reg(self) -> bool:
-        return OP_INFO[self.op].writes_reg and self.rd != REG_ZERO
-
-    @property
-    def is_branch(self) -> bool:
-        """Conditional control transfer."""
-        return OP_INFO[self.op].opclass == OC_BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        """Unconditional control transfer."""
-        return OP_INFO[self.op].opclass == OC_JUMP
-
-    @property
-    def is_control(self) -> bool:
-        return self.opclass in (OC_BRANCH, OC_JUMP)
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.op == JR
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass == OC_LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass == OC_STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opclass in (OC_LOAD, OC_STORE)
+        # -- classification (instances are immutable; op/rd never change) --
+        opclass = info.opclass
+        self.opclass = opclass
+        self.latency = info.latency
+        self.writes_reg = info.writes_reg and rd != REG_ZERO
+        self.is_branch = opclass == OC_BRANCH
+        self.is_jump = opclass == OC_JUMP
+        self.is_control = opclass in (OC_BRANCH, OC_JUMP)
+        self.is_indirect = op == JR
+        self.is_load = opclass == OC_LOAD
+        self.is_store = opclass == OC_STORE
+        self.is_memory = opclass in (OC_LOAD, OC_STORE)
 
     # -- rendering ----------------------------------------------------------
 

@@ -12,6 +12,7 @@ operations reinterpret as needed. Register ``r0`` is hardwired to zero.
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Optional
 
 from . import opcodes as oc
@@ -71,6 +72,103 @@ class TraceRecord:
                 f"addr={self.addr} next={self.next_pc}>")
 
 
+class PackedTrace:
+    """Struct-of-arrays view of a dynamic record stream.
+
+    The timing core's hot loops (fetch grouping, cache warm-up) read one
+    field from thousands of records per call; chasing a Python object per
+    record for that is cache-hostile and megamorphic. ``PackedTrace``
+    packs the scalar fields into parallel typed columns (``array('q')``,
+    with ``array('b')`` for the two flags) built once per trace, while
+    ``objs`` keeps the original record objects so consumers that want the
+    object view (rename sources, mini-graph constituents, lockstep
+    checking, tests) index it transparently: a ``PackedTrace`` is a
+    drop-in sequence of records.
+
+    Ragged ``srcs`` tuples are flattened into ``srcs`` with a CSR-style
+    ``srcs_start`` offset column (record ``i`` owns
+    ``srcs[srcs_start[i]:srcs_start[i+1]]``).
+
+    Mini-graph handle records (``kind == 1``) have no opcode; their
+    ``op``/``opclass``/``latency`` columns hold ``-1``/``OC_MGH``/``0``.
+    """
+
+    __slots__ = ("objs", "n", "kind", "pc", "op", "opclass", "latency",
+                 "rd", "addr", "taken", "next_pc", "srcs", "srcs_start")
+
+    def __init__(self, objs, kind, pc, op, opclass, latency, rd, addr,
+                 taken, next_pc, srcs, srcs_start):
+        self.objs = objs
+        self.n = len(objs)
+        self.kind = kind
+        self.pc = pc
+        self.op = op
+        self.opclass = opclass
+        self.latency = latency
+        self.rd = rd
+        self.addr = addr
+        self.taken = taken
+        self.next_pc = next_pc
+        self.srcs = srcs
+        self.srcs_start = srcs_start
+
+    @classmethod
+    def from_records(cls, records) -> "PackedTrace":
+        """Pack a record sequence (no-op copy if already packed)."""
+        if isinstance(records, cls):
+            return records
+        objs = list(records)
+        kind = array("b")
+        pc = array("q")
+        op = array("q")
+        opclass = array("q")
+        latency = array("q")
+        rd = array("q")
+        addr = array("q")
+        taken = array("b")
+        next_pc = array("q")
+        srcs = array("q")
+        srcs_start = array("q", [0])
+        for rec in objs:
+            if rec.kind == 1:
+                kind.append(1)
+                op.append(-1)
+                opclass.append(oc.OC_MGH)
+                latency.append(0)
+            else:
+                kind.append(0)
+                op.append(rec.op)
+                opclass.append(rec.opclass)
+                latency.append(rec.latency)
+            pc.append(rec.pc)
+            rd.append(rec.rd)
+            addr.append(rec.addr)
+            taken.append(1 if rec.taken else 0)
+            next_pc.append(rec.next_pc)
+            srcs.extend(rec.srcs)
+            srcs_start.append(len(srcs))
+        return cls(objs, kind, pc, op, opclass, latency, rd, addr, taken,
+                   next_pc, srcs, srcs_start)
+
+    def srcs_of(self, i: int) -> tuple:
+        """The source-register tuple of record ``i`` (columnar view)."""
+        return tuple(self.srcs[self.srcs_start[i]:self.srcs_start[i + 1]])
+
+    # -- sequence protocol: drop-in for the plain record list ----------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, index):
+        return self.objs[index]
+
+    def __iter__(self):
+        return iter(self.objs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PackedTrace n={self.n}>"
+
+
 class Trace:
     """A complete dynamic execution of a program."""
 
@@ -82,6 +180,22 @@ class Trace:
         self.input_name = input_name
         #: Final memory image, present when executed with capture_memory.
         self.final_memory = final_memory
+        self._packed: Optional[PackedTrace] = None
+
+    def packed(self) -> PackedTrace:
+        """Struct-of-arrays view of ``records``, built once and cached."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            packed = PackedTrace.from_records(self.records)
+            self._packed = packed
+        return packed
+
+    def __getstate__(self):
+        # The packed view is derived data; rebuild it after unpickling
+        # rather than doubling the artifact-store footprint.
+        state = self.__dict__.copy()
+        state["_packed"] = None
+        return state
 
     def __len__(self) -> int:
         return len(self.records)

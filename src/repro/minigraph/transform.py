@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..isa.interp import Trace, TraceRecord
+from ..isa.interp import PackedTrace, Trace, TraceRecord
 from ..isa.opcodes import OC_BRANCH
 from ..isa.program import Program
 from .selection import MiniGraphPlan
@@ -89,12 +89,13 @@ class TransformedBinary:
             outlined += (site.end - site.start) + 1
 
 
-def fold_trace(trace: Trace, plan: MiniGraphPlan) -> List:
+def fold_trace(trace: Trace, plan: MiniGraphPlan) -> PackedTrace:
     """Fold a singleton trace into its mini-graph form under ``plan``.
 
-    Returns the record list for the timing core: singleton records carry
-    rewritten PCs; dynamic instances of selected sites become
-    :class:`MGHandleRecord` aggregates.
+    Returns the record stream for the timing core as a
+    :class:`~repro.isa.interp.PackedTrace` (a drop-in sequence of
+    records): singleton records carry rewritten PCs; dynamic instances of
+    selected sites become :class:`MGHandleRecord` aggregates.
     """
     binary = TransformedBinary(trace.program, plan)
     pc_map = binary.pc_map
@@ -136,7 +137,7 @@ def fold_trace(trace: Trace, plan: MiniGraphPlan) -> List:
             tuple(reg for reg, _, _ in candidate.ext_inputs),
             addr, taken, next_pc, site, list(constituents)))
         i += size
-    return out
+    return PackedTrace.from_records(out)
 
 
 def singleton_records(trace: Trace) -> List[TraceRecord]:

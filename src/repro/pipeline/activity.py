@@ -40,6 +40,19 @@ class ActivityCounters:
         self.window_occupancy += window_len
         self.cycles += 1
 
+    def merge_cycles(self, iq_occupancy: int, window_occupancy: int,
+                     cycles: int) -> None:
+        """Accumulate occupancy sums for a block of ``cycles`` at once.
+
+        The timing core batches its per-cycle occupancy bookkeeping (and
+        charges skipped idle cycles at their frozen occupancy) and flushes
+        it here; the resulting totals are identical to calling
+        :meth:`merge_cycle` once per cycle.
+        """
+        self.iq_occupancy += iq_occupancy
+        self.window_occupancy += window_occupancy
+        self.cycles += cycles
+
     @property
     def avg_iq_occupancy(self) -> float:
         return self.iq_occupancy / self.cycles if self.cycles else 0.0

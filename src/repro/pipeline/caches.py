@@ -19,6 +19,7 @@ from .prefetch import NextLinePrefetcher, StridePrefetcher
 INST_BYTES = 4
 DATA_WORD_BYTES = 8
 PAGE_BYTES = 4096
+_PAGE_SHIFT = PAGE_BYTES.bit_length() - 1
 TLB_MISS_PENALTY = 30
 
 
@@ -34,9 +35,16 @@ class Cache:
         self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
         self.accesses = 0
         self.misses = 0
+        # Floor-dividing by a power of two is an arithmetic shift; the
+        # line split is on every fetch/load path, so precompute it.
+        lb = config.line_bytes
+        self._line_shift = lb.bit_length() - 1 if lb & (lb - 1) == 0 else -1
 
     def line_of(self, byte_addr: int) -> int:
         """The line index holding ``byte_addr``."""
+        shift = self._line_shift
+        if shift >= 0:
+            return byte_addr >> shift
         return byte_addr // self.line_bytes
 
     def probe(self, byte_addr: int) -> bool:
@@ -46,7 +54,11 @@ class Cache:
 
     def access(self, byte_addr: int) -> bool:
         """Access the line holding ``byte_addr``; returns hit?, updates LRU."""
-        line = self.line_of(byte_addr)
+        shift = self._line_shift
+        if shift >= 0:
+            line = byte_addr >> shift
+        else:
+            line = byte_addr // self.line_bytes
         entry_set = self._sets[line % self._n_sets]
         self.accesses += 1
         try:
@@ -93,7 +105,7 @@ class Tlb:
 
     def access(self, byte_addr: int) -> int:
         """Translation latency contribution: 0 on hit, the fill penalty on miss."""
-        page = byte_addr // PAGE_BYTES
+        page = byte_addr >> _PAGE_SHIFT
         entry_set = self._sets[page % self._n_sets]
         self.accesses += 1
         try:

@@ -1,0 +1,377 @@
+"""Compiled fast path for the timing core (build + marshal + run).
+
+``_ckern.c`` is a statement-for-statement C port of the hot loop in
+:mod:`repro.pipeline.core` for the common no-instrumentation case
+(``policy is None and collector is None and tracer is None`` — every
+``repro bench`` point and every memoized baseline run). This module
+
+* compiles it on demand with the system C compiler (no third-party
+  dependencies; the shared object is cached under the user cache dir,
+  keyed by a hash of the C source, so rebuilds only happen when the
+  source changes),
+* flattens the trace's mini-graph handle metadata into int64 columns the
+  kernel can walk (the scalar columns come straight from
+  :class:`~repro.isa.interp.PackedTrace` buffers, zero-copy),
+* copies the kernel's counters back into the core's ``RunStats`` /
+  ``ActivityCounters`` / hierarchy objects so callers cannot tell which
+  path ran.
+
+The Python implementation remains the behavioural reference: the golden
+stats gate, ``tests/pipeline/test_ckern.py`` and the lockstep fuzzer hold
+both paths to bit-identical results. Set ``REPRO_PURE_PY=1`` to force the
+Python path (or when no C compiler is available, it is used
+automatically).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from array import array
+from typing import Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SOURCE = os.path.join(_HERE, "_ckern.c")
+
+# -- configuration slots (must match the enum in _ckern.c) -------------
+(CFG_WIDTH, CFG_ISSUE_QUEUE, CFG_RENAME_POOL, CFG_ROB,
+ CFG_LOAD_QUEUE, CFG_STORE_QUEUE,
+ CFG_PORTS_SIMPLE, CFG_PORTS_COMPLEX, CFG_PORTS_LOAD, CFG_PORTS_STORE,
+ CFG_FRONT_DELAY, CFG_REGREAD, CFG_TO_COMMIT,
+ CFG_IL1_SETS, CFG_IL1_ASSOC, CFG_IL1_LINE, CFG_IL1_LAT,
+ CFG_DL1_SETS, CFG_DL1_ASSOC, CFG_DL1_LINE, CFG_DL1_LAT,
+ CFG_L2_SETS, CFG_L2_ASSOC, CFG_L2_LINE, CFG_L2_LAT,
+ CFG_MEM_LATENCY,
+ CFG_ITLB_SETS, CFG_ITLB_ASSOC, CFG_DTLB_SETS, CFG_DTLB_ASSOC,
+ CFG_TLB_MISS_PENALTY,
+ CFG_BIM_MASK, CFG_GSH_MASK, CFG_CHO_MASK,
+ CFG_BTB_SETS, CFG_BTB_ASSOC, CFG_RAS_ENTRIES,
+ CFG_SS_MASK, CFG_FORWARD_LATENCY,
+ CFG_IL1_NLP, CFG_DL1_STRIDE, CFG_STRIDE_MASK, CFG_STRIDE_CONF,
+ CFG_MG_MAX_ISSUE, CFG_MG_MAX_MEM_ISSUE, CFG_MG_ALU_PIPES,
+ CFG_MGT_ENTRIES, CFG_MGT_FILL_LATENCY,
+ CFG_FETCH_BUFFER_CAP, CFG_WARM, CFG_OP_JAL, CFG_OP_JR,
+ CFG_COUNT) = range(53)
+
+# -- output slots (must match the enum in _ckern.c) --------------------
+(OUT_CYCLES, OUT_CYCLES_SKIPPED,
+ OUT_ORIGINAL_COMMITTED, OUT_HANDLES_COMMITTED, OUT_EMBEDDED_COMMITTED,
+ OUT_SLOTS_COMMITTED,
+ OUT_FETCH_CYCLES_BLOCKED, OUT_ICACHE_STALL_CYCLES,
+ OUT_COND_PRED, OUT_COND_MISPRED, OUT_IND_PRED, OUT_IND_MISPRED,
+ OUT_LOADS_ISSUED, OUT_STORE_FORWARDS, OUT_ORDERING_VIOLATIONS,
+ OUT_REPLAYS,
+ OUT_MG_SERIALIZED, OUT_MG_CONSUMER_DELAYS, OUT_MGT_MISSES,
+ OUT_IL1_ACC, OUT_IL1_MISS, OUT_DL1_ACC, OUT_DL1_MISS,
+ OUT_L2_ACC, OUT_L2_MISS,
+ OUT_ITLB_ACC, OUT_ITLB_MISS, OUT_DTLB_ACC, OUT_DTLB_MISS,
+ OUT_IL1_PF_ISSUED, OUT_DL1_PF_ISSUED, OUT_SS_VIOLATIONS,
+ OUT_ACT_FETCH_SLOTS, OUT_ACT_RENAME_OPS, OUT_ACT_MAP_READS,
+ OUT_ACT_PHYS_ALLOCS, OUT_ACT_IQ_INSERTIONS,
+ OUT_ACT_IQ_OCCUPANCY, OUT_ACT_WINDOW_OCCUPANCY,
+ OUT_ACT_SELECT_SLOTS, OUT_ACT_RF_READS, OUT_ACT_RF_WRITES,
+ OUT_ACT_COMMIT_SLOTS, OUT_ACT_CYCLES,
+ OUT_DEAD_CYCLE, OUT_DEAD_IX, OUT_DEAD_WINDOW,
+ OUT_COUNT) = range(48)
+
+RC_OK = 0
+RC_BUDGET = 1
+RC_NO_COMMIT = 2
+RC_NOMEM = 3
+
+# The kernel bounds per-uop producer fan-in; traces beyond it (none in
+# practice: ISA ops have <= 3 sources, handles a handful of external
+# inputs) fall back to the Python path.
+MAX_PRODUCERS = 8
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_I8P = ctypes.POINTER(ctypes.c_int8)
+
+
+class _CTrace(ctypes.Structure):
+    """Mirror of the CTrace struct in ``_ckern.c`` (field order matters)."""
+
+    _fields_ = [
+        ("pc", _I64P), ("op", _I64P), ("opclass", _I64P),
+        ("latency", _I64P), ("rd", _I64P), ("addr", _I64P),
+        ("next_pc", _I64P), ("srcs", _I64P), ("srcs_start", _I64P),
+        ("kind", _I8P), ("taken", _I8P),
+        ("n", ctypes.c_int64),
+        ("hidx", _I64P),
+        ("h_tpl", _I64P), ("h_nominal", _I64P), ("h_outix", _I64P),
+        ("h_flags", _I64P),
+        ("h_mem_pc", _I64P), ("h_site", _I64P), ("h_coff", _I64P),
+        ("h_cnt", _I64P),
+        ("c_opclass", _I64P), ("c_latency", _I64P), ("c_addr", _I64P),
+        ("c_rd", _I64P),
+        ("site_consumer_ix", _I64P),
+        ("n_handles", ctypes.c_int64), ("n_sites", ctypes.c_int64),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Build
+# ---------------------------------------------------------------------
+
+_lib = None
+_lib_failed = False
+
+
+def _cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or \
+        os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-ckern")
+
+
+def _find_compiler() -> Optional[str]:
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _build() -> Optional[str]:
+    """Compile ``_ckern.c`` into a cached shared object; None on failure."""
+    try:
+        with open(_SOURCE, "rb") as f:
+            source = f.read()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    for cache_dir in (_cache_dir(),
+                      os.path.join(tempfile.gettempdir(), "repro-ckern")):
+        lib_path = os.path.join(cache_dir, f"ckern-{digest}.so")
+        if os.path.exists(lib_path):
+            return lib_path
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+            os.close(fd)
+            cmd = [compiler, "-O2", "-fPIC", "-shared", "-o", tmp, _SOURCE]
+            proc = subprocess.run(cmd, capture_output=True, timeout=120)
+            if proc.returncode != 0:
+                os.unlink(tmp)
+                return None
+            os.replace(tmp, lib_path)  # atomic: concurrent builds race safely
+            return lib_path
+        except OSError:
+            continue
+    return None
+
+
+def _load():
+    global _lib, _lib_failed
+    if _lib is not None or _lib_failed:
+        return _lib
+    lib_path = _build()
+    if lib_path is None:
+        _lib_failed = True
+        return None
+    try:
+        lib = ctypes.CDLL(lib_path)
+        lib.repro_run.restype = ctypes.c_int64
+        lib.repro_run.argtypes = [_I64P, ctypes.POINTER(_CTrace), _I64P,
+                                  ctypes.c_int64]
+    except OSError:
+        _lib_failed = True
+        return None
+    _lib = lib
+    return lib
+
+
+def available() -> bool:
+    """True when the compiled kernel can be used in this process."""
+    if os.environ.get("REPRO_PURE_PY"):
+        return False
+    return _load() is not None
+
+
+# ---------------------------------------------------------------------
+# Marshalling
+# ---------------------------------------------------------------------
+
+def _col(arr, ctype):
+    """A ctypes pointer over a typed array's buffer (zero-copy)."""
+    if not len(arr):
+        arr = array(arr.typecode, [0])
+    return ((ctype * len(arr)).from_buffer(arr), arr)
+
+
+class MarshalledTrace:
+    """The flat column view of one PackedTrace handed to the kernel."""
+
+    def __init__(self, struct, keepalive):
+        self.struct = struct
+        self._keepalive = keepalive  # buffers the struct points into
+
+
+def marshal(packed) -> Optional[MarshalledTrace]:
+    """Flatten ``packed`` (a PackedTrace) for the kernel; None if the
+    trace exceeds a kernel bound (caller falls back to Python)."""
+    n = packed.n
+    srcs_start = packed.srcs_start
+    max_srcs = 0
+    for i in range(n):
+        w = srcs_start[i + 1] - srcs_start[i]
+        if w > max_srcs:
+            max_srcs = w
+    if max_srcs > MAX_PRODUCERS:
+        return None
+
+    hidx = array("q", [-1] * n) if n else array("q")
+    h_tpl = array("q")
+    h_nominal = array("q")
+    h_outix = array("q")
+    h_flags = array("q")
+    h_mem_pc = array("q")
+    h_site = array("q")
+    h_coff = array("q")
+    h_cnt = array("q")
+    c_opclass = array("q")
+    c_latency = array("q")
+    c_addr = array("q")
+    c_rd = array("q")
+    site_ids = {}           # id(site) -> dense index
+    site_tables = array("q")
+    kinds = packed.kind
+    objs = packed.objs
+    for ix in range(n):
+        if kinds[ix] != 1:
+            continue
+        rec = objs[ix]
+        site = rec.site
+        tpl = rec.template
+        key = id(site)
+        dense = site_ids.get(key)
+        if dense is None:
+            dense = len(site_ids)
+            site_ids[key] = dense
+            table = [0] * 32
+            for reg, consumer in site.input_consumer_ix.items():
+                if 0 <= reg < 32:
+                    table[reg] = consumer
+            site_tables.extend(table)
+        hidx[ix] = len(h_tpl)
+        h_tpl.append(tpl.id)
+        h_nominal.append(tpl.nominal_out_latency)
+        h_outix.append(tpl.out_producer_ix)
+        h_flags.append((1 if tpl.has_branch else 0) |
+                       (2 if tpl.has_load else 0) |
+                       (4 if tpl.has_store else 0))
+        h_mem_pc.append(rec.site.mem_pc)
+        h_site.append(dense)
+        h_coff.append(len(c_opclass))
+        h_cnt.append(len(rec.constituents))
+        for c in rec.constituents:
+            c_opclass.append(c.opclass)
+            c_latency.append(c.latency)
+            c_addr.append(c.addr)
+            c_rd.append(c.rd)
+
+    keepalive = []
+
+    def col(arr, ctype=ctypes.c_int64):
+        buf, owner = _col(arr, ctype)
+        keepalive.append(owner)
+        keepalive.append(buf)
+        return ctypes.cast(buf, ctypes.POINTER(ctype))
+
+    struct = _CTrace(
+        pc=col(packed.pc), op=col(packed.op), opclass=col(packed.opclass),
+        latency=col(packed.latency), rd=col(packed.rd),
+        addr=col(packed.addr), next_pc=col(packed.next_pc),
+        srcs=col(packed.srcs), srcs_start=col(packed.srcs_start),
+        kind=col(packed.kind, ctypes.c_int8),
+        taken=col(packed.taken, ctypes.c_int8),
+        n=n,
+        hidx=col(hidx), h_tpl=col(h_tpl), h_nominal=col(h_nominal),
+        h_outix=col(h_outix), h_flags=col(h_flags),
+        h_mem_pc=col(h_mem_pc), h_site=col(h_site), h_coff=col(h_coff),
+        h_cnt=col(h_cnt),
+        c_opclass=col(c_opclass), c_latency=col(c_latency),
+        c_addr=col(c_addr), c_rd=col(c_rd),
+        site_consumer_ix=col(site_tables),
+        n_handles=len(h_tpl), n_sites=len(site_ids),
+    )
+    return MarshalledTrace(struct, keepalive)
+
+
+def pack_config(config, warm_caches: bool) -> array:
+    """The flat int64 config block consumed by the kernel."""
+    from ..isa import opcodes as oc
+    from .caches import TLB_MISS_PENALTY
+
+    cfg = array("q", [0] * CFG_COUNT)
+    cfg[CFG_WIDTH] = config.width
+    cfg[CFG_ISSUE_QUEUE] = config.issue_queue
+    cfg[CFG_RENAME_POOL] = max(config.phys_regs - 64, 8)
+    cfg[CFG_ROB] = config.rob
+    cfg[CFG_LOAD_QUEUE] = config.load_queue
+    cfg[CFG_STORE_QUEUE] = config.store_queue
+    cfg[CFG_PORTS_SIMPLE] = config.ports_simple
+    cfg[CFG_PORTS_COMPLEX] = config.ports_complex
+    cfg[CFG_PORTS_LOAD] = config.ports_load
+    cfg[CFG_PORTS_STORE] = config.ports_store
+    cfg[CFG_FRONT_DELAY] = config.stages_front - 1
+    cfg[CFG_REGREAD] = config.stages_regread
+    cfg[CFG_TO_COMMIT] = config.stages_to_commit
+    for slot, cc in ((CFG_IL1_SETS, config.il1), (CFG_DL1_SETS, config.dl1),
+                     (CFG_L2_SETS, config.l2)):
+        cfg[slot] = cc.n_sets
+        cfg[slot + 1] = cc.assoc
+        cfg[slot + 2] = cc.line_bytes
+        cfg[slot + 3] = cc.latency
+    cfg[CFG_MEM_LATENCY] = config.mem_latency
+    cfg[CFG_ITLB_SETS] = 64 // 4        # Tlb() defaults in caches.py
+    cfg[CFG_ITLB_ASSOC] = 4
+    cfg[CFG_DTLB_SETS] = 64 // 4
+    cfg[CFG_DTLB_ASSOC] = 4
+    cfg[CFG_TLB_MISS_PENALTY] = TLB_MISS_PENALTY
+    cfg[CFG_BIM_MASK] = (1 << config.bimodal_bits) - 1
+    cfg[CFG_GSH_MASK] = (1 << config.gshare_bits) - 1
+    cfg[CFG_CHO_MASK] = (1 << config.chooser_bits) - 1
+    cfg[CFG_BTB_SETS] = config.btb_entries // config.btb_assoc
+    cfg[CFG_BTB_ASSOC] = config.btb_assoc
+    cfg[CFG_RAS_ENTRIES] = config.ras_entries
+    cfg[CFG_SS_MASK] = config.store_sets - 1
+    cfg[CFG_FORWARD_LATENCY] = config.forward_latency
+    cfg[CFG_IL1_NLP] = 1 if config.il1_next_line_prefetch else 0
+    cfg[CFG_DL1_STRIDE] = 1 if config.dl1_stride_prefetch else 0
+    cfg[CFG_STRIDE_MASK] = 256 - 1      # StridePrefetcher() defaults
+    cfg[CFG_STRIDE_CONF] = 2
+    cfg[CFG_MG_MAX_ISSUE] = config.mg_max_issue
+    cfg[CFG_MG_MAX_MEM_ISSUE] = config.mg_max_mem_issue
+    cfg[CFG_MG_ALU_PIPES] = config.mg_alu_pipelines
+    cfg[CFG_MGT_ENTRIES] = config.mgt_entries
+    cfg[CFG_MGT_FILL_LATENCY] = config.l2.latency
+    cfg[CFG_FETCH_BUFFER_CAP] = (config.stages_front + 2) * config.width
+    cfg[CFG_WARM] = 1 if warm_caches else 0
+    cfg[CFG_OP_JAL] = oc.JAL
+    cfg[CFG_OP_JR] = oc.JR
+    return cfg
+
+
+def run(cfg: array, mtrace: MarshalledTrace, max_cycles: int):
+    """Invoke the kernel. Returns ``(rc, out)``; out is the counter block.
+
+    The kernel never mutates Python state, so any non-zero internal
+    failure (``RC_NOMEM``) leaves the core free to rerun in pure Python.
+    """
+    lib = _load()
+    if lib is None:
+        return RC_NOMEM, None
+    out = array("q", [0] * OUT_COUNT)
+    cfg_buf, _cfg_owner = _col(cfg, ctypes.c_int64)
+    out_buf = (ctypes.c_int64 * OUT_COUNT).from_buffer(out)
+    rc = lib.repro_run(
+        ctypes.cast(cfg_buf, _I64P), ctypes.byref(mtrace.struct),
+        ctypes.cast(out_buf, _I64P), max_cycles)
+    return rc, out

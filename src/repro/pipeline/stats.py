@@ -21,6 +21,9 @@ class RunStats:
     config_name: str = ""
     program_name: str = ""
     cycles: int = 0
+    #: Simulated cycles the event-driven core proved dead and jumped over
+    #: (a host-efficiency diagnostic; always included in ``cycles``).
+    cycles_skipped: int = 0
 
     # Instruction accounting
     original_committed: int = 0     # singleton-equivalent instructions

@@ -138,3 +138,26 @@ def test_stats_render_mentions_rate(tmp_path):
     text = store.stats.render()
     assert "1 hits / 2 lookups" in text
     assert "x 1/2" in text
+
+
+def test_layout_version_invalidates_cached_artifacts(tmp_path, monkeypatch):
+    """Bumping LAYOUT_VERSION changes the code salt, so artifacts cached
+    under the old trace/record layout can never be served again."""
+    from repro.exec import store as store_mod
+
+    monkeypatch.setattr(store_mod, "_code_version", None)
+    old_salt = code_version()
+    store = ArtifactStore(tmp_path, salt=old_salt)
+    key = store.key("baseline", {"bench": "crc32"})
+    store.put(key, {"cycles": 123}, kind="baseline")
+    assert store.get(key) == {"cycles": 123}
+
+    monkeypatch.setattr(store_mod, "_code_version", None)
+    monkeypatch.setattr(store_mod, "LAYOUT_VERSION",
+                        store_mod.LAYOUT_VERSION + 1)
+    new_salt = code_version()
+    assert new_salt != old_salt
+    fresh = ArtifactStore(tmp_path, salt=new_salt)
+    assert fresh.get(fresh.key("baseline", {"bench": "crc32"})) is MISS
+    # Same parameters, same kind — only the layout version differs.
+    assert fresh.key("baseline", {"bench": "crc32"}) != key

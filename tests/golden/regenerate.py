@@ -1,0 +1,77 @@
+"""Regenerate ``golden_stats.json`` after an *intentional* timing change.
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Overwrites ``tests/golden/golden_stats.json`` with the current timing
+core's results for the full golden matrix (the exact keys
+``tests/integration/test_golden_stats.py`` asserts against). The diff of
+that file *is* the behavioural change — it must be explained in review,
+never regenerated to silence an unexpected failure. See
+``docs/performance.md``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.runner import Runner
+from repro.minigraph.selectors import (
+    SlackProfileSelector, StructAll, StructBounded,
+)
+from repro.pipeline.config import config_by_name
+
+BENCHMARKS = ("crc32", "dijkstra", "fft", "mcf", "gzip")
+CONFIGS = ("reduced", "full")
+SELECTORS = {
+    "struct-all": StructAll,
+    "struct-bounded": StructBounded,
+    "slack-profile": SlackProfileSelector,
+}
+DYNAMIC_BENCHMARKS = ("crc32", "mcf")
+
+OUT = Path(__file__).resolve().parent / "golden_stats.json"
+
+
+def observed(stats, coverage):
+    return {
+        "cycles": stats.cycles,
+        "ipc": stats.ipc,
+        "coverage": coverage,
+        "original_committed": stats.original_committed,
+        "replays": stats.replays,
+        "store_forwards": stats.store_forwards,
+        "ordering_violations": stats.ordering_violations,
+        "mgt_misses": stats.mgt_misses,
+        "fetch_cycles_blocked": stats.fetch_cycles_blocked,
+        "icache_stall_cycles": stats.icache_stall_cycles,
+        "avg_iq_occupancy": stats.activity.avg_iq_occupancy,
+        "avg_window_occupancy": stats.activity.avg_window_occupancy,
+    }
+
+
+def main() -> int:
+    runner = Runner()
+    golden = {}
+    for bench in BENCHMARKS:
+        for config_name in CONFIGS:
+            config = config_by_name(config_name)
+            stats = runner.baseline(bench, config)
+            golden[f"{bench}/none/{config_name}"] = observed(stats, 0.0)
+            for name, selector in SELECTORS.items():
+                run = runner.run_selector(bench, selector(), config)
+                golden[f"{bench}/{name}/{config_name}"] = \
+                    observed(run.stats, run.stats.coverage)
+            print(f"[golden] {bench}/{config_name}", file=sys.stderr)
+    for bench in DYNAMIC_BENCHMARKS:
+        run = runner.run_slack_dynamic(bench, config_by_name("reduced"))
+        golden[f"{bench}/slack-dynamic/reduced"] = \
+            observed(run.stats, run.stats.coverage)
+    with open(OUT, "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {OUT} ({len(golden)} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

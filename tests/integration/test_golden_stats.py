@@ -1,0 +1,107 @@
+"""Golden-statistics regression gate for the timing core.
+
+``tests/golden/golden_stats.json`` holds the exact simulated results —
+cycles, IPC, coverage, and a spread of secondary counters — produced by
+the timing core for a benchmark × selector × machine matrix *before* the
+event-driven rewrite (PR 3). The timing model is deterministic, so every
+value must reproduce byte-for-byte: any drift means a perf optimisation
+changed simulated behaviour, which is a correctness bug here, never
+noise.
+
+To intentionally change the timing model, regenerate the file (see
+``docs/performance.md``) and account for the diff in review.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import Runner
+from repro.minigraph.selectors import (
+    SlackProfileSelector, StructAll, StructBounded,
+)
+from repro.pipeline.config import config_by_name
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / \
+    "golden_stats.json"
+
+_SELECTORS = {
+    "struct-all": StructAll,
+    "struct-bounded": StructBounded,
+    "slack-profile": SlackProfileSelector,
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+def _observed(stats, coverage):
+    return {
+        "cycles": stats.cycles,
+        "ipc": stats.ipc,
+        "coverage": coverage,
+        "original_committed": stats.original_committed,
+        "replays": stats.replays,
+        "store_forwards": stats.store_forwards,
+        "ordering_violations": stats.ordering_violations,
+        "mgt_misses": stats.mgt_misses,
+        "fetch_cycles_blocked": stats.fetch_cycles_blocked,
+        "icache_stall_cycles": stats.icache_stall_cycles,
+        "avg_iq_occupancy": stats.activity.avg_iq_occupancy,
+        "avg_window_occupancy": stats.activity.avg_window_occupancy,
+    }
+
+
+def _check(golden, key, observed):
+    want = golden[key]
+    got = {name: observed[name] for name in want}
+    assert got == want, f"{key}: timing results drifted from golden file"
+
+
+@pytest.mark.parametrize("bench", ["crc32", "dijkstra", "fft", "mcf",
+                                   "gzip"])
+@pytest.mark.parametrize("config_name", ["reduced", "full"])
+def test_baseline_matches_golden(golden, runner, bench, config_name):
+    stats = runner.baseline(bench, config_by_name(config_name))
+    _check(golden, f"{bench}/none/{config_name}", _observed(stats, 0.0))
+
+
+@pytest.mark.parametrize("bench", ["crc32", "dijkstra", "fft", "mcf",
+                                   "gzip"])
+@pytest.mark.parametrize("config_name", ["reduced", "full"])
+@pytest.mark.parametrize("selector", sorted(_SELECTORS))
+def test_selector_matches_golden(golden, runner, bench, config_name,
+                                 selector):
+    run = runner.run_selector(bench, _SELECTORS[selector](),
+                              config_by_name(config_name))
+    _check(golden, f"{bench}/{selector}/{config_name}",
+           _observed(run.stats, run.stats.coverage))
+
+
+@pytest.mark.parametrize("bench", ["crc32", "mcf"])
+def test_slack_dynamic_matches_golden(golden, runner, bench):
+    run = runner.run_slack_dynamic(bench, config_by_name("reduced"))
+    _check(golden, f"{bench}/slack-dynamic/reduced",
+           _observed(run.stats, run.stats.coverage))
+
+
+def test_golden_file_fully_covered(golden):
+    """Every golden point is exercised by a test above (no dead entries)."""
+    expected = set()
+    for bench in ("crc32", "dijkstra", "fft", "mcf", "gzip"):
+        for config_name in ("reduced", "full"):
+            expected.add(f"{bench}/none/{config_name}")
+            for selector in _SELECTORS:
+                expected.add(f"{bench}/{selector}/{config_name}")
+    for bench in ("crc32", "mcf"):
+        expected.add(f"{bench}/slack-dynamic/reduced")
+    assert set(golden) == expected

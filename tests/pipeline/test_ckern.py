@@ -1,0 +1,148 @@
+"""Compiled timing kernel: equivalence with the Python loop, fallback.
+
+The C kernel (:mod:`repro.pipeline.ckern`) is a statement-for-statement
+port of ``OoOCore.run``; these tests pin the contract that the two paths
+are *bit-identical* on every externally visible counter, and that the
+kernel degrades to the Python loop (never to an error) when unavailable.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.minigraph import StructAll, fold_trace, make_plan
+from repro.pipeline import ckern, full_config, reduced_config
+from repro.pipeline.core import OoOCore, SimulationDeadlock
+
+needs_kernel = pytest.mark.skipif(
+    not ckern.available(),
+    reason="compiled kernel unavailable (no C compiler or REPRO_PURE_PY)")
+
+
+def _full_stats(core, stats):
+    """Every externally visible counter of a finished run, flattened."""
+    out = {}
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if f.name == "activity":
+            for af in dataclasses.fields(value):
+                out["activity." + af.name] = getattr(value, af.name)
+        else:
+            out[f.name] = value
+    bu = core.branch_unit
+    h = core.hierarchy
+    out.update({
+        "bu.cond": (bu.cond_predictions, bu.cond_mispredictions),
+        "bu.indirect": (bu.indirect_predictions, bu.indirect_mispredictions),
+        "il1": (h.il1.accesses, h.il1.misses),
+        "dl1": (h.dl1.accesses, h.dl1.misses),
+        "l2": (h.l2.accesses, h.l2.misses),
+        "itlb": (h.itlb.accesses, h.itlb.misses),
+        "dtlb": (h.dtlb.accesses, h.dtlb.misses),
+        "ss.violations": core.storesets.violations,
+    })
+    return out
+
+
+def _run_both(config, records, warm_caches=True):
+    """(C stats, Python stats) for one point; skips if C is ineligible."""
+    c_core = OoOCore(config, records, warm_caches=warm_caches)
+    assert c_core._ctrace is not None, "C kernel should be eligible"
+    c = _full_stats(c_core, c_core.run())
+    py_core = OoOCore(config, records, warm_caches=warm_caches)
+    py_core._ctrace = None
+    py = _full_stats(py_core, py_core.run())
+    return c, py
+
+
+def _assert_identical(c, py):
+    diffs = {k: (c[k], py[k]) for k in py if c.get(k) != py[k]}
+    assert not diffs, f"C kernel diverged from Python loop: {diffs}"
+
+
+@needs_kernel
+@pytest.mark.parametrize("config_fn", [reduced_config, full_config])
+def test_singleton_run_bit_identical(config_fn, sum_trace):
+    c, py = _run_both(config_fn(), sum_trace.packed())
+    _assert_identical(c, py)
+    assert c["cycles"] > 0 and c["original_committed"] > 0
+
+
+@needs_kernel
+@pytest.mark.parametrize("warm", [True, False])
+def test_branchy_run_bit_identical(warm, branchy_trace):
+    c, py = _run_both(reduced_config(), branchy_trace.packed(),
+                      warm_caches=warm)
+    _assert_identical(c, py)
+    assert c["cond_mispredicts"] > 0  # the point of the branchy loop
+
+
+@needs_kernel
+def test_minigraph_run_bit_identical(sum_loop, sum_trace):
+    plan = make_plan(sum_loop, sum_trace.dynamic_count_of(), StructAll())
+    records = fold_trace(sum_trace, plan)
+    c, py = _run_both(full_config(), records)
+    _assert_identical(c, py)
+    assert c["handles_committed"] > 0
+
+
+@needs_kernel
+def test_prefetchers_bit_identical(sum_trace):
+    config = dataclasses.replace(reduced_config(),
+                                 il1_next_line_prefetch=True,
+                                 dl1_stride_prefetch=True)
+    c_core = OoOCore(config, sum_trace.packed(), warm_caches=False)
+    assert c_core._ctrace is not None
+    c = _full_stats(c_core, c_core.run())
+    py_core = OoOCore(config, sum_trace.packed(), warm_caches=False)
+    py_core._ctrace = None
+    py = _full_stats(py_core, py_core.run())
+    _assert_identical(c, py)
+    assert c_core.hierarchy.dl1_prefetcher.issued == \
+        py_core.hierarchy.dl1_prefetcher.issued
+
+
+@needs_kernel
+def test_budget_deadlock_parity(sum_trace):
+    """Both paths raise the same message and leave ``cycles`` unset."""
+    failures = []
+    for force_python in (False, True):
+        core = OoOCore(reduced_config(), sum_trace.packed())
+        if force_python:
+            core._ctrace = None
+        with pytest.raises(SimulationDeadlock) as err:
+            core.run(max_cycles=3)
+        failures.append((str(err.value), core.stats.cycles,
+                         core.stats.cache_stats))
+    assert failures[0] == failures[1]
+    assert failures[0][0] == "exceeded max cycle budget"
+    assert failures[0][1] == 0  # cycles only set on a completed run
+
+
+def test_pure_python_env_disables_kernel(monkeypatch, sum_trace):
+    monkeypatch.setenv("REPRO_PURE_PY", "1")
+    assert not ckern.available()
+    core = OoOCore(reduced_config(), sum_trace.packed())
+    assert core._ctrace is None
+    assert core.run().original_committed > 0  # Python path still works
+
+
+def test_observed_runs_stay_on_python_path(sum_loop, sum_trace):
+    """A collector (or policy/tracer) must force the reference loop."""
+    from repro.minigraph.slack import SlackCollector
+    collector = SlackCollector(sum_loop, config_name="reduced",
+                               input_name="train")
+    core = OoOCore(reduced_config(), sum_trace.packed(),
+                   collector=collector)
+    assert core._ctrace is None
+
+
+@needs_kernel
+def test_records_and_packed_inputs_agree(sum_trace):
+    """Kernel eligibility must not depend on the input container type."""
+    from_packed = OoOCore(reduced_config(), sum_trace.packed())
+    from_records = OoOCore(reduced_config(), sum_trace.records)
+    assert from_packed._ctrace is not None
+    assert from_records._ctrace is not None
+    assert _full_stats(from_packed, from_packed.run()) == \
+        _full_stats(from_records, from_records.run())

@@ -1,0 +1,93 @@
+"""Cycle skipping: the event-driven core jumps over provably idle gaps.
+
+When no uop can fetch, wake, issue, write back, or commit before some
+future cycle, the core warps the clock to that cycle instead of stepping
+through the gap. These tests pin the two halves of that contract: the
+skip actually happens on latency-dominated code, and it is *invisible*
+in every result — occupancy integrals, blocked-fetch accounting, and the
+final statistics are identical to what the stepped loop would produce.
+"""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.isa.interp import execute
+from repro.pipeline import reduced_config
+from repro.pipeline.core import OoOCore, SimulationDeadlock
+
+
+def _pointer_chase(n=64, hops=256):
+    """A serial chain of dependent loads: with cold caches every hop is
+    a multi-cycle stall the core can only sit through — or skip."""
+    a = Assembler("chase")
+    # A permutation cycle with a large stride so consecutive hops land
+    # in different cache sets.
+    stride = 17  # gcd(17, 64) == 1: one cycle covering all n slots
+    buf = a.data_words([(i + stride) % n for i in range(n)], label="buf")
+    a.li("r1", buf)
+    a.li("r2", 0)
+    a.li("r3", hops)
+    a.label("top")
+    a.add("r4", "r1", "r2")
+    a.ld("r2", "r4", 0)        # r2 = buf[r2]: serial through memory
+    a.addi("r3", "r3", -1)
+    a.bne("r3", "r0", "top")
+    a.st("r2", "r0", buf)
+    a.halt()
+    return a.build()
+
+
+def _python_run(records, warm_caches=True, max_cycles=200_000_000):
+    """Force the Python reference loop (the skip logic under test)."""
+    core = OoOCore(reduced_config(), records, warm_caches=warm_caches)
+    core._ctrace = None
+    stats = core.run(max_cycles=max_cycles)
+    return core, stats
+
+
+@pytest.fixture(scope="module")
+def chase_trace():
+    return execute(_pointer_chase())
+
+
+def test_latency_bound_code_skips_cycles(chase_trace):
+    _, stats = _python_run(chase_trace.packed(), warm_caches=False)
+    assert stats.cycles_skipped > 0
+    # The chase is stall-dominated: most of its cycles are skippable.
+    assert stats.cycles_skipped > stats.cycles // 4
+
+
+def test_skipped_cycles_are_fully_accounted(chase_trace):
+    core, stats = _python_run(chase_trace.packed(), warm_caches=False)
+    assert stats.cycles_skipped < stats.cycles
+    # Occupancy integrals cover every simulated cycle, skipped or not.
+    assert stats.activity.cycles == stats.cycles
+    assert stats.fetch_cycles_blocked <= stats.cycles
+    assert stats.original_committed == len(chase_trace.records)
+    assert stats.ipc == pytest.approx(
+        stats.original_committed / stats.cycles)
+
+
+def test_high_ilp_code_barely_skips(sum_trace):
+    """With work available nearly every cycle there is nothing to skip."""
+    _, chase = _python_run(execute(_pointer_chase()).packed(),
+                           warm_caches=False)
+    _, busy = _python_run(sum_trace.packed())
+    busy_rate = busy.cycles_skipped / busy.cycles
+    chase_rate = chase.cycles_skipped / chase.cycles
+    assert chase_rate > busy_rate
+
+
+def test_skip_never_warps_past_cycle_budget(chase_trace):
+    """A skip that would cross ``max_cycles`` must raise, exactly like
+    the stepped loop idling into the budget."""
+    core, _ = _python_run(chase_trace.packed(), warm_caches=False)
+    full_cycles = core.stats.cycles
+    budget = full_cycles // 2
+    core = OoOCore(reduced_config(), chase_trace.packed(),
+                   warm_caches=False)
+    core._ctrace = None
+    with pytest.raises(SimulationDeadlock) as err:
+        core.run(max_cycles=budget)
+    assert str(err.value) == "exceeded max cycle budget"
+    assert core.stats.cycles == 0  # only set on a completed run
