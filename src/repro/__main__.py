@@ -9,6 +9,9 @@ Subcommands::
     python -m repro experiments fig1 ...       # figure regeneration
     python -m repro limit-study --jobs 4       # Figure 8
     python -m repro cache stats                # artifact store maintenance
+    python -m repro metrics crc32 --format prom   # metrics registry export
+    python -m repro attribution --benchmarks crc32 # predicted-vs-observed
+    python -m repro telemetry trace.jsonl      # validate a telemetry file
 
 `experiments` forwards to :mod:`repro.harness.experiments`; everything
 else is a thin veneer over the library API so each command doubles as a
@@ -142,14 +145,36 @@ def _cmd_report(args) -> int:
 def _cmd_limit_study(args) -> int:
     from .analysis.limit_study import run_limit_study
     store = _store_for(args)
-    if args.jobs > 1 and not store.persistent:
-        import tempfile
-        with tempfile.TemporaryDirectory(prefix="repro-exec-") as scratch:
-            result = run_limit_study(Runner(store=ArtifactStore(scratch)),
-                                     subset_cap=args.cap, jobs=args.jobs)
-    else:
-        result = run_limit_study(Runner(store=store), subset_cap=args.cap,
-                                 jobs=args.jobs)
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from .obs.telemetry import (
+            TelemetryWriter, attach_store_telemetry, run_manifest,
+        )
+        telemetry = TelemetryWriter(args.telemetry,
+                                    run_manifest(label="limit-study"))
+
+    def study(runner):
+        if telemetry is not None:
+            attach_store_telemetry(runner.store, telemetry)
+            with telemetry.span("limit-study", "experiment",
+                                args={"jobs": args.jobs}):
+                return run_limit_study(runner, subset_cap=args.cap,
+                                       jobs=args.jobs)
+        return run_limit_study(runner, subset_cap=args.cap, jobs=args.jobs)
+
+    try:
+        if args.jobs > 1 and not store.persistent:
+            import tempfile
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-exec-") as scratch:
+                result = study(Runner(store=ArtifactStore(scratch)))
+        else:
+            result = study(Runner(store=store))
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"[telemetry] {telemetry.events_written} events -> "
+                  f"{telemetry.path}", file=sys.stderr)
     print(result.render())
     return 0
 
@@ -262,10 +287,27 @@ def _cmd_bench(args) -> int:
         benchmarks = list(args.benchmarks or DEFAULT_BENCHMARKS)
         selectors = list(args.selectors or DEFAULT_SELECTORS)
     runner = Runner(store=_store_for(args))
-    report = run_bench(benchmarks, selectors,
-                       config=config_by_name(args.config),
-                       label=args.label, repeat=args.repeat, runner=runner,
-                       log=lambda line: print(line, file=sys.stderr))
+    telemetry = None
+    if args.telemetry:
+        from .obs.telemetry import (
+            TelemetryWriter, attach_store_telemetry, run_manifest,
+        )
+        telemetry = TelemetryWriter(
+            args.telemetry,
+            run_manifest(config=config_by_name(args.config),
+                         label=args.label))
+        attach_store_telemetry(runner.store, telemetry)
+    try:
+        report = run_bench(benchmarks, selectors,
+                           config=config_by_name(args.config),
+                           label=args.label, repeat=args.repeat,
+                           runner=runner, telemetry=telemetry,
+                           log=lambda line: print(line, file=sys.stderr))
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"[telemetry] {telemetry.events_written} events -> "
+                  f"{telemetry.path}", file=sys.stderr)
     print(report.render())
     path = write_report(report, args.out)
     print(f"wrote {path}")
@@ -279,6 +321,76 @@ def _cmd_bench(args) -> int:
             return 1
         print(f"bench: OK against {args.check_against} "
               f"(KIPS {report.kips:.1f} vs baseline {baseline.kips:.1f})")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json as _json
+
+    from .minigraph.transform import fold_trace
+    from .obs.attribution import AttributionCollector
+    from .obs.metrics import run_registry, validate_metrics
+    from .pipeline.core import OoOCore
+
+    runner = Runner(store=_store_for(args))
+    config = config_by_name(args.config)
+    if args.selector == "none":
+        records = runner.trace(args.benchmark, args.input).packed()
+    else:
+        selector = SELECTORS[args.selector]()
+        plan = runner.plan(args.benchmark, selector, input_name=args.input)
+        records = fold_trace(runner.trace(args.benchmark, args.input), plan)
+    # Attach an (empty-handed for selector=none) attribution collector:
+    # it forces the Python reference loop, so the cache/TLB/branch/
+    # store-set structures accumulate real counts for the harvest.
+    core = OoOCore(config, records, warm_caches=True,
+                   attribution=AttributionCollector())
+    stats = core.run()
+    stats.program_name = args.benchmark
+    registry = run_registry(core=core, store=runner.store)
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        doc = registry.to_json()
+        validate_metrics(doc)
+        text = _json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(text)
+        print(f"wrote {len(registry)} metrics to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_attribution(args) -> int:
+    from .harness.bench import DEFAULT_BENCHMARKS
+    from .obs.attribution import (
+        ATTRIBUTION_SELECTORS, render_table, run_attribution,
+    )
+    runner = Runner(budget=args.budget, store=_store_for(args))
+    benchmarks = list(args.benchmarks or DEFAULT_BENCHMARKS)
+    selectors = list(args.selectors or ATTRIBUTION_SELECTORS)
+    points = run_attribution(
+        runner, benchmarks, selectors, config=config_by_name(args.config),
+        log=lambda line: print(line, file=sys.stderr))
+    print(render_table(points, per_template=args.per_template))
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from .obs.telemetry import validate_file
+    summary = validate_file(args.file)
+    manifest = summary["manifest"]
+    print(f"{args.file}: OK ({summary['events']} events, "
+          f"{summary['spans']} spans, {summary['instants']} instants)")
+    print(f"manifest: git {manifest['git_sha'][:12]} "
+          f"config {manifest['config_digest']} salt {manifest['salt']} "
+          f"label {manifest['label']!r} created {manifest['created']}")
+    if summary["cats"]:
+        print("categories: " + ", ".join(
+            f"{cat}={count}"
+            for cat, count in sorted(summary["cats"].items())))
     return 0
 
 
@@ -363,6 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="truncate the subset sweep")
     p_limit.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the subset sweep")
+    p_limit.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="write run telemetry JSONL to PATH")
     _add_cache_flags(p_limit)
     p_limit.set_defaults(fn=_cmd_limit_study)
 
@@ -437,8 +551,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--tolerance", type=float, default=0.20,
                          help="allowed fractional KIPS regression "
                               "(default 0.20)")
+    p_bench.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="write run telemetry JSONL to PATH "
+                              "(bench spans + runner phases)")
     _add_cache_flags(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run one point and export the unified metrics "
+                        "registry (JSON or Prometheus text)")
+    p_metrics.add_argument("benchmark", nargs="?", default="crc32")
+    p_metrics.add_argument("--config", default="reduced")
+    p_metrics.add_argument("--input", default="train")
+    p_metrics.add_argument("--selector", default="none",
+                           choices=sorted(SELECTORS) + ["none"])
+    p_metrics.add_argument("--format", default="json",
+                           choices=["json", "prom"],
+                           help="export format (default json)")
+    p_metrics.add_argument("--out", default=None, metavar="PATH",
+                           help="write the export here instead of stdout")
+    _add_cache_flags(p_metrics)
+    p_metrics.set_defaults(fn=_cmd_metrics)
+
+    p_attr = sub.add_parser(
+        "attribution",
+        help="predicted-vs-observed mini-graph serialization delay "
+             "(all five selectors; see docs/observability.md)")
+    p_attr.add_argument("--benchmarks", nargs="*", default=None,
+                        help="override the default benchmark suite")
+    p_attr.add_argument("--selectors", nargs="*", default=None,
+                        help="override the selector list (struct-all "
+                             "struct-none struct-bounded slack-profile "
+                             "slack-dynamic)")
+    p_attr.add_argument("--config", default="reduced")
+    p_attr.add_argument("--budget", type=int, default=512,
+                        help="MGT template budget")
+    p_attr.add_argument("--per-template", action="store_true",
+                        help="append the worst-templates detail section")
+    _add_cache_flags(p_attr)
+    p_attr.set_defaults(fn=_cmd_attribution)
+
+    p_tele = sub.add_parser(
+        "telemetry", help="validate a telemetry JSONL file against the "
+                          "documented schema and summarize it")
+    p_tele.add_argument("file", help="path to a --telemetry output file")
+    p_tele.set_defaults(fn=_cmd_telemetry)
 
     p_cache = sub.add_parser("cache",
                              help="artifact store maintenance")

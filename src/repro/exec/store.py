@@ -146,6 +146,12 @@ class ArtifactStore:
         self.salt = salt if salt is not None else code_version()
         self._memory: Dict[str, Any] = {}
         self.stats = StoreStats()
+        #: Optional :class:`repro.obs.telemetry.TelemetryWriter`. When
+        #: set (``attach_store_telemetry``), every miss in
+        #: :meth:`get_or_compute` is wrapped in a ``runner`` span and
+        #: every hit emits a ``store`` cache-hit instant. ``None`` (the
+        #: default) keeps the store observation-free.
+        self.telemetry = None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
 
@@ -246,9 +252,19 @@ class ArtifactStore:
         """Memoize ``compute()`` under the content address of ``params``."""
         key = self.key(kind, params)
         value = self.get(key, kind)
+        telemetry = self.telemetry
         if value is MISS:
-            value = compute()
+            if telemetry is not None:
+                args = {k: v for k, v in params.items()
+                        if isinstance(v, (str, int, float, bool))}
+                args["kind"] = kind
+                with telemetry.span(kind, "runner", args=args):
+                    value = compute()
+            else:
+                value = compute()
             self.put(key, value, kind, params)
+        elif telemetry is not None:
+            telemetry.instant("cache-hit", "store", {"kind": kind})
         return value
 
     # -- maintenance ----------------------------------------------------------

@@ -84,6 +84,9 @@ class BenchReport:
     total_wall_s: float = 0.0
     kips: float = 0.0
     peak_rss_kb: int = 0
+    #: Run manifest (git SHA, config digest, code-version salt, …) shared
+    #: with the telemetry subsystem; empty in pre-manifest reports.
+    manifest: Dict = field(default_factory=dict)
 
     def finalize(self) -> None:
         self.total_instructions = sum(p.instructions for p in self.points)
@@ -156,14 +159,21 @@ def run_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
               label: str = "local",
               repeat: int = 1,
               runner: Optional[Runner] = None,
-              log: Optional[Callable[[str], None]] = None) -> BenchReport:
+              log: Optional[Callable[[str], None]] = None,
+              telemetry=None) -> BenchReport:
     """Run the matrix and return a :class:`BenchReport`.
 
     ``repeat`` times each point's ``OoOCore.run()`` that many times and
     keeps the *fastest* wall time (simulated results are deterministic,
     so repeats only tighten the clock; cycles/IPC/coverage come from the
     first run and are asserted identical across repeats).
+
+    ``telemetry`` optionally takes a
+    :class:`~repro.obs.telemetry.TelemetryWriter`: every point's timed
+    region becomes a ``bench`` span and the report embeds the writer's
+    manifest (without a writer a fresh manifest is built directly).
     """
+    from ..obs.telemetry import run_manifest
     if config is None:
         config = config_by_name("reduced")
     if runner is None:
@@ -173,7 +183,9 @@ def run_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
         created=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         python=platform.python_version(),
         platform=f"{platform.system()}-{platform.machine()}",
-        config=config.name, repeat=repeat)
+        config=config.name, repeat=repeat,
+        manifest=(telemetry.manifest if telemetry is not None
+                  else run_manifest(config=config, label=label)))
     for bench in benchmarks:
         for selector in selectors:
             records = _prepare_point(runner, bench, selector)
@@ -192,6 +204,14 @@ def run_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                 if best is None or wall < best[0]:
                     best = point
             wall, cycles, ipc, coverage, insts = best
+            if telemetry is not None:
+                telemetry.event(
+                    f"{bench}/{selector}", "bench", "X",
+                    ts=max(0, telemetry.now_us() - int(wall * 1e6)),
+                    dur=int(wall * 1e6),
+                    args={"cycles": cycles, "ipc": ipc,
+                          "instructions": insts,
+                          "kips": insts / wall / 1e3 if wall else 0.0})
             report.points.append(BenchPoint(
                 bench=bench, selector=selector, config=config.name,
                 records=len(records), instructions=insts, cycles=cycles,

@@ -400,6 +400,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-json", default=None, metavar="PATH",
                         help="archive the regenerated curves as JSON "
                              "(see repro.harness.reporting)")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="write run telemetry (manifest + Chrome "
+                             "trace-event JSONL) to PATH; see "
+                             "docs/observability.md")
     args = parser.parse_args(argv)
 
     import sys as _sys
@@ -421,6 +425,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                           include_synthetic=not args.no_synthetic)
     runner = Runner(budget=args.budget, store=ArtifactStore(cache_dir),
                     jobs=args.jobs)
+    telemetry = None
+    if args.telemetry:
+        from ..obs.telemetry import (attach_store_telemetry, run_manifest,
+                                     scheduler_telemetry, TelemetryWriter)
+        telemetry = TelemetryWriter(
+            args.telemetry,
+            run_manifest(label=f"experiments-{args.experiment}",
+                         argv=argv if argv is not None else _sys.argv[1:]))
+        attach_store_telemetry(runner.store, telemetry)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     results = []
@@ -431,9 +444,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 points = grid_points(name, benches)
                 if points:
                     from ..exec.dag import TaskError
+                    on_event = ProgressPrinter()
+                    if telemetry is not None:
+                        on_event = scheduler_telemetry(telemetry, on_event)
                     try:
                         report = run_points(runner, points, jobs=args.jobs,
-                                            on_event=ProgressPrinter(),
+                                            on_event=on_event,
                                             check=args.check,
                                             raise_on_failure=args.check)
                     except TaskError as error:
@@ -441,7 +457,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                               file=_sys.stderr)
                         return 1
                     print(report.render(), file=_sys.stderr)
-            result = EXPERIMENTS[name](runner, benches)
+            if telemetry is not None:
+                with telemetry.span(name, "experiment"):
+                    result = EXPERIMENTS[name](runner, benches)
+            else:
+                result = EXPERIMENTS[name](runner, benches)
             results.append(result)
             print(result.render(full_tables=args.full_tables))
             if args.plot:
@@ -452,6 +472,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[{name}: {time.time() - start:.1f}s, "
                   f"{len(benches)} programs]\n")
     finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"[telemetry] {telemetry.events_written} events -> "
+                  f"{telemetry.path}", file=_sys.stderr)
         if scratch is not None:
             scratch.cleanup()
     if runner.store.persistent and scratch is None:

@@ -5,7 +5,12 @@ and one coverage/performance scatter (Figure 8). This module renders both
 as fixed-width text so the benchmark harness and CLI can *show* the
 curves, not just their summary statistics.
 
-No external plotting dependency: plots are plain character grids.
+No *required* plotting dependency: plots are plain character grids. When
+matplotlib happens to be installed, :func:`save_scurve_png` /
+:func:`save_scatter_png` additionally export publication-style PNGs
+(forcing the headless Agg backend so they work on CI and over SSH); when
+it is not, they raise a one-line :class:`ValueError` and the text plots
+keep working.
 """
 
 from __future__ import annotations
@@ -119,3 +124,86 @@ def plot_scatter(points: Sequence[Tuple[float, float]],
     if legend:
         lines.append(" " * 9 + "  ".join(legend))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Optional matplotlib (Agg) PNG export
+# ---------------------------------------------------------------------------
+
+def _pyplot():
+    """Headless matplotlib pyplot, or a clean error when absent."""
+    try:
+        import matplotlib
+    except ImportError:
+        raise ValueError(
+            "matplotlib is not installed; PNG export is unavailable "
+            "(text plots need no dependency)") from None
+    matplotlib.use("Agg", force=True)  # headless: no display required
+    import matplotlib.pyplot as plt
+    return plt
+
+
+def save_scurve_png(curves: Sequence[SCurve], path,
+                    title: str = "",
+                    reference: Optional[float] = None):
+    """Export S-curves as a PNG via matplotlib's Agg backend.
+
+    Returns the path written. Raises ``ValueError`` when matplotlib is
+    not installed or no curve has data.
+    """
+    curves = [c for c in curves if len(c)]
+    if not curves:
+        raise ValueError("no data to plot")
+    plt = _pyplot()
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    try:
+        for curve in curves:
+            values = curve.sorted_values
+            ax.plot(range(len(values)), values, marker=".",
+                    label=curve.label)
+        if reference is not None:
+            ax.axhline(reference, linestyle="--", linewidth=0.8,
+                       color="gray")
+        ax.set_xlabel("programs sorted worst to best")
+        ax.set_ylabel("value")
+        if title:
+            ax.set_title(title)
+        ax.legend(fontsize="small")
+        fig.tight_layout()
+        fig.savefig(path, dpi=120)
+    finally:
+        plt.close(fig)
+    return path
+
+
+def save_scatter_png(points: Sequence[Tuple[float, float]], path,
+                     highlights: Optional[Dict[str, Tuple[float, float]]]
+                     = None,
+                     title: str = "", xlabel: str = "coverage",
+                     ylabel: str = "perf"):
+    """Export a Figure 8–style scatter as a PNG (Agg backend).
+
+    Returns the path written; raises ``ValueError`` without matplotlib
+    or data.
+    """
+    highlights = highlights or {}
+    if not points and not highlights:
+        raise ValueError("no data to plot")
+    plt = _pyplot()
+    fig, ax = plt.subplots(figsize=(6, 4.5))
+    try:
+        if points:
+            ax.scatter([p[0] for p in points], [p[1] for p in points],
+                       s=8, color="lightgray", label="subsets")
+        for label, (x, y) in sorted(highlights.items()):
+            ax.scatter([x], [y], s=36, label=label)
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel(ylabel)
+        if title:
+            ax.set_title(title)
+        ax.legend(fontsize="small")
+        fig.tight_layout()
+        fig.savefig(path, dpi=120)
+    finally:
+        plt.close(fig)
+    return path

@@ -184,11 +184,16 @@ class OoOCore:
         every mini-graph enabled.
     collector:
         Optional slack-profile collector receiving dataflow timing events.
+    attribution:
+        Optional :class:`~repro.obs.attribution.AttributionCollector`
+        receiving per-handle issue events (observed serialization delay).
+        Read-only with respect to the simulated schedule, but — like any
+        observer — forces the Python reference loop.
     """
 
     def __init__(self, config: MachineConfig, records,
                  policy=None, collector=None, warm_caches: bool = False,
-                 tracer=None):
+                 tracer=None, attribution=None):
         self.config = config
         packed = PackedTrace.from_records(records)
         self.records = packed
@@ -199,6 +204,7 @@ class OoOCore:
         self.policy = policy
         self.collector = collector
         self.tracer = tracer
+        self.attribution = attribution
         self.hierarchy = MemoryHierarchy(config)
         self.branch_unit = BranchUnit(config)
         self.storesets = StoreSets(config.store_sets)
@@ -252,13 +258,14 @@ class OoOCore:
                        config.ports_load, config.ports_store, config.width)
 
         # Compiled fast path: eligible only when nothing observes the
-        # run from the inside (no policy, collector or tracer) — every
-        # ``repro bench`` point and memoized baseline run. The Python
-        # loop below remains the behavioural reference and the fallback
-        # (no compiler, REPRO_PURE_PY=1, or a kernel bound exceeded).
+        # run from the inside (no policy, collector, tracer or
+        # attribution collector) — every ``repro bench`` point and
+        # memoized baseline run. The Python loop below remains the
+        # behavioural reference and the fallback (no compiler,
+        # REPRO_PURE_PY=1, or a kernel bound exceeded).
         self._ctrace = None
         if policy is None and collector is None and tracer is None \
-                and packed.n and ckern.available():
+                and attribution is None and packed.n and ckern.available():
             self._ctrace = ckern.marshal(packed)
 
     # ------------------------------------------------------------------
@@ -708,6 +715,8 @@ class OoOCore:
                     stats.mg_consumer_delays += 1
                     if self.policy is not None:
                         self.policy.on_consumer_delay(last.rec.site)
+                    if self.attribution is not None:
+                        self.attribution.on_consumer_delay(last.rec.site)
             # Push-based wakeup: fold this uop's now-known timings into
             # every waiter registered at rename.
             waiters = uop.reg_waiters
@@ -848,6 +857,20 @@ class OoOCore:
             self.stats.mg_serialized_instances += 1
         if self.policy is not None:
             self.policy.on_issue(rec.site, serialized, sial)
+        if self.attribution is not None:
+            # The first constituent's singleton issue estimate: when its
+            # *own* external inputs (consumer index 0) were ready. The
+            # gap to ``last_arrival`` is the observed rule-#1 delay.
+            first_ready = 0
+            consumer_of = rec.site.input_consumer_ix
+            for producer in uop.producers:
+                if consumer_of.get(producer.rec.rd, 0) == 0:
+                    arrival = producer.out_actual_ready
+                    if arrival > first_ready:
+                        first_ready = arrival
+            self.attribution.on_handle_issue(
+                rec.site, cycle, first_ready, last_arrival, serialized,
+                sial)
         self._notify_consumption(uop)
 
     def _notify_consumption(self, uop: Uop) -> None:
@@ -868,6 +891,8 @@ class OoOCore:
             self.stats.mg_consumer_delays += 1
             if self.policy is not None:
                 self.policy.on_consumer_delay(last.rec.site)
+            if self.attribution is not None:
+                self.attribution.on_consumer_delay(last.rec.site)
 
     def _load_latency(self, uop: Uop, addr: int, when: int,
                       pc: int = -1) -> int:

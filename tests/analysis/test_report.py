@@ -72,3 +72,50 @@ def test_cli_report(capsys):
                  "--limit-per-suite", "1"]) == 0
     out = capsys.readouterr().out
     assert "per-suite breakdown" in out
+
+
+def test_empty_suite_selection_has_no_total(shared_runner):
+    report = suite_report(shared_runner, StructAll(), suites=[],
+                          limit_per_suite=1)
+    assert report.rows == []
+    assert "per-suite breakdown" in report.render()
+
+
+def test_recovered_is_capped():
+    runaway = SuiteRow("x", 1, no_mg_rel=0.99, selector_rel=2.0,
+                       coverage=0.5, mg_serialized_rate=0.0)
+    assert runaway.recovered == 9.99
+
+
+def test_render_row_alignment(report):
+    lines = report.render().splitlines()
+    body = lines[2:]
+    assert len(body) == len(report.rows)
+    # Every row renders its suite name and five numeric columns.
+    for line, row in zip(body, report.rows):
+        assert row.suite in line
+        assert line.count("%") == 3  # recovered, coverage, serialized
+
+
+def test_default_selector_is_slack_profile(shared_runner):
+    report = suite_report(shared_runner, suites=["comm"],
+                          limit_per_suite=1)
+    assert report.selector == "slack-profile"
+
+
+def test_limit_per_suite_bounds_population(shared_runner):
+    report = suite_report(shared_runner, StructAll(), suites=["comm"],
+                          limit_per_suite=1)
+    assert [row.n for row in report.rows] == [1, 1]  # comm + ALL
+
+
+def test_compare_covers_all_suites_in_selection(shared_runner):
+    text = compare_selectors_by_suite(shared_runner,
+                                      suites=["comm", "media"],
+                                      limit_per_suite=1)
+    lines = text.splitlines()
+    assert lines[0].lstrip().startswith("suite")
+    suites = [line.split()[0] for line in lines[1:]]
+    assert suites == ["comm", "media", "ALL"]
+    for line in lines[1:]:
+        assert line.split()[3].startswith(("+", "-"))  # signed gain column

@@ -109,3 +109,44 @@ def test_point_is_serializable():
                        instructions=1, cycles=1, ipc=1.0, coverage=0.0,
                        wall_s=0.001, kips=1.0)
     assert json.loads(json.dumps(dataclasses.asdict(point)))
+
+
+def test_report_embeds_run_manifest(report, tmp_path):
+    """Every BENCH json carries git SHA / config digest / salt."""
+    from repro.exec.store import code_version
+    manifest = report.manifest
+    for key in ("git_sha", "config_digest", "salt", "created", "label"):
+        assert key in manifest, key
+    assert manifest["salt"] == code_version()
+    loaded = load_report(write_report(report, tmp_path))
+    assert loaded.manifest == manifest
+
+
+def test_load_report_pre_manifest_files(report, tmp_path):
+    """BENCH files written before the manifest field still load."""
+    path = write_report(report, tmp_path)
+    data = json.loads(path.read_text())
+    del data["manifest"]
+    data["future_field"] = "ignored"  # unknown fields are dropped, not fatal
+    path.write_text(json.dumps(data))
+    loaded = load_report(path)
+    assert loaded.manifest == {}
+    assert loaded.points == report.points
+
+
+def test_bench_with_telemetry_spans_points(runner_module, tmp_path):
+    from repro.obs.telemetry import TelemetryWriter, validate_file
+
+    writer = TelemetryWriter(tmp_path / "bench.jsonl")
+    traced = run_bench(benchmarks=("crc32",), selectors=("none",),
+                       label="traced", runner=runner_module,
+                       telemetry=writer)
+    writer.close()
+    assert traced.manifest is writer.manifest
+    summary = validate_file(writer.path)
+    assert summary["cats"].get("bench") == 1
+    with open(writer.path) as handle:
+        lines = [json.loads(line) for line in handle]
+    span = next(l for l in lines[1:] if l.get("cat") == "bench")
+    assert span["name"] == "crc32/none" and span["ph"] == "X"
+    assert span["args"]["cycles"] == traced.points[0].cycles

@@ -1,7 +1,17 @@
-"""Terminal plots."""
+"""Terminal plots and the optional matplotlib (Agg) PNG export."""
 
-from repro.harness.plot import plot_scatter, plot_scurves
+import pytest
+
+from repro.harness.plot import (
+    plot_scatter, plot_scurves, save_scatter_png, save_scurve_png,
+)
 from repro.harness.scurve import SCurve
+
+try:
+    import matplotlib  # noqa: F401
+    HAVE_MPL = True
+except ImportError:
+    HAVE_MPL = False
 
 
 def _curves():
@@ -53,3 +63,34 @@ def test_single_value_degenerate_ranges():
     assert "one" in text
     text2 = plot_scatter([(0.5, 0.5)])
     assert "|" in text2
+
+
+def test_png_export_no_data_raises(tmp_path):
+    with pytest.raises(ValueError, match="no data"):
+        save_scurve_png([], tmp_path / "x.png")
+    with pytest.raises(ValueError, match="no data"):
+        save_scatter_png([], tmp_path / "x.png")
+
+
+@pytest.mark.skipif(HAVE_MPL, reason="matplotlib installed; gate inactive")
+def test_png_export_gated_without_matplotlib(tmp_path):
+    """Missing matplotlib degrades to a one-line ValueError, not a crash."""
+    with pytest.raises(ValueError, match="matplotlib is not installed"):
+        save_scurve_png(_curves(), tmp_path / "s.png")
+    with pytest.raises(ValueError, match="matplotlib is not installed"):
+        save_scatter_png([(0.1, 0.9)], tmp_path / "s.png",
+                         highlights={"best": (0.5, 1.0)})
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_png_export_writes_files_headless(tmp_path):
+    """With matplotlib present, Agg renders PNGs with no display."""
+    scurve_path = save_scurve_png(_curves(), tmp_path / "scurve.png",
+                                  title="demo", reference=1.0)
+    scatter_path = save_scatter_png(
+        [(i / 10, 0.8 + i / 50) for i in range(10)],
+        tmp_path / "scatter.png", highlights={"best": (0.5, 1.0)},
+        title="fig8")
+    for path in (scurve_path, scatter_path):
+        data = open(path, "rb").read()
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"

@@ -172,3 +172,89 @@ def test_experiments_check_flag(capsys, tmp_path):
                  "--limit", "1", "--check",
                  "--cache-dir", str(tmp_path / "cache")]) == 0
     assert "FIG1" in capsys.readouterr().out
+
+
+def test_metrics_json_validates(capsys):
+    import json
+    assert main(["metrics", "crc32", "--selector", "struct-all"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    from repro.obs.metrics import validate_metrics
+    validate_metrics(doc)
+    names = {m["name"] for m in doc["metrics"]}
+    assert {"core.cycles", "core.mg_serialized_instances",
+            "activity.fetch_slots", "cache.il1.accesses",
+            "branch.cond_predictions", "store.misses"} <= names
+
+
+def test_metrics_prometheus_and_out_file(capsys, tmp_path):
+    out = tmp_path / "metrics.prom"
+    assert main(["metrics", "crc32", "--format", "prom",
+                 "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    text = out.read_text()
+    assert "# TYPE core_cycles counter" in text
+
+
+def test_metrics_unknown_benchmark_is_one_line_error(capsys):
+    assert main(["metrics", "nosuchbench"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "Traceback" not in err
+
+
+def test_attribution_table(capsys):
+    assert main(["attribution", "--benchmarks", "crc32",
+                 "--selectors", "struct-all", "slack-profile"]) == 0
+    out = capsys.readouterr().out
+    assert "pred-ser%" in out and "obs-ser%" in out
+    assert "struct-all" in out and "slack-profile" in out
+    assert "TOTAL" in out
+
+
+def test_attribution_unknown_selector_is_one_line_error(capsys):
+    assert main(["attribution", "--benchmarks", "crc32",
+                 "--selectors", "slack-psychic"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "unknown selector" in err
+
+
+def test_telemetry_validates_experiments_output(capsys, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["experiments", "fig1", "--suites", "comm", "--limit", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--telemetry", str(trace)]) == 0
+    captured = capsys.readouterr()
+    assert "[telemetry]" in captured.err
+    assert main(["telemetry", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "manifest: git" in out
+    assert "runner=" in out
+
+
+def test_telemetry_rejects_corrupt_file(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"name": "e", "cat": "c", "ph": "i", "ts": 0}\n')
+    assert main(["telemetry", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "manifest" in err
+
+
+def test_telemetry_missing_file_is_one_line_error(capsys, tmp_path):
+    assert main(["telemetry", str(tmp_path / "absent.jsonl")]) == 2
+    assert capsys.readouterr().err.startswith("repro: error:")
+
+
+def test_bench_quick_with_telemetry(capsys, tmp_path):
+    trace = tmp_path / "bench.jsonl"
+    assert main(["bench", "--quick", "--label", "clitest",
+                 "--out", str(tmp_path),
+                 "--telemetry", str(trace)]) == 0
+    capsys.readouterr()
+    import json
+    report = json.loads((tmp_path / "BENCH_clitest.json").read_text())
+    assert report["manifest"]["git_sha"]
+    assert report["manifest"]["config_digest"]
+    assert main(["telemetry", str(trace)]) == 0
+    assert "bench=" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Attribution collector, predicted-vs-observed join, table rendering."""
+
+import pytest
+
+from repro.obs.attribution import (
+    ATTRIBUTION_SELECTORS, AttributionCollector, PointAttribution,
+    SiteAttribution, attribute_point, render_table, run_attribution,
+)
+
+
+class _FakeSite:
+    def __init__(self, site_id):
+        self.id = site_id
+
+
+def test_collector_tallies_per_site():
+    collector = AttributionCollector()
+    a, b = _FakeSite(1), _FakeSite(2)
+    collector.on_handle_issue(a, cycle=10, first_ready=4, last_arrival=9,
+                              serialized=True, sial=True)
+    collector.on_handle_issue(a, cycle=20, first_ready=20, last_arrival=18,
+                              serialized=False, sial=False)
+    collector.on_handle_issue(b, cycle=30, first_ready=30, last_arrival=30,
+                              serialized=True, sial=True)
+    collector.on_consumer_delay(a)
+    assert collector.handles_issued == 3
+    entry = collector.by_site[1]
+    assert entry.instances == 2
+    assert entry.serialized == 1
+    assert entry.ext_delay_cycles == 5  # max(0, 9 - 4)
+    assert entry.consumer_delays == 1
+    # Zero-delta serialization contributes zero cycles, one instance.
+    assert collector.by_site[2].ext_delay_cycles == 0
+    assert collector.by_site[2].serialized == 1
+
+
+def _site(site_id=1, sial=True, delay=2.0, frequency=10, instances=10,
+          serialized=5, ext=15, cons=3, profiled=True):
+    return SiteAttribution(
+        site_id=site_id, template_id=site_id, size=3, frequency=frequency,
+        predicted_delay=delay if profiled else None,
+        predicted_degrades=sial if profiled else None,
+        predicted_sial=sial if profiled else None,
+        instances=instances, serialized=serialized, ext_delay_cycles=ext,
+        consumer_delays=cons)
+
+
+def test_point_aggregates():
+    point = PointAttribution(selector="struct-all", bench="crc32",
+                             config="reduced", cycles=100, handles_issued=30,
+                             sites=[
+                                 _site(1, sial=True, delay=4.0, frequency=30,
+                                       instances=20, serialized=10, ext=40),
+                                 _site(2, sial=False, delay=0.0, frequency=10,
+                                       instances=10, serialized=0, ext=0,
+                                       cons=0),
+                                 _site(3, profiled=False, instances=0,
+                                       serialized=0, ext=0, cons=0),
+                             ])
+    assert point.instances == 30
+    assert point.serialized == 10
+    assert point.observed_serialized_rate == pytest.approx(1 / 3)
+    assert point.observed_delay_per_handle == pytest.approx(40 / 30)
+    # Frequency-weighted over *profiled* sites only: 30 of 40.
+    assert point.predicted_serialized_rate == pytest.approx(30 / 40)
+    assert point.predicted_delay_per_handle == pytest.approx(
+        (4.0 * 30 + 0.0 * 10) / 40)
+    assert point.unprofiled_sites == 1
+
+
+def test_empty_point_rates_are_zero():
+    point = PointAttribution(selector="struct-none", bench="crc32",
+                             config="reduced", cycles=50, handles_issued=0)
+    assert point.observed_serialized_rate == 0.0
+    assert point.predicted_serialized_rate == 0.0
+    assert point.predicted_delay_per_handle == 0.0
+    assert point.observed_delay_per_handle == 0.0
+
+
+def test_run_attribution_validates_inputs():
+    from repro.harness.runner import Runner
+    runner = Runner()
+    with pytest.raises(ValueError, match="at least one benchmark"):
+        run_attribution(runner, [])
+    with pytest.raises(ValueError, match="at least one selector"):
+        run_attribution(runner, ["crc32"], selectors=[])
+    with pytest.raises(ValueError, match="unknown selector"):
+        run_attribution(runner, ["crc32"], selectors=["slack-psychic"])
+
+
+@pytest.fixture(scope="module")
+def crc32_points():
+    """One small attribution matrix, shared across assertions."""
+    from repro.harness.runner import Runner
+    runner = Runner()
+    return run_attribution(runner, ["crc32"],
+                           selectors=["struct-all", "struct-none",
+                                      "slack-profile"])
+
+
+def test_attribution_matrix_matches_paper_story(crc32_points):
+    by_selector = {p.selector: p for p in crc32_points}
+    assert set(by_selector) == {"struct-all", "struct-none", "slack-profile"}
+
+    struct_all = by_selector["struct-all"]
+    assert struct_all.handles_issued > 0
+    assert struct_all.serialized > 0  # admits serializing mini-graphs
+    # The delay model predicted serialization where we observed it.
+    assert struct_all.predicted_serialized_rate > 0.0
+    assert struct_all.observed_serialized_rate > 0.0
+
+    # Struct-none rejects every serializing candidate: handles issue,
+    # but none of them are input-serialized and none were predicted to be.
+    struct_none = by_selector["struct-none"]
+    assert struct_none.handles_issued > 0
+    assert struct_none.serialized == 0
+    assert struct_none.observed_serialized_rate == 0.0
+    assert struct_none.predicted_serialized_rate == 0.0
+
+    # Slack-profile rejects predicted-degrading candidates, so its
+    # observed serialization must be below struct-all's.
+    slack = by_selector["slack-profile"]
+    assert slack.observed_serialized_rate < \
+        struct_all.observed_serialized_rate
+
+
+def test_observed_join_covers_issued_handles(crc32_points):
+    struct_all = next(p for p in crc32_points
+                      if p.selector == "struct-all")
+    # Every issue event landed on a known plan site.
+    assert sum(s.instances for s in struct_all.sites) == \
+        struct_all.handles_issued
+
+
+def test_render_table_formats(crc32_points):
+    text = render_table(crc32_points)
+    lines = text.splitlines()
+    assert lines[0].startswith("selector")
+    for column in ("pred-ser%", "obs-ser%", "pred-dly", "obs-dly",
+                   "cons-dly"):
+        assert column in lines[0]
+    assert any(line.startswith("struct-all") and " crc32 " in line
+               for line in lines)
+    assert sum(1 for line in lines if " TOTAL " in line) == 3
+
+    detailed = render_table(crc32_points, per_template=True)
+    assert "worst templates by observed serialization delay:" in detailed
+
+
+def test_attribute_point_unknown_selector_raises():
+    from repro.harness.runner import Runner
+    from repro.pipeline.config import config_by_name
+    with pytest.raises(ValueError, match="unknown selector"):
+        attribute_point(Runner(), "crc32", "nope",
+                        config_by_name("reduced"))
+
+
+def test_selector_constant_names_all_five():
+    assert ATTRIBUTION_SELECTORS == ("struct-all", "struct-none",
+                                     "struct-bounded", "slack-profile",
+                                     "slack-dynamic")

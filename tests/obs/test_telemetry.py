@@ -1,0 +1,163 @@
+"""Telemetry writer, manifest, store/scheduler adapters, validator."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA, TelemetryError, TelemetryWriter, attach_store_telemetry,
+    config_digest, git_sha, run_manifest, scheduler_telemetry,
+    validate_file, validate_telemetry,
+)
+
+
+def _read_lines(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def test_manifest_contents():
+    from repro.exec.store import code_version
+    from repro.pipeline.config import config_by_name
+
+    manifest = run_manifest(config=config_by_name("reduced"), seed=7,
+                            label="unit", argv=["bench", "--quick"])
+    assert manifest["kind"] == "manifest"
+    assert manifest["schema"] == TELEMETRY_SCHEMA
+    assert manifest["seed"] == 7
+    assert manifest["label"] == "unit"
+    assert manifest["argv"] == ["bench", "--quick"]
+    assert manifest["salt"] == code_version()
+    assert manifest["config_digest"] == config_digest(
+        config_by_name("reduced"))
+    # Running inside the repo: the SHA is a real 40-hex commit.
+    sha = git_sha()
+    assert sha == manifest["git_sha"]
+    assert sha == "unknown" or (len(sha) == 40 and
+                                set(sha) <= set("0123456789abcdef"))
+
+
+def test_config_digest_is_stable_and_discriminating():
+    from repro.pipeline.config import config_by_name
+
+    reduced = config_by_name("reduced")
+    assert config_digest(reduced) == config_digest(config_by_name("reduced"))
+    assert config_digest(reduced) != config_digest(config_by_name("full"))
+    assert config_digest({"b": 1, "a": 2}) == config_digest({"a": 2, "b": 1})
+    assert len(config_digest(None)) == 16
+
+
+def test_writer_emits_manifest_first_and_valid_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TelemetryWriter(path) as writer:
+        writer.instant("hello", "test", {"n": 1})
+        with writer.span("work", "test", args={"stage": "trace"}):
+            pass
+        assert writer.events_written == 2
+    lines = _read_lines(path)
+    assert lines[0]["kind"] == "manifest"
+    assert lines[1]["ph"] == "i" and lines[1]["args"] == {"n": 1}
+    span = lines[2]
+    assert span["ph"] == "X" and span["dur"] >= 0
+    assert span["ts"] <= span["ts"] + span["dur"]
+    summary = validate_file(path)
+    assert summary["events"] == 2
+    assert summary["spans"] == 1 and summary["instants"] == 1
+    assert summary["cats"] == {"test": 2}
+
+
+def test_span_closes_on_exception(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    writer = TelemetryWriter(path)
+    with pytest.raises(RuntimeError):
+        with writer.span("boom", "test"):
+            raise RuntimeError("inner failure")
+    writer.close()
+    summary = validate_file(path)
+    assert summary["spans"] == 1  # the span was still written
+
+
+def test_store_adapter_narrates_misses_and_hits(tmp_path):
+    from repro.exec.store import ArtifactStore
+
+    store = ArtifactStore()
+    writer = TelemetryWriter(tmp_path / "t.jsonl")
+    attach_store_telemetry(store, writer)
+    store.get_or_compute("trace", {"benchmark": "crc32", "depth": 3},
+                         lambda: "value")
+    store.get_or_compute("trace", {"benchmark": "crc32", "depth": 3},
+                         lambda: "value")
+    writer.close()
+    lines = _read_lines(writer.path)
+    span = next(l for l in lines[1:] if l["ph"] == "X")
+    assert span["cat"] == "runner" and span["name"] == "trace"
+    assert span["args"]["benchmark"] == "crc32"
+    hit = next(l for l in lines[1:] if l["ph"] == "i")
+    assert hit["name"] == "cache-hit" and hit["cat"] == "store"
+    validate_file(writer.path)
+
+
+def test_scheduler_adapter_tees_to_inner(tmp_path):
+    writer = TelemetryWriter(tmp_path / "t.jsonl")
+    seen = []
+    on_event = scheduler_telemetry(writer, seen.append)
+    on_event({"kind": "done", "task": "run/crc32", "wall": 0.5,
+              "worker": None})
+    writer.close()
+    assert seen == [{"kind": "done", "task": "run/crc32", "wall": 0.5,
+                     "worker": None}]
+    lines = _read_lines(writer.path)
+    assert lines[1]["name"] == "done" and lines[1]["cat"] == "exec"
+    assert lines[1]["args"] == {"task": "run/crc32", "wall": 0.5}
+
+
+def _valid_lines():
+    manifest = json.dumps(run_manifest(label="unit"))
+    event = json.dumps({"name": "e", "cat": "c", "ph": "i", "ts": 5,
+                        "pid": 1, "tid": 0})
+    return [manifest, event]
+
+
+def test_validate_accepts_well_formed_lines():
+    summary = validate_telemetry(_valid_lines())
+    assert summary["events"] == 1 and summary["instants"] == 1
+    assert summary["manifest"]["label"] == "unit"
+
+
+@pytest.mark.parametrize("corrupt,match", [
+    (lambda ls: [], "no manifest"),
+    (lambda ls: ["{not json"], "not valid JSON"),
+    (lambda ls: ["[1, 2]"], "not a JSON object"),
+    (lambda ls: [ls[1]], "first record must be the run manifest"),
+    (lambda ls: [ls[0].replace('"schema": 1', '"schema": 99')
+                 .replace('"schema":1', '"schema":99'), ls[1]],
+     "unsupported schema"),
+    (lambda ls: [ls[0], ls[1].replace('"ph": "i"', '"ph": "Q"')],
+     "bad phase"),
+    (lambda ls: [ls[0], ls[1].replace('"ts": 5', '"ts": -5')],
+     "non-negative"),
+    (lambda ls: [ls[0], json.dumps({"name": "s", "cat": "c", "ph": "X",
+                                    "ts": 0})], "dur"),
+    (lambda ls: [ls[0], json.dumps({"cat": "c", "ph": "i", "ts": 0})],
+     "missing string 'name'"),
+])
+def test_validate_rejects_malformed_lines(corrupt, match):
+    with pytest.raises(TelemetryError, match=match):
+        validate_telemetry(corrupt(_valid_lines()))
+
+
+def test_validate_missing_manifest_key():
+    manifest = run_manifest()
+    del manifest["git_sha"]
+    with pytest.raises(TelemetryError, match="git_sha"):
+        validate_telemetry([json.dumps(manifest)])
+
+
+def test_validate_file_missing_path(tmp_path):
+    with pytest.raises(TelemetryError, match="cannot read"):
+        validate_file(tmp_path / "does-not-exist.jsonl")
+
+
+def test_telemetry_error_is_value_error():
+    """CLI convention: anticipated errors are ValueErrors (exit 2)."""
+    assert issubclass(TelemetryError, ValueError)

@@ -1,0 +1,118 @@
+"""Observers must not perturb timing.
+
+Attaching a :class:`PipeTracer` (or an attribution collector) disables
+the C kernel and runs the Python reference loop with observation hooks
+live — but the *simulated* results must still equal the untraced
+golden-matrix stats bit-exactly. This doubles as a C/Python parity check:
+the golden file was produced by whatever path the untraced runner picks
+(the compiled kernel where available), and the traced run can only use
+the Python loop.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import Runner
+from repro.minigraph.selectors import SlackProfileSelector, StructAll
+from repro.minigraph.transform import fold_trace
+from repro.obs.attribution import AttributionCollector
+from repro.pipeline.config import config_by_name
+from repro.pipeline.core import OoOCore
+from repro.pipeline.pipetrace import PipeTracer
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / \
+    "golden_stats.json"
+
+_SELECTORS = {"struct-all": StructAll, "slack-profile": SlackProfileSelector}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+def _observed(stats):
+    return {
+        "cycles": stats.cycles,
+        "ipc": stats.ipc,
+        "coverage": stats.coverage,
+        "original_committed": stats.original_committed,
+        "replays": stats.replays,
+        "store_forwards": stats.store_forwards,
+        "ordering_violations": stats.ordering_violations,
+        "mgt_misses": stats.mgt_misses,
+        "fetch_cycles_blocked": stats.fetch_cycles_blocked,
+        "icache_stall_cycles": stats.icache_stall_cycles,
+        "avg_iq_occupancy": stats.activity.avg_iq_occupancy,
+        "avg_window_occupancy": stats.activity.avg_window_occupancy,
+    }
+
+
+def _records(runner, bench, selector):
+    if selector == "none":
+        return runner.trace(bench).packed()
+    plan = runner.plan(bench, _SELECTORS[selector]())
+    return fold_trace(runner.trace(bench), plan)
+
+
+def _check_against_golden(golden, key, stats):
+    want = golden[key]
+    observed = _observed(stats)
+    if key.split("/")[1] == "none":
+        observed["coverage"] = 0.0
+    got = {name: observed[name] for name in want}
+    assert got == want, f"{key}: observed run diverged from golden stats"
+
+
+@pytest.mark.parametrize("bench,selector,config_name", [
+    ("crc32", "none", "reduced"),
+    ("crc32", "struct-all", "reduced"),
+    ("mcf", "struct-all", "full"),
+    ("fft", "slack-profile", "reduced"),
+])
+def test_pipetracer_does_not_perturb_timing(golden, runner, bench,
+                                            selector, config_name):
+    records = _records(runner, bench, selector)
+    tracer = PipeTracer(max_rows=64)
+    core = OoOCore(config_by_name(config_name), records, tracer=tracer,
+                   warm_caches=True)
+    assert core._ctrace is None  # tracer must force the Python loop
+    stats = core.run()
+    _check_against_golden(golden, f"{bench}/{selector}/{config_name}",
+                          stats)
+    assert tracer._rows  # the tracer actually observed the run
+
+
+@pytest.mark.parametrize("bench,selector,config_name", [
+    ("crc32", "struct-all", "reduced"),
+    ("gzip", "slack-profile", "full"),
+])
+def test_attribution_does_not_perturb_timing(golden, runner, bench,
+                                             selector, config_name):
+    records = _records(runner, bench, selector)
+    collector = AttributionCollector()
+    core = OoOCore(config_by_name(config_name), records,
+                   attribution=collector, warm_caches=True)
+    assert core._ctrace is None  # attribution must force the Python loop
+    stats = core.run()
+    _check_against_golden(golden, f"{bench}/{selector}/{config_name}",
+                          stats)
+    # Every committed handle produced at least one issue event (squashed
+    # handles may re-issue, so observed >= committed).
+    assert collector.handles_issued >= stats.handles_committed > 0
+
+
+def test_untraced_run_keeps_kernel_eligibility(runner):
+    """The off path is untouched: no observer, same eligibility as before."""
+    from repro.pipeline import ckern
+    records = _records(runner, "crc32", "none")
+    core = OoOCore(config_by_name("reduced"), records, warm_caches=True)
+    assert (core._ctrace is not None) == ckern.available()
