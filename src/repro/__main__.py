@@ -340,9 +340,10 @@ def _cmd_metrics(args) -> int:
         selector = SELECTORS[args.selector]()
         plan = runner.plan(args.benchmark, selector, input_name=args.input)
         records = fold_trace(runner.trace(args.benchmark, args.input), plan)
-    # Attach an (empty-handed for selector=none) attribution collector:
-    # it forces the Python reference loop, so the cache/TLB/branch/
-    # store-set structures accumulate real counts for the harvest.
+    # Attach an (empty-handed for selector=none) attribution collector.
+    # Whichever path the core picks — the compiled kernel writes every
+    # cache/TLB/branch/store-set counter back, the Python loop counts in
+    # place — the structures hold real per-run counts for the harvest.
     core = OoOCore(config, records, warm_caches=True,
                    attribution=AttributionCollector())
     stats = core.run()

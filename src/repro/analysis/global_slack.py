@@ -35,6 +35,11 @@ class GlobalSlackCollector(SlackCollector):
     """Like :class:`SlackCollector`, but the profile's ``slack`` field
     holds *global* slack (capped at :data:`SLACK_CAP` for comparability)."""
 
+    #: Global slack propagates along full consumer chains, which the
+    #: packed event tap does not record — this collector still needs the
+    #: Python reference loop's in-order callbacks.
+    supports_ckern_tap = False
+
     def __init__(self, program: Program, config_name: str = "",
                  input_name: str = "default"):
         super().__init__(program, config_name=config_name,

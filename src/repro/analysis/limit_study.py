@@ -133,9 +133,18 @@ def _parallel_subset_points(runner: Runner, bench: str, input_name: str,
     are ordered by mask, so the outcome is independent of ``jobs``.
     """
     from ..exec.dag import Scheduler, Task
+    from ..exec.shm import ShmRegistry
     from ..exec.tasks import run_subset, runner_params
 
     base = runner_params(runner)
+    # The driver has already materialized the trace (site ranking reads
+    # it), so ship it to the workers zero-copy instead of having every
+    # process unpickle the same multi-megabyte artifact.
+    registry = ShmRegistry()
+    descriptor = registry.publish(runner.trace(bench, input_name),
+                                  bench, input_name, runner.max_insts)
+    if descriptor is not None:
+        base = dict(base, shm_traces=[descriptor])
     tasks = [
         Task(id=f"subset/{bench}/{input_name}/{mask}", fn=run_subset,
              args=(dict(base, bench=bench, input=input_name,
@@ -144,7 +153,10 @@ def _parallel_subset_points(runner: Runner, bench: str, input_name: str,
              stage="subset")
         for mask in range(n_subsets)
     ]
-    report = Scheduler(jobs=jobs).run(tasks)
+    try:
+        report = Scheduler(jobs=jobs).run(tasks)
+    finally:
+        registry.release_all()
     points = [SubsetPoint(r["mask"], r["coverage"], r["relative_ipc"])
               for r in report.results.values()]
     points.sort(key=lambda p: p.mask)

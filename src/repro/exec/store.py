@@ -53,7 +53,10 @@ _SALT_PACKAGES = ("isa", "pipeline", "minigraph", "workloads", "analysis")
 #: Python edits; bump this when a change alters artifact content in a
 #: way the digest cannot see (or to force a fleet-wide cache flush).
 #: 2 = flat ``PackedTrace`` columns + event-driven core + compiled kernel.
-LAYOUT_VERSION = 2
+#: 3 = compiled-kernel event tap: observed (collector/attribution) runs
+#:     now execute on the C kernel, so their artifacts are produced by a
+#:     different engine than version 2 recorded.
+LAYOUT_VERSION = 3
 
 _code_version: Optional[str] = None
 
@@ -212,6 +215,15 @@ class ArtifactStore:
         self.stats.misses += 1
         self.stats.record(kind, hit=False)
         return MISS
+
+    def seed(self, key: str, value: Any) -> None:
+        """Insert into the memory layer only (no disk write).
+
+        For values that are *views* of process-local resources — e.g. a
+        trace rehydrated over a shared-memory segment — which must make
+        later lookups hit but can never be pickled to disk.
+        """
+        self._memory.setdefault(key, value)
 
     def put(self, key: str, value: Any, kind: str = "?",
             params: Optional[Dict[str, Any]] = None) -> None:

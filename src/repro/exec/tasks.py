@@ -11,6 +11,9 @@ Specs carry the runner parameters (``budget``, ``max_mg_size``,
 ``warm_caches``, ``max_insts``, ``cache_dir``); each worker process keeps
 one :class:`~repro.harness.runner.Runner` per distinct parameter set so
 that repeated tasks in the same worker also share the in-memory layer.
+Specs may additionally carry ``shm_traces`` descriptors naming
+shared-memory segments the parent published (:mod:`repro.exec.shm`);
+those traces are attached zero-copy instead of unpickled from disk.
 """
 
 from __future__ import annotations
@@ -46,7 +49,37 @@ def _runner(spec: Dict[str, Any]):
             budget=spec["budget"], max_mg_size=spec["max_mg_size"],
             warm_caches=spec["warm_caches"], max_insts=spec["max_insts"],
             store=ArtifactStore(spec["cache_dir"]))
-    return _RUNNERS[key]
+    runner = _RUNNERS[key]
+    _seed_shared_traces(runner, spec)
+    return runner
+
+
+def _seed_shared_traces(runner, spec: Dict[str, Any]) -> None:
+    """Attach any shared-memory trace segments named in the spec.
+
+    The parent publishes functional traces it already holds as
+    ``multiprocessing.shared_memory`` segments (see
+    :mod:`repro.exec.shm`); specs carry the descriptors under
+    ``shm_traces``. Attaching maps the packed columns zero-copy and
+    seeds the rehydrated trace into this runner's *memory* layer so the
+    pipeline's ``runner.trace(...)`` calls hit without touching the
+    pickled disk artifact. Any attach failure (segment already
+    released, no shared memory here) silently falls back to the store.
+    """
+    descriptors = spec.get("shm_traces")
+    if not descriptors:
+        return
+    from .shm import attach_trace
+    for descriptor in descriptors:
+        params = {"bench": descriptor["bench"],
+                  "input": descriptor["input"],
+                  "max_insts": descriptor["max_insts"]}
+        key = runner.store.key("trace", params)
+        if key in runner.store._memory:
+            continue
+        trace = attach_trace(descriptor)
+        if trace is not None:
+            runner.store.seed(key, trace)
 
 
 def _config(name: str):

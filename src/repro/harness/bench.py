@@ -49,6 +49,14 @@ DEFAULT_SELECTORS = ("none", "struct-all", "slack-profile")
 QUICK_BENCHMARKS = ("crc32", "dijkstra", "mcf")
 QUICK_SELECTORS = ("none", "struct-all")
 
+#: Observed-run modes: a singleton profiling run with a
+#: :class:`~repro.minigraph.slack.SlackCollector` attached. ``observed``
+#: takes whatever path the core picks (the compiled kernel's event tap
+#: where available); ``observed-py`` pins the Python reference loop with
+#: in-loop callbacks — the pre-event-tap behaviour, kept as the
+#: denominator for the speedup gate in CI (see ``profile-smoke``).
+OBSERVED_SELECTORS = ("observed", "observed-py")
+
 SCHEMA_VERSION = 1
 
 
@@ -130,12 +138,27 @@ def peak_rss_kb() -> int:
 def _prepare_point(runner: Runner, bench: str, selector: str):
     """Build the record stream for one point (not timed)."""
     trace = runner.trace(bench)
-    if selector == "none":
+    if selector == "none" or selector in OBSERVED_SELECTORS:
         return trace.packed()
     from ..minigraph.transform import fold_trace
     sel = _selector_by_name(selector)
     plan = runner.plan(bench, sel)
     return fold_trace(trace, plan)
+
+
+def _make_core(runner: Runner, bench: str, selector: str, records,
+               config: MachineConfig) -> OoOCore:
+    """The core for one timed run; observed modes attach a collector."""
+    if selector not in OBSERVED_SELECTORS:
+        return OoOCore(config, records, warm_caches=True)
+    from ..minigraph.slack import SlackCollector
+    collector = SlackCollector(runner._bench(bench).program("train"),
+                               config_name=config.name, input_name="train")
+    core = OoOCore(config, records, collector=collector, warm_caches=True)
+    if selector == "observed-py":
+        core._ctrace = None
+        core._want_tap = False
+    return core
 
 
 def _selector_by_name(name: str):
@@ -191,7 +214,7 @@ def run_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
             records = _prepare_point(runner, bench, selector)
             best: Optional[Tuple[float, int, float, float, int]] = None
             for _ in range(max(1, repeat)):
-                core = OoOCore(config, records, warm_caches=True)
+                core = _make_core(runner, bench, selector, records, config)
                 start = time.perf_counter()
                 stats = core.run()
                 wall = time.perf_counter() - start

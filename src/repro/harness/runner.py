@@ -26,6 +26,7 @@ The mini-graph flow for one (program, selector, machine) run:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional
 
 from ..exec.store import ArtifactStore
@@ -70,9 +71,17 @@ class SelectorRun:
         return self.stats.coverage
 
 
+@lru_cache(maxsize=None)
 def _config_params(config: MachineConfig) -> Dict:
     """The complete machine sizing, not just the name: a custom
-    ``config.scaled(...)`` must never collide with its namesake."""
+    ``config.scaled(...)`` must never collide with its namesake.
+
+    Cached per (frozen, hashable) config instance: every memo lookup on
+    a hot path was re-walking the dataclass through ``asdict`` — pure
+    overhead for the handful of configs a process ever touches. Callers
+    treat the returned dict as read-only (it is embedded in store-key
+    params and serialized, never mutated).
+    """
     return asdict(config)
 
 

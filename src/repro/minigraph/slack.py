@@ -18,9 +18,16 @@ violations.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Tuple
 
 from ..isa.program import Program
+from ..pipeline.ckern import (
+    TAP_CONSUME as _TAP_CONSUME,
+    TAP_ISSUE as _TAP_ISSUE,
+    TAP_REDIRECT as _TAP_REDIRECT,
+    tap_fold as _tap_fold,
+)
 
 SLACK_CAP = 64
 NEVER_READY = None  # operand with no in-flight producer: ready long before
@@ -96,7 +103,17 @@ class SlackCollector:
     consumes a producer's value (including store→load forwarding),
     :meth:`on_redirect` when a mispredicted control transfer redirects
     fetch, and :meth:`on_commit` for every committed singleton.
+
+    Attaching a collector no longer forces the Python reference loop:
+    ``supports_ckern_tap`` tells the core the same profile can be rebuilt
+    post-hoc from the compiled kernel's packed event log via
+    :meth:`ingest_ckern_tap`, bit-identical to the in-loop path (the
+    parity suite in ``tests/pipeline/test_event_tap.py`` gates this).
     """
+
+    #: The compiled kernel may run with the event tap instead of this
+    #: collector's in-loop callbacks (see :meth:`ingest_ckern_tap`).
+    supports_ckern_tap = True
 
     def __init__(self, program: Program, config_name: str = "",
                  input_name: str = "default"):
@@ -171,6 +188,126 @@ class SlackCollector:
             acc.slack_sum += sample
             if sample < acc.min_slack:
                 acc.min_slack = sample
+
+    # -- post-hoc decode of the compiled kernel's event tap -----------------
+
+    def ingest_ckern_tap(self, packed, events, n_words: int,
+                         n_committed: int) -> None:
+        """Rebuild the profile from the kernel's packed event log.
+
+        ``events`` is the ``array('q')`` written by ``repro_run_tap``:
+        ``n_words`` valid int64 words of ``(ix << 4) | tag, a, b``
+        triples in simulation order. The decode mirrors the in-loop
+        callbacks exactly:
+
+        * an ISSUE event opens a fresh per-instance slack cell for its
+          static record (re-issue after a squash orphans the old cell,
+          just as a refetched ``Uop`` gets a fresh ``id()``);
+        * CONSUME events fold ``cycle - ready`` samples into the
+          producer's open cell (the kernel already applied the
+          store-resolve fallback when computing the sample);
+        * REDIRECT zeroes the cell (mispredicted transfers have no
+          slack);
+        * commit aggregation replays trace order over the committed
+          prefix — commits retire in trace order, so the committed
+          instances are exactly the last-issued instances of the first
+          ``n_committed`` records — resolving each source position
+          against the architecturally latest earlier writer, which is
+          precisely what ``reg_map``-based producer links resolve to at
+          the final rename of a committed instruction.
+
+        Sums of ints and mins are order-independent, so the result is
+        bit-identical to the Python observer path, profile for profile.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        n = packed.n
+        none = 1 << 62
+        cells = array("q", [none]) * n
+        issue_cycle = array("q", bytes(8 * n))
+        out_ready = array("q", [1 << 60]) * n
+        if not _tap_fold(events, n_words, cells, issue_cycle, out_ready):
+            # Library gone mid-run: pure-Python reference fold.
+            i = 0
+            while i < n_words:
+                w0 = events[i]
+                a = events[i + 1]
+                b = events[i + 2]
+                i += 3
+                tag = w0 & 15
+                ix = w0 >> 4
+                if tag == _TAP_CONSUME:
+                    if a < cells[ix]:
+                        cells[ix] = a
+                elif tag == _TAP_ISSUE:
+                    cells[ix] = none
+                    issue_cycle[ix] = a
+                    out_ready[ix] = b
+                elif tag == _TAP_REDIRECT:
+                    cells[ix] = 0
+                # HANDLE / CDELAY events belong to the attribution decode.
+
+        kinds = packed.kind
+        pcs = packed.pc
+        rds = packed.rd
+        srcs = packed.srcs
+        starts = packed.srcs_start
+        leaders = self._leaders
+        acc_map = self._acc
+        anchor = self._anchor
+        last_writer = [-1] * 32
+        cap = SLACK_CAP
+        big = 1 << 50
+        for ix in range(n_committed):
+            rd = rds[ix]
+            if kinds[ix]:
+                # Committed handles update the architectural last-writer
+                # map but are profiled by the attribution decode, not
+                # here (on_commit only ever saw singletons).
+                if rd >= 0:
+                    last_writer[rd] = ix
+                continue
+            pc = pcs[ix]
+            s0 = starts[ix]
+            s1 = starts[ix + 1]
+            acc = acc_map.get(pc)
+            if acc is None:
+                acc = _Accumulator(s1 - s0)
+                acc_map[pc] = acc
+            if pc in leaders:
+                anchor = issue_cycle[ix]
+            acc.count += 1
+            acc.issue_sum += issue_cycle[ix] - anchor
+            src_sum = acc.src_sum
+            src_count = acc.src_count
+            for position in range(s1 - s0):
+                src = srcs[s0 + position]
+                if src == 0:
+                    continue
+                writer = last_writer[src]
+                if writer < 0:
+                    continue
+                ready = out_ready[writer]
+                if ready < big:
+                    src_sum[position] += ready - anchor
+                    src_count[position] += 1
+            if rd >= 0:
+                acc.out_sum += out_ready[ix] - anchor
+                acc.out_count += 1
+                last_writer[rd] = ix
+            # on_finish, inline: clamp this instance's slack sample.
+            sample = cells[ix]
+            if sample == none:
+                sample = cap
+            elif sample < 0:
+                sample = 0
+            elif sample > cap:
+                sample = cap
+            acc.slack_sum += sample
+            if sample < acc.min_slack:
+                acc.min_slack = sample
+        self._anchor = anchor
 
     # -- output ---------------------------------------------------------------
 

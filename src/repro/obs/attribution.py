@@ -5,8 +5,7 @@ The Slack-Profile selector *predicts*, via delay-model rules #1–#4
 delay each mini-graph's outputs — but nothing in the pipeline measured
 what each admitted mini-graph actually cost. This module closes that
 loop. An :class:`AttributionCollector` attached to the timing core
-(Python reference path only; attaching one disqualifies the C kernel
-exactly like a policy/collector/tracer does) receives one event per
+receives one event per
 issued handle with the observed external-serialization delay — the
 issue-time delta between the aggregate (which waits for *all* external
 inputs, rule #1) and its first constituent's singleton estimate (which
@@ -21,6 +20,13 @@ slack-dynamic). A selector that admits serializing mini-graphs
 (Struct-All) should show observed serialization the model predicted;
 Slack-Profile, which rejects predicted-degrading candidates, should show
 the residue the profile could not see.
+
+Attaching the collector no longer forces the Python reference loop: it
+advertises ``supports_ckern_tap``, so the compiled kernel records packed
+HANDLE/CDELAY events and :meth:`AttributionCollector.ingest_ckern_tap`
+rebuilds the same per-site tallies post-hoc, bit-identical to the
+in-loop path (only a run-time policy — Slack-Dynamic — still requires
+the Python loop).
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..minigraph.delay_model import assess
+from ..pipeline.ckern import TAP_CDELAY as _TAP_CDELAY, \
+    TAP_HANDLE as _TAP_HANDLE
 
 #: The five paper selectors the attribution table covers.
 ATTRIBUTION_SELECTORS = ("struct-all", "struct-none", "struct-bounded",
@@ -54,10 +62,15 @@ class AttributionCollector:
 
     Attach via ``OoOCore(config, records, attribution=collector)``. The
     collector only *reads* — it never perturbs the simulated schedule —
-    but its presence forces the Python reference loop (the C kernel has
-    no event stream), so attribution runs are post-hoc measurement runs,
-    never memoized baselines.
+    and it supports the compiled kernel's event tap, so attribution runs
+    stay on the fast path: the kernel logs one HANDLE event per issued
+    handle (plus CDELAY events) and :meth:`ingest_ckern_tap` replays
+    them into the exact tallies the in-loop callbacks would produce.
     """
+
+    #: The compiled kernel may run with the event tap instead of this
+    #: collector's in-loop callbacks (see :meth:`ingest_ckern_tap`).
+    supports_ckern_tap = True
 
     def __init__(self):
         self.by_site: Dict[int, _SiteCounts] = {}
@@ -90,6 +103,38 @@ class AttributionCollector:
     def on_consumer_delay(self, site) -> None:
         """A serialized handle's output arrival delayed a consumer."""
         self._counts(site).consumer_delays += 1
+
+    def ingest_ckern_tap(self, packed, events, n_words: int,
+                         n_committed: int) -> None:
+        """Replay HANDLE/CDELAY events from the kernel's packed log.
+
+        The kernel emits one HANDLE event per issued handle instance
+        (``a = serialized | sial << 1``, ``b = last_arrival -
+        first_ready``) at the exact point ``_execute_handle`` would have
+        called :meth:`on_handle_issue`, and one CDELAY event per
+        detected consumer delay, carrying the serialized producer
+        handle's record index. Tallies are order-independent sums, so
+        the result is bit-identical to the in-loop path.
+        """
+        objs = packed.objs
+        handle, cdelay = _TAP_HANDLE, _TAP_CDELAY
+        i = 0
+        while i < n_words:
+            w0 = events[i]
+            tag = w0 & 15
+            if tag == handle:
+                site = objs[w0 >> 4].site
+                entry = self._counts(site)
+                entry.instances += 1
+                self.handles_issued += 1
+                if events[i + 1] & 1:  # serialized
+                    entry.serialized += 1
+                    delta = events[i + 2]
+                    if delta > 0:
+                        entry.ext_delay_cycles += delta
+            elif tag == cdelay:
+                self._counts(objs[w0 >> 4].site).consumer_delays += 1
+            i += 3
 
 
 @dataclass

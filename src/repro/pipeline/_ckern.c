@@ -1,11 +1,16 @@
 /* Compiled fast path for the event-driven timing core.
  *
  * This is a statement-for-statement port of the hot loop in
- * ``repro/pipeline/core.py`` for runs with no policy, no collector and
- * no tracer (every ``repro bench`` point and all memoized timing runs).
+ * ``repro/pipeline/core.py`` for runs with no policy and no tracer
+ * (every ``repro bench`` point and all memoized timing runs).
+ * Tap-capable observers (SlackCollector, AttributionCollector) run here
+ * too: ``repro_run_tap`` appends fixed-width [(ix<<4)|tag, a, b] event
+ * triples to a caller-supplied buffer, and the collectors rebuild their
+ * profiles post-hoc from the log — bit-identical to the in-loop path.
  * The Python implementation remains the behavioural reference: results
  * must be bit-identical, and ``tests/pipeline/test_ckern.py`` plus the
- * golden-stats gate hold both paths to the same numbers.
+ * golden-stats gate and ``tests/pipeline/test_event_tap.py`` hold both
+ * paths to the same numbers.
  *
  * Built on demand by ``repro/pipeline/ckern.py`` with the system C
  * compiler; when no compiler is available the Python path runs instead.
@@ -97,6 +102,20 @@ enum {
 #define RC_BUDGET 1
 #define RC_NO_COMMIT 2
 #define RC_NOMEM 3
+
+/* Event-tap tags (opt-in packed event log; see ckern.py / docs).
+ * Each event is three int64 words: (ix << 4) | tag, a, b. The tap is a
+ * pure addition: no simulated state depends on it, and with a NULL
+ * buffer every emission site compiles down to an untaken branch. */
+#define TAP_ISSUE 1     /* a = issue cycle, b = out_actual_ready (raw) */
+#define TAP_CONSUME 2   /* ix = producer; a = cycle - ready (slack sample) */
+#define TAP_REDIRECT 3  /* a = resolve_cycle */
+#define TAP_HANDLE 4    /* a = serialized | sial<<1, b = last - first_ready */
+#define TAP_CDELAY 5    /* ix = serialized producer handle */
+
+/* Python's collector treats out_actual_ready >= 1<<50 as "no register
+ * value" (a store) and falls back to the store resolve cycle. */
+#define BIGT (((int64_t)1) << 50)
 
 typedef struct {
     const int64_t *pc, *op, *opclass, *latency, *rd, *addr, *next_pc;
@@ -199,6 +218,13 @@ typedef struct {
     int64_t *lfst; int64_t lfst_cap;
     int64_t ss_next_id;
 
+    /* opt-in event tap: caller-owned fixed-capacity buffer. On overflow
+     * emission stops (tap_ovf set) and the caller retries or falls back
+     * to the Python observer loop; the simulation itself is unaffected. */
+    int64_t *tap;
+    int64_t tap_cap, tap_len;
+    int tap_on, tap_ovf;
+
     int64_t cycle;
 } Sim;
 
@@ -232,6 +258,32 @@ static int grow_resolves(Sim *S) {
     if (!a || !b) { if (a) S->resolves = a; if (b) S->res_scratch = b; return -1; }
     S->resolves = a; S->res_scratch = b; S->res_cap = cap;
     return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* event tap                                                           */
+/* ------------------------------------------------------------------ */
+
+/* Append one event; returns its word offset (for later patching) or -1
+ * when the tap is off / just overflowed. */
+static int64_t tap3(Sim *S, int64_t w0, int64_t a, int64_t b) {
+    int64_t at = S->tap_len;
+    if (at + 3 > S->tap_cap) {
+        S->tap_ovf = 1;
+        S->tap_on = 0;
+        return -1;
+    }
+    S->tap[at] = w0;
+    S->tap[at + 1] = a;
+    S->tap[at + 2] = b;
+    S->tap_len = at + 3;
+    return at;
+}
+
+/* SlackCollector.on_consume's notion of a producer's ready time. */
+static int64_t tap_ready_of(const Uop *p) {
+    return p->out_actual_ready < BIGT ? p->out_actual_ready
+                                      : p->store_resolve_cycle;
 }
 
 /* ------------------------------------------------------------------ */
@@ -610,8 +662,11 @@ static int64_t load_latency(Sim *S, int64_t uix, int64_t addr, int64_t when,
         }
     }
     if (best >= 0) {
-        u->forwarded_from = pool[S->sq[best]].age;
+        Uop *st = &pool[S->sq[best]];
+        u->forwarded_from = st->age;
         S->out[OUT_STORE_FORWARDS]++;
+        if (S->tap_on)
+            tap3(S, (st->ix << 4) | TAP_CONSUME, when - tap_ready_of(st), 0);
         return S->cfg[CFG_FORWARD_LATENCY];
     }
     return load_latency_mem(S, addr, pc);
@@ -621,6 +676,8 @@ static void maybe_unblock_fetch(Sim *S, Uop *u) {
     if (S->fetch_block_ix == u->ix && S->fetch_block_sub == u->sub) {
         S->fetch_block_ix = -1;
         S->fetch_resume = u->resolve_cycle + 1;
+        if (S->tap_on)
+            tap3(S, (u->ix << 4) | TAP_REDIRECT, u->resolve_cycle, 0);
     }
 }
 
@@ -837,6 +894,11 @@ static int execute_handle(Sim *S, int64_t uix, int64_t pipe) {
     u->issued = 1;
     int64_t ix = u->ix;
     int64_t hi = T->hidx[ix];
+    /* ISSUE opens this instance's event window; b (out_actual_ready) is
+     * patched below once the serial-execution sweep has computed it. */
+    int64_t tap_at = -1;
+    if (S->tap_on)
+        tap_at = tap3(S, (ix << 4) | TAP_ISSUE, cycle, BIG);
     S->out[OUT_ACT_RF_READS] += T->srcs_start[ix + 1] - T->srcs_start[ix];
     if (u->writes) S->out[OUT_ACT_RF_WRITES]++;
     int64_t regread = S->cfg[CFG_REGREAD];
@@ -877,6 +939,7 @@ static int execute_handle(Sim *S, int64_t uix, int64_t pipe) {
     if ((T->h_flags[hi] & 1) && u->resolve_cycle == BIG)
         u->resolve_cycle = u->complete_cycle;
     S->alu_pipe_free[pipe] = cycle + 1 + (total - cnt);
+    if (tap_at >= 0) S->tap[tap_at + 2] = u->out_actual_ready;
 
     /* Slack-Dynamic serialization detection (stats only; policy None). */
     int64_t last_arrival = 0;
@@ -896,18 +959,41 @@ static int execute_handle(Sim *S, int64_t uix, int64_t pipe) {
     u->mg_serialized = serialized;
     if (serialized) S->out[OUT_MG_SERIALIZED]++;
 
+    if (S->tap_on) {
+        /* AttributionCollector.on_handle_issue: the first constituent's
+         * singleton issue estimate is the max arrival over external
+         * inputs with consumer index 0 (see _execute_handle in core.py). */
+        int64_t first_ready = 0;
+        for (int32_t i = 0; i < u->nprod; i++) {
+            Uop *p = &S->pool[u->prod[i]];
+            int64_t reg = p->rd;
+            if (((reg >= 0 && reg < 32) ? ctab[reg] : 0) == 0) {
+                int64_t arrival = p->out_actual_ready;
+                if (arrival > first_ready) first_ready = arrival;
+            }
+        }
+        tap3(S, (ix << 4) | TAP_HANDLE,
+             (int64_t)serialized | ((int64_t)sial << 1),
+             last_arrival - first_ready);
+    }
+
     /* _notify_consumption (collector None): consumer-delay detection */
     int64_t na = -1;
     Uop *last = NULL;
     for (int32_t i = 0; i < u->nprod; i++) {
         Uop *p = &S->pool[u->prod[i]];
+        if (S->tap_on)
+            tap3(S, (p->ix << 4) | TAP_CONSUME, cycle - tap_ready_of(p), 0);
         if (p->out_actual_ready > na) {
             na = p->out_actual_ready;
             last = p;
         }
     }
-    if (last && last->kind == 1 && last->mg_serialized && cycle == na)
+    if (last && last->kind == 1 && last->mg_serialized && cycle == na) {
         S->out[OUT_MG_CONSUMER_DELAYS]++;
+        if (S->tap_on)
+            tap3(S, (last->ix << 4) | TAP_CDELAY, 0, 0);
+    }
     return 0;
 }
 
@@ -1013,6 +1099,9 @@ static int issue_stage(Sim *S, int *worked) {
             counts[u->port]++;
             u->issued = 1;
             int64_t ix = u->ix;
+            int64_t tap_at = -1;
+            if (S->tap_on)
+                tap_at = tap3(S, (ix << 4) | TAP_ISSUE, cycle, BIG);
             rf_reads += T->srcs_start[ix + 1] - T->srcs_start[ix];
             if (u->writes) rf_writes++;
             if (u->is_load) {
@@ -1044,10 +1133,21 @@ static int issue_stage(Sim *S, int *worked) {
                     u->complete_cycle = cycle + regread + lat;
                 }
             }
+            if (tap_at >= 0) S->tap[tap_at + 2] = u->out_actual_ready;
+            if (S->tap_on) {
+                for (int32_t p = 0; p < u->nprod; p++) {
+                    Uop *pr = &S->pool[u->prod[p]];
+                    tap3(S, (pr->ix << 4) | TAP_CONSUME,
+                         cycle - tap_ready_of(pr), 0);
+                }
+            }
             /* consumer-delay detection (inline _notify_consumption) */
             if (last && last->kind == 1 && last->mg_serialized &&
-                cycle == actual)
+                cycle == actual) {
                 S->out[OUT_MG_CONSUMER_DELAYS]++;
+                if (S->tap_on)
+                    tap3(S, (last->ix << 4) | TAP_CDELAY, 0, 0);
+            }
         }
         /* push-based wakeup: walk registered waiters */
         int32_t e = u->reg_waiters;
@@ -1157,6 +1257,9 @@ static int check_violation(Sim *S, int64_t six) {
     S->out[OUT_ORDERING_VIOLATIONS]++;
     if (ss_train_violation(S, S->pool[victim].load_pc, st->store_pc))
         return -1;
+    if (S->tap_on)
+        tap3(S, (st->ix << 4) | TAP_CONSUME,
+             S->cycle - tap_ready_of(st), 0);
     flush_restart(S, &S->pool[victim]);
     return 0;
 }
@@ -1348,14 +1451,18 @@ static void sim_free(Sim *S) {
     free(S->ras); free(S->ssit); free(S->lfst);
 }
 
-int64_t repro_run(const int64_t *cfg, const CTrace *T, int64_t *out,
-                  int64_t max_cycles) {
+static int64_t run_core(const int64_t *cfg, const CTrace *T, int64_t *out,
+                        int64_t max_cycles, int64_t *tap_buf,
+                        int64_t tap_cap, int64_t *tap_meta) {
     Sim sim;
     Sim *S = &sim;
     memset(S, 0, sizeof(Sim));
     S->cfg = cfg;
     S->T = T;
     S->out = out;
+    S->tap = tap_buf;
+    S->tap_cap = tap_cap;
+    S->tap_on = tap_buf != NULL && tap_cap > 0;
     memset(out, 0, OUT_COUNT * 8);
 
     int64_t n = T->n;
@@ -1527,6 +1634,53 @@ int64_t repro_run(const int64_t *cfg, const CTrace *T, int64_t *out,
     out[OUT_DEAD_CYCLE] = S->cycle;
     out[OUT_DEAD_IX] = S->fetch_ix;
     out[OUT_DEAD_WINDOW] = S->win_len;
+    if (tap_meta) {
+        tap_meta[0] = S->tap_len;
+        tap_meta[1] = S->tap_ovf;
+    }
     sim_free(S);
     return rc;
+}
+
+int64_t repro_run(const int64_t *cfg, const CTrace *T, int64_t *out,
+                  int64_t max_cycles) {
+    return run_core(cfg, T, out, max_cycles, NULL, 0, NULL);
+}
+
+/* Same simulation with the event tap armed. ``tap_meta[0]`` receives the
+ * number of int64 words written, ``tap_meta[1]`` the overflow flag; on
+ * overflow the log is truncated but the simulated results are still
+ * exact (emission just stops). */
+int64_t repro_run_tap(const int64_t *cfg, const CTrace *T, int64_t *out,
+                      int64_t max_cycles, int64_t *tap_buf,
+                      int64_t tap_cap, int64_t *tap_meta) {
+    return run_core(cfg, T, out, max_cycles, tap_buf, tap_cap, tap_meta);
+}
+
+/* First pass of the slack-profile decode: fold the O(events) log into
+ * per-static-record cells so the Python side only walks the O(n)
+ * committed prefix. Exactly mirrors the reference loop in
+ * SlackCollector.ingest_ckern_tap — CONSUME takes the min sample into
+ * the producer's open cell, ISSUE re-opens the cell (squash orphaning)
+ * and records issue/ready cycles, REDIRECT zeroes the cell. The
+ * ``none`` sentinel (1<<62) matches the Python decoder. */
+void repro_tap_fold(const int64_t *events, int64_t n_words,
+                    int64_t *cells, int64_t *issue_cycle,
+                    int64_t *out_ready) {
+    for (int64_t i = 0; i + 2 < n_words; i += 3) {
+        int64_t w0 = events[i];
+        int64_t tag = w0 & 15;
+        int64_t ix = w0 >> 4;
+        if (tag == TAP_CONSUME) {
+            int64_t a = events[i + 1];
+            if (a < cells[ix]) cells[ix] = a;
+        } else if (tag == TAP_ISSUE) {
+            cells[ix] = ((int64_t)1) << 62;
+            issue_cycle[ix] = events[i + 1];
+            out_ready[ix] = events[i + 2];
+        } else if (tag == TAP_REDIRECT) {
+            cells[ix] = 0;
+        }
+        /* HANDLE / CDELAY belong to the attribution decode. */
+    }
 }

@@ -1,9 +1,14 @@
 """Compiled fast path for the timing core (build + marshal + run).
 
 ``_ckern.c`` is a statement-for-statement C port of the hot loop in
-:mod:`repro.pipeline.core` for the common no-instrumentation case
-(``policy is None and collector is None and tracer is None`` — every
-``repro bench`` point and every memoized baseline run). This module
+:mod:`repro.pipeline.core` for runs without an in-loop observer
+(``policy is None and tracer is None`` — every ``repro bench`` point and
+every memoized baseline run). Observed runs whose collectors support the
+packed event tap (:class:`~repro.minigraph.slack.SlackCollector`,
+:class:`~repro.obs.attribution.AttributionCollector`) also run here: the
+kernel appends fixed-width events into a preallocated ``array('q')``
+buffer and the collectors reconstruct their profiles post-hoc,
+bit-identical to the Python observer path. This module
 
 * compiles it on demand with the system C compiler (no third-party
   dependencies; the shared object is cached under the user cache dir,
@@ -82,6 +87,17 @@ RC_OK = 0
 RC_BUDGET = 1
 RC_NO_COMMIT = 2
 RC_NOMEM = 3
+
+# -- event-tap tags (must match _ckern.c) ------------------------------
+# Each event is three int64 words: ``(ix << 4) | tag, a, b``. See
+# docs/performance.md for the full record catalogue.
+TAP_ISSUE = 1      # a = issue cycle, b = out_actual_ready (raw, BIG if none)
+TAP_CONSUME = 2    # ix = producer; a = consumer cycle - producer ready
+TAP_REDIRECT = 3   # a = resolve cycle
+TAP_HANDLE = 4     # a = serialized | sial << 1, b = last - first_ready
+TAP_CDELAY = 5     # ix = serialized producer handle
+TAP_WORDS = 3      # int64 words per event
+TAP_BIG = 1 << 60  # the kernel's "unset" sentinel for out_actual_ready
 
 # The kernel bounds per-uop producer fan-in; traces beyond it (none in
 # practice: ISA ops have <= 3 sources, handles a handful of external
@@ -180,7 +196,14 @@ def _load():
         lib.repro_run.restype = ctypes.c_int64
         lib.repro_run.argtypes = [_I64P, ctypes.POINTER(_CTrace), _I64P,
                                   ctypes.c_int64]
-    except OSError:
+        lib.repro_run_tap.restype = ctypes.c_int64
+        lib.repro_run_tap.argtypes = [_I64P, ctypes.POINTER(_CTrace), _I64P,
+                                      ctypes.c_int64, _I64P, ctypes.c_int64,
+                                      _I64P]
+        lib.repro_tap_fold.restype = None
+        lib.repro_tap_fold.argtypes = [_I64P, ctypes.c_int64, _I64P, _I64P,
+                                       _I64P]
+    except (OSError, AttributeError):
         _lib_failed = True
         return None
     _lib = lib
@@ -375,3 +398,70 @@ def run(cfg: array, mtrace: MarshalledTrace, max_cycles: int):
         ctypes.cast(cfg_buf, _I64P), ctypes.byref(mtrace.struct),
         ctypes.cast(out_buf, _I64P), max_cycles)
     return rc, out
+
+
+def tap_capacity(packed) -> int:
+    """Initial event-buffer capacity (int64 words) for ``packed``.
+
+    A squash-free run emits at most one ISSUE plus one HANDLE per record
+    and one CONSUME per (deduped) source, so ``2n + |srcs|`` events with
+    a flat floor covers it; squash/replay storms beyond the slack are
+    absorbed by one 4x retry before falling back to the Python loop.
+    """
+    return (2 * packed.n + len(packed.srcs) + 4096) * TAP_WORDS
+
+
+def run_tap(cfg: array, mtrace: MarshalledTrace, max_cycles: int,
+            tap_words: int):
+    """Invoke the kernel with the event tap armed.
+
+    Returns ``(rc, out, events, n_words, overflowed)``. ``events`` is an
+    ``array('q')`` whose first ``n_words`` entries are valid packed
+    events; on overflow the log is truncated (the counters are still
+    exact) and the caller either retries with a larger buffer or falls
+    back to the Python observer loop.
+    """
+    lib = _load()
+    if lib is None:
+        return RC_NOMEM, None, None, 0, False
+    out = array("q", [0] * OUT_COUNT)
+    events = array("q", bytes(8 * tap_words))
+    meta = array("q", [0, 0])
+    cfg_buf, _cfg_owner = _col(cfg, ctypes.c_int64)
+    out_buf = (ctypes.c_int64 * OUT_COUNT).from_buffer(out)
+    tap_buf = (ctypes.c_int64 * tap_words).from_buffer(events)
+    meta_buf = (ctypes.c_int64 * 2).from_buffer(meta)
+    rc = lib.repro_run_tap(
+        ctypes.cast(cfg_buf, _I64P), ctypes.byref(mtrace.struct),
+        ctypes.cast(out_buf, _I64P), max_cycles,
+        ctypes.cast(tap_buf, _I64P), tap_words,
+        ctypes.cast(meta_buf, _I64P))
+    del tap_buf, meta_buf  # release from_buffer exports before returning
+    return rc, out, events, meta[0], bool(meta[1])
+
+
+def tap_fold(events: array, n_words: int, cells: array,
+             issue_cycle: array, out_ready: array) -> bool:
+    """Fold the event log into per-record decode cells, in C.
+
+    Performs exactly the first pass of
+    :meth:`~repro.minigraph.slack.SlackCollector.ingest_ckern_tap`
+    (CONSUME min / ISSUE reset / REDIRECT zero) over the ``n_words``
+    valid words of ``events``, mutating the three ``array('q')`` columns
+    in place. Returns False when the library is unavailable so callers
+    keep the pure-Python fold as a fallback.
+    """
+    lib = _load()
+    if lib is None:
+        return False
+    if n_words:
+        ev_buf = (ctypes.c_int64 * len(events)).from_buffer(events)
+        cell_buf = (ctypes.c_int64 * len(cells)).from_buffer(cells)
+        ic_buf = (ctypes.c_int64 * len(issue_cycle)).from_buffer(issue_cycle)
+        or_buf = (ctypes.c_int64 * len(out_ready)).from_buffer(out_ready)
+        lib.repro_tap_fold(
+            ctypes.cast(ev_buf, _I64P), n_words,
+            ctypes.cast(cell_buf, _I64P), ctypes.cast(ic_buf, _I64P),
+            ctypes.cast(or_buf, _I64P))
+        del ev_buf, cell_buf, ic_buf, or_buf
+    return True

@@ -183,12 +183,16 @@ class OoOCore:
         Optional run-time mini-graph policy (Slack-Dynamic). ``None`` keeps
         every mini-graph enabled.
     collector:
-        Optional slack-profile collector receiving dataflow timing events.
+        Optional slack-profile collector receiving dataflow timing
+        events. Collectors advertising ``supports_ckern_tap`` keep the
+        run eligible for the compiled kernel: the kernel logs packed
+        events and the collector rebuilds its profile post-hoc,
+        bit-identical to the in-loop observer.
     attribution:
         Optional :class:`~repro.obs.attribution.AttributionCollector`
         receiving per-handle issue events (observed serialization delay).
-        Read-only with respect to the simulated schedule, but — like any
-        observer — forces the Python reference loop.
+        Read-only with respect to the simulated schedule; supports the
+        event tap, so attaching it no longer forces the Python loop.
     """
 
     def __init__(self, config: MachineConfig, records,
@@ -257,16 +261,27 @@ class OoOCore:
         self._ports = (config.ports_simple, config.ports_complex,
                        config.ports_load, config.ports_store, config.width)
 
-        # Compiled fast path: eligible only when nothing observes the
-        # run from the inside (no policy, collector, tracer or
-        # attribution collector) — every ``repro bench`` point and
-        # memoized baseline run. The Python loop below remains the
-        # behavioural reference and the fallback (no compiler,
-        # REPRO_PURE_PY=1, or a kernel bound exceeded).
+        # Compiled fast path: eligible when nothing *steers* the run from
+        # the inside (no policy) and every attached observer either is
+        # absent or can rebuild its state post-hoc from the kernel's
+        # packed event tap (``supports_ckern_tap``) — slack profiling and
+        # attribution runs included. Tracers render per-cycle pipeline
+        # occupancy and still force the Python loop. The Python loop
+        # below remains the behavioural reference and the fallback (no
+        # compiler, REPRO_PURE_PY=1, a kernel bound exceeded, or an event
+        # buffer overflowing its retry).
         self._ctrace = None
-        if policy is None and collector is None and tracer is None \
-                and attribution is None and packed.n and ckern.available():
+        self._want_tap = False
+        if policy is None and tracer is None and packed.n \
+                and self._tap_capable(collector) \
+                and self._tap_capable(attribution) and ckern.available():
             self._ctrace = ckern.marshal(packed)
+            self._want_tap = collector is not None or attribution is not None
+
+    @staticmethod
+    def _tap_capable(observer) -> bool:
+        return observer is None or getattr(observer, "supports_ckern_tap",
+                                           False)
 
     # ------------------------------------------------------------------
     # Fetch
@@ -1158,7 +1173,20 @@ class OoOCore:
         """
         ck = ckern
         cfg = ck.pack_config(self.config, self._warm_caches)
-        rc, out = ck.run(cfg, self._ctrace, max_cycles)
+        events = n_words = None
+        if self._want_tap:
+            # Opt-in event tap: one retry at 4x capacity (squash storms
+            # can exceed the static estimate), then Python fallback.
+            cap = ck.tap_capacity(self.records)
+            rc, out, events, n_words, overflow = ck.run_tap(
+                cfg, self._ctrace, max_cycles, cap)
+            if overflow:
+                rc, out, events, n_words, overflow = ck.run_tap(
+                    cfg, self._ctrace, max_cycles, 4 * cap)
+            if overflow:
+                return None
+        else:
+            rc, out = ck.run(cfg, self._ctrace, max_cycles)
         if rc == ck.RC_NOMEM or out is None:
             return None
         stats = self.stats
@@ -1231,6 +1259,17 @@ class OoOCore:
             "dl1_misses": out[ck.OUT_DL1_MISS],
             "l2_misses": out[ck.OUT_L2_MISS],
         }
+        if self._want_tap:
+            # Post-hoc decode: collectors rebuild the exact state the
+            # Python observer loop would have left behind (including the
+            # on_finish() finalization the Python path runs at the end).
+            committed = out[ck.OUT_SLOTS_COMMITTED]
+            if self.collector is not None:
+                self.collector.ingest_ckern_tap(self.records, events,
+                                                n_words, committed)
+            if self.attribution is not None:
+                self.attribution.ingest_ckern_tap(self.records, events,
+                                                  n_words, committed)
         return stats
 
     def run(self, max_cycles: int = 200_000_000) -> RunStats:

@@ -140,6 +140,47 @@ def test_stats_render_mentions_rate(tmp_path):
     assert "x 1/2" in text
 
 
+def test_layout_version_3_invalidates_version_2_artifacts(tmp_path,
+                                                          monkeypatch):
+    """Version 3 (observed runs execute on the compiled kernel's event
+    tap) must never serve artifacts recorded under version 2's
+    Python-observer engine."""
+    from repro.exec import store as store_mod
+
+    assert store_mod.LAYOUT_VERSION == 3
+    monkeypatch.setattr(store_mod, "_code_version", None)
+    monkeypatch.setattr(store_mod, "LAYOUT_VERSION", 2)
+    v2_salt = code_version()
+    v2_store = ArtifactStore(tmp_path, salt=v2_salt)
+    key = v2_store.key("profile", {"bench": "crc32", "config": "reduced"})
+    v2_store.put(key, {"entries": 16}, kind="profile")
+
+    monkeypatch.setattr(store_mod, "_code_version", None)
+    monkeypatch.setattr(store_mod, "LAYOUT_VERSION", 3)
+    v3_salt = code_version()
+    assert v3_salt != v2_salt
+    v3_store = ArtifactStore(tmp_path, salt=v3_salt)
+    v3_key = v3_store.key("profile", {"bench": "crc32", "config": "reduced"})
+    assert v3_key != key
+    assert v3_store.get(v3_key) is MISS
+
+
+def test_seed_is_memory_only(tmp_path):
+    """Seeded values hit lookups but never land on disk (they may wrap
+    process-local resources like shared-memory views)."""
+    store = ArtifactStore(tmp_path)
+    key = store.key("trace", {"bench": "crc32"})
+    sentinel = object()
+    store.seed(key, sentinel)
+    assert store.get(key, "trace") is sentinel
+    # A second store over the same directory sees nothing: no disk write.
+    other = ArtifactStore(tmp_path, salt=store.salt)
+    assert other.get(key, "trace") is MISS
+    # Seeding never clobbers an existing value.
+    store.seed(key, object())
+    assert store.get(key, "trace") is sentinel
+
+
 def test_layout_version_invalidates_cached_artifacts(tmp_path, monkeypatch):
     """Bumping LAYOUT_VERSION changes the code salt, so artifacts cached
     under the old trace/record layout can never be served again."""

@@ -127,11 +127,27 @@ def test_pure_python_env_disables_kernel(monkeypatch, sum_trace):
     assert core.run().original_committed > 0  # Python path still works
 
 
-def test_observed_runs_stay_on_python_path(sum_loop, sum_trace):
-    """A collector (or policy/tracer) must force the reference loop."""
+@needs_kernel
+def test_tap_capable_observers_keep_the_kernel(sum_loop, sum_trace):
+    """SlackCollector no longer forces the reference loop: it decodes the
+    kernel's event tap post-hoc (parity in tests/pipeline/test_event_tap.py)."""
     from repro.minigraph.slack import SlackCollector
     collector = SlackCollector(sum_loop, config_name="reduced",
                                input_name="train")
+    core = OoOCore(reduced_config(), sum_trace.packed(),
+                   collector=collector)
+    assert core._ctrace is not None and core._want_tap
+    stats = core.run()
+    assert stats.original_committed > 0
+    assert len(collector.profile()) > 0
+
+
+def test_tap_incapable_observers_stay_on_python_path(sum_loop, sum_trace):
+    """Observers without ``supports_ckern_tap`` still force the reference
+    loop (GlobalSlackCollector needs per-cycle callbacks)."""
+    from repro.analysis.global_slack import GlobalSlackCollector
+    collector = GlobalSlackCollector(sum_loop, config_name="reduced",
+                                     input_name="train")
     core = OoOCore(reduced_config(), sum_trace.packed(),
                    collector=collector)
     assert core._ctrace is None
