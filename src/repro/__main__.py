@@ -12,6 +12,9 @@ Subcommands::
     python -m repro metrics crc32 --format prom   # metrics registry export
     python -m repro attribution --benchmarks crc32 # predicted-vs-observed
     python -m repro telemetry trace.jsonl      # validate a telemetry file
+    python -m repro serve --state-dir .serve   # persistent job daemon
+    python -m repro submit experiment spec.json --wait  # talk to it
+    python -m repro loadtest --clients 200     # hammer a running daemon
 
 `experiments` forwards to :mod:`repro.harness.experiments`; everything
 else is a thin veneer over the library API so each command doubles as a
@@ -332,6 +335,22 @@ def _cmd_metrics(args) -> int:
     from .obs.metrics import run_registry, validate_metrics
     from .pipeline.core import OoOCore
 
+    if getattr(args, "server", None):
+        # Proxy a running daemon's registry instead of simulating.
+        from .serve.client import SyncClient
+        payload = SyncClient(_serve_address(args)).metrics(args.format)
+        if args.format == "json":
+            validate_metrics(payload)
+            text = _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        else:
+            text = payload
+        if args.out:
+            from pathlib import Path
+            Path(args.out).write_text(text)
+        else:
+            sys.stdout.write(text)
+        return 0
+
     runner = Runner(store=_store_for(args))
     config = config_by_name(args.config)
     if args.selector == "none":
@@ -421,6 +440,80 @@ def _cmd_cache(args) -> int:
         removed = store.prune(max_age=max_age, kinds=args.kinds or None)
         print(f"pruned {removed} artifacts from {store.root}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .serve.server import ServerConfig, serve_forever
+    config = ServerConfig(
+        state_dir=Path(args.state_dir),
+        socket_path=Path(args.socket) if args.socket else None,
+        host=args.host, port=args.port,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        job_slots=args.job_slots, pool_workers=args.pool,
+        max_queued=args.max_queued, max_running=args.max_running,
+        budget=args.budget, quiet=args.quiet)
+    return asyncio.run(serve_forever(config))
+
+
+def _serve_address(args) -> str:
+    from .serve.client import resolve_address
+    return resolve_address(args.server)
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .serve.client import ServeError, SyncClient
+    if args.spec == "-":
+        spec = _json.load(sys.stdin)
+    elif args.spec.lstrip().startswith("{"):
+        spec = _json.loads(args.spec)
+    else:
+        from pathlib import Path
+        spec = _json.loads(Path(args.spec).read_text())
+    client = SyncClient(_serve_address(args), client_id=args.client)
+    try:
+        summary = client.submit(args.kind, spec, priority=args.priority)
+    except ServeError as error:
+        print(f"repro: submit rejected: {error}", file=sys.stderr)
+        return 1
+    print(f"submitted {summary['id']} ({summary['state']})")
+    if args.follow:
+        client.follow(summary["id"],
+                      lambda rec: print(_json.dumps(rec, sort_keys=True)))
+    if args.wait or args.follow:
+        doc = client.wait(summary["id"])
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if doc["state"] == "done" else 1
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .serve.loadtest import run_loadtest
+    report = asyncio.run(run_loadtest(
+        _serve_address(args), clients=args.clients,
+        jobs_per_client=args.jobs_per_client, mix=args.mix,
+        stagger=args.stagger, timeout=args.timeout,
+        warmup=not args.no_warmup))
+    print(report.render())
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    problems = report.check(
+        max_failed=args.gate_max_failed,
+        min_warm_ratio=args.gate_min_warm_ratio,
+        max_first_event_p95=args.gate_first_event_p95)
+    for problem in problems:
+        print(f"loadtest: FAIL {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -571,6 +664,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="export format (default json)")
     p_metrics.add_argument("--out", default=None, metavar="PATH",
                            help="write the export here instead of stdout")
+    p_metrics.add_argument("--server", default=None, metavar="ADDR",
+                           help="export a running daemon's registry "
+                                "(unix:/path, host:port, or a serve "
+                                "state dir) instead of simulating")
     _add_cache_flags(p_metrics)
     p_metrics.set_defaults(fn=_cmd_metrics)
 
@@ -610,6 +707,92 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "(trace profile candidates plan baseline "
                               "run run-dynamic)")
     p_cache.set_defaults(fn=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="persistent job daemon: submit experiments over a "
+                      "local socket, warm-path reuse across jobs "
+                      "(see docs/serving.md)")
+    p_serve.add_argument("--state-dir", default=".repro-serve",
+                         help="journal, socket and default cache live "
+                              "here (default .repro-serve)")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="unix socket path "
+                              "(default <state-dir>/serve.sock)")
+    p_serve.add_argument("--host", default=None,
+                         help="serve TCP on this host instead of a "
+                              "unix socket")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral; requires --host)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="artifact store directory "
+                              "(default <state-dir>/cache)")
+    p_serve.add_argument("--job-slots", type=int, default=4,
+                         help="jobs running concurrently (default 4)")
+    p_serve.add_argument("--pool", type=int, default=0,
+                         help="shared worker-process pool size "
+                              "(0 = per-job pools)")
+    p_serve.add_argument("--max-queued", type=int, default=32,
+                         help="per-client queued-job quota (default 32)")
+    p_serve.add_argument("--max-running", type=int, default=2,
+                         help="per-client running-job quota (default 2)")
+    p_serve.add_argument("--budget", type=int, default=512,
+                         help="MGT template budget for served runs")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress progress lines on stderr")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running daemon")
+    p_submit.add_argument("kind",
+                          choices=["experiment", "bench", "fuzz",
+                                   "limit-study"])
+    p_submit.add_argument("spec",
+                          help="inline JSON, a spec file path, or '-' "
+                               "for stdin")
+    p_submit.add_argument("--server", default=".repro-serve",
+                          help="daemon address or state dir "
+                               "(default .repro-serve)")
+    p_submit.add_argument("--client", default="cli",
+                          help="client id for quota accounting")
+    p_submit.add_argument("--priority", default="normal",
+                          choices=["interactive", "normal", "batch"])
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until terminal, print the result")
+    p_submit.add_argument("--follow", action="store_true",
+                          help="stream the job's telemetry events "
+                               "(implies --wait)")
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_load = sub.add_parser(
+        "loadtest", help="drive concurrent clients against a running "
+                         "daemon and gate on the report")
+    p_load.add_argument("--server", default=".repro-serve",
+                        help="daemon address or state dir "
+                             "(default .repro-serve)")
+    p_load.add_argument("--clients", type=int, default=100,
+                        help="concurrent simulated clients (default 100)")
+    p_load.add_argument("--jobs-per-client", type=int, default=2,
+                        help="jobs each client submits (default 2)")
+    p_load.add_argument("--mix", action="store_true",
+                        help="mix short fuzz jobs into the stream")
+    p_load.add_argument("--stagger", type=float, default=0.0,
+                        help="per-client start offset in seconds")
+    p_load.add_argument("--timeout", type=float, default=120.0,
+                        help="per-job completion timeout (default 120s)")
+    p_load.add_argument("--no-warmup", action="store_true",
+                        help="skip the pilot warm pass (measure the "
+                             "cold stampede)")
+    p_load.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the report JSON here")
+    p_load.add_argument("--gate-max-failed", type=int, default=0,
+                        help="fail if more jobs fail (default 0)")
+    p_load.add_argument("--gate-min-warm-ratio", type=float, default=None,
+                        help="fail if the server warm-hit ratio is lower")
+    p_load.add_argument("--gate-first-event-p95", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail if submit-to-first-event p95 exceeds "
+                             "this")
+    p_load.set_defaults(fn=_cmd_loadtest)
 
     # "experiments" is documented here even though it is dispatched above.
     sub.add_parser("experiments",

@@ -125,7 +125,8 @@ def _selector_mask(plan_sites: List[MGSite], sites: List[MGSite]) -> int:
 def _parallel_subset_points(runner: Runner, bench: str, input_name: str,
                             config: MachineConfig, n_candidates: int,
                             n_subsets: int, baseline_ipc: float,
-                            jobs: int) -> List[SubsetPoint]:
+                            jobs: int,
+                            progress=None) -> List[SubsetPoint]:
     """Fan the exhaustive subset sweep out over worker processes.
 
     Each mask evaluation is one task; trace and candidate enumeration
@@ -154,7 +155,7 @@ def _parallel_subset_points(runner: Runner, bench: str, input_name: str,
         for mask in range(n_subsets)
     ]
     try:
-        report = Scheduler(jobs=jobs).run(tasks)
+        report = Scheduler(jobs=jobs, on_event=progress).run(tasks)
     finally:
         registry.release_all()
     points = [SubsetPoint(r["mask"], r["coverage"], r["relative_ipc"])
@@ -168,14 +169,19 @@ def run_limit_study(runner: Optional[Runner] = None, bench: str = "adpcm",
                     config: Optional[MachineConfig] = None,
                     n_candidates: int = 10,
                     subset_cap: Optional[int] = None,
-                    jobs: int = 1) -> LimitStudyResult:
+                    jobs: int = 1,
+                    progress=None) -> LimitStudyResult:
     """Exhaustively evaluate mini-graph subsets and place the selectors.
 
     ``subset_cap`` truncates the exhaustive sweep (tests use small caps);
     the full Figure 8 sweep needs ``2 ** n_candidates`` evaluations.
     With ``jobs > 1`` (and a persistent artifact store on ``runner`` and
     a *named* machine configuration) the sweep fans out over worker
-    processes; results are identical to the serial path.
+    processes; results are identical to the serial path. ``progress``
+    receives the scheduler's per-task event stream (see
+    :class:`~repro.exec.dag.Scheduler`); callers that render progress —
+    the CLI, the serve daemon's per-job event logs — attach their own
+    sink instead of sharing one process-wide stderr stream.
     """
     runner = runner or Runner()
     config = config or reduced_config()
@@ -195,7 +201,7 @@ def run_limit_study(runner: Optional[Runner] = None, bench: str = "adpcm",
     if parallel_ok:
         result.points.extend(_parallel_subset_points(
             runner, bench, input_name, config, n_candidates, n_subsets,
-            baseline_ipc, jobs))
+            baseline_ipc, jobs, progress=progress))
     else:
         for mask in range(n_subsets):
             result.points.append(_evaluate_subset(

@@ -138,12 +138,21 @@ class Scheduler:
 
     def __init__(self, jobs: int = 1, retries: int = 1,
                  backoff: float = 0.1, timeout: Optional[float] = None,
-                 on_event: Optional[Callable[[Dict[str, Any]], None]] = None):
+                 on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 pool: Optional[ProcessPoolExecutor] = None):
         self.jobs = max(1, int(jobs))
         self.retries = retries
         self.backoff = backoff
         self.timeout = timeout
         self.on_event = on_event
+        #: Optional externally-owned process pool. When set, parallel
+        #: runs submit into it instead of spawning a private pool —
+        #: ``jobs`` still caps *this* scheduler's in-flight tasks, so
+        #: several schedulers (e.g. server jobs) can share one pool.
+        #: The scheduler never shuts an external pool down; on timeout
+        #: it cannot terminate the pool's workers either, so runaway
+        #: tasks are abandoned rather than killed.
+        self.pool = pool
 
     # -- graph preparation -----------------------------------------------------
 
@@ -272,7 +281,9 @@ class Scheduler:
 
     def _run_parallel(self, table: Dict[str, Task], order: List[str],
                       report: ExecReport) -> None:
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        own_pool = self.pool is None
+        pool = ProcessPoolExecutor(max_workers=self.jobs) if own_pool \
+            else self.pool
         # future → (task, submit time, attempt); submissions are throttled
         # to pool width so "submitted" ≈ "started" and deadlines are fair.
         in_flight: Dict[Any, Tuple[Task, float, int]] = {}
@@ -359,13 +370,19 @@ class Scheduler:
                                        self._state(table, report,
                                                    running=len(in_flight)))
                             degrade = timed_out = True
-                    if timed_out:
+                    if timed_out and own_pool:
                         # A stuck worker would block interpreter exit
-                        # (the pool joins its processes at shutdown).
+                        # (the pool joins its processes at shutdown). A
+                        # shared pool's workers belong to other runs too
+                        # and must not be terminated from here.
                         for proc in list(pool._processes.values()):
                             proc.terminate()
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if own_pool:
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                for future in list(in_flight):
+                    future.cancel()
 
         if degrade or pending or in_flight:
             # Anything still unfinished (including tasks whose futures were

@@ -155,6 +155,12 @@ class ArtifactStore:
         #: every hit emits a ``store`` cache-hit instant. ``None`` (the
         #: default) keeps the store observation-free.
         self.telemetry = None
+        #: Optional callback fired when a corrupt disk payload is
+        #: dropped and recovered as a miss: ``on_corrupt(key, error)``.
+        #: Corruption recovery is otherwise invisible outside
+        #: ``stats.corrupt_dropped`` — long-lived processes (the serve
+        #: daemon) hook this to count and log recoveries as they happen.
+        self.on_corrupt: Optional[Callable[[str, Exception], None]] = None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
 
@@ -200,13 +206,15 @@ class ArtifactStore:
                     value = pickle.load(handle)
             except FileNotFoundError:
                 pass
-            except Exception:
+            except Exception as error:
                 self.stats.corrupt_dropped += 1
                 for stale in (path, self._sidecar_path(key)):
                     try:
                         stale.unlink()
                     except OSError:
                         pass
+                if self.on_corrupt is not None:
+                    self.on_corrupt(key, error)
             else:
                 self._memory[key] = value
                 self.stats.disk_hits += 1

@@ -387,6 +387,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the experiment grid "
                              "(1 = serial in-process)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the scheduler progress stream on "
+                             "stderr (telemetry, if enabled, still "
+                             "records every event)")
     parser.add_argument("--check", action="store_true",
                         help="add a lockstep+lint validation node per "
                              "(program, selector) point; any divergence "
@@ -444,7 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 points = grid_points(name, benches)
                 if points:
                     from ..exec.dag import TaskError
-                    on_event = ProgressPrinter()
+                    on_event = None if args.quiet else ProgressPrinter()
                     if telemetry is not None:
                         on_event = scheduler_telemetry(telemetry, on_event)
                     try:
@@ -456,7 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         print(f"experiments: check failed: {error}",
                               file=_sys.stderr)
                         return 1
-                    print(report.render(), file=_sys.stderr)
+                    if not args.quiet:
+                        print(report.render(), file=_sys.stderr)
             if telemetry is not None:
                 with telemetry.span(name, "experiment"):
                     result = EXPERIMENTS[name](runner, benches)

@@ -107,11 +107,86 @@ class Runner:
     def _bench(self, bench) -> Benchmark:
         return benchmark(bench) if isinstance(bench, str) else bench
 
+    # -- artifact-key params ---------------------------------------------------
+    #
+    # Every memoized phase builds its store key from one of the builders
+    # below, and nothing else: external probes (the serve warm path, see
+    # :mod:`repro.serve.warm`) construct the identical params to ask
+    # "is this artifact already materialized?" without computing anything.
+    # Adding a parameter to a compute path means adding it here, once.
+
+    def trace_params(self, bench_name: str, input_name: str) -> Dict:
+        """Store-key params for :meth:`trace`."""
+        return {"bench": bench_name, "input": input_name,
+                "max_insts": self.max_insts}
+
+    def candidates_params(self, bench_name: str, input_name: str) -> Dict:
+        """Store-key params for :meth:`candidates`."""
+        return {"bench": bench_name, "input": input_name,
+                "max_mg_size": self.max_mg_size}
+
+    def baseline_params(self, bench_name: str,
+                        config: MachineConfig, input_name: str) -> Dict:
+        """Store-key params for :meth:`baseline`."""
+        return {"bench": bench_name, "input": input_name,
+                "config": _config_params(config),
+                "warm_caches": self.warm_caches,
+                "max_insts": self.max_insts}
+
+    def profile_params(self, bench_name: str, config: MachineConfig,
+                       input_name: str, global_slack: bool) -> Dict:
+        """Store-key params for :meth:`slack_profile`."""
+        return {"bench": bench_name, "input": input_name,
+                "config": _config_params(config),
+                "global_slack": global_slack,
+                "warm_caches": self.warm_caches,
+                "max_insts": self.max_insts}
+
+    def plan_params(self, bench_name: str, selector_spec: Dict,
+                    input_name: str, profile_config: MachineConfig,
+                    profile_input: str, global_slack: bool) -> Dict:
+        """Store-key params for :meth:`plan` (resolved profiling args)."""
+        return {"bench": bench_name, "selector": selector_spec,
+                "input": input_name,
+                "profile_config": _config_params(profile_config),
+                "profile_input": profile_input,
+                "budget": self.budget, "max_mg_size": self.max_mg_size,
+                "global_slack": global_slack,
+                "warm_caches": self.warm_caches,
+                "max_insts": self.max_insts}
+
+    def run_params(self, bench_name: str, selector_spec: Dict,
+                   config: MachineConfig, input_name: str,
+                   profile_config: MachineConfig, profile_input: str,
+                   global_slack: bool, label: Optional[str]) -> Dict:
+        """Store-key params for :meth:`run_selector` (resolved args)."""
+        return {"bench": bench_name, "selector": selector_spec,
+                "config": _config_params(config),
+                "input": input_name,
+                "profile_config": _config_params(profile_config),
+                "profile_input": profile_input,
+                "budget": self.budget, "max_mg_size": self.max_mg_size,
+                "global_slack": global_slack,
+                "warm_caches": self.warm_caches,
+                "max_insts": self.max_insts,
+                "label": label}
+
+    def dynamic_params(self, bench_name: str, config: MachineConfig,
+                       input_name: str, mode: str,
+                       outlining_penalty: bool, policy_kwargs: Dict) -> Dict:
+        """Store-key params for :meth:`run_slack_dynamic`."""
+        return {"bench": bench_name, "config": _config_params(config),
+                "input": input_name, "mode": mode,
+                "outlining_penalty": outlining_penalty,
+                "policy": dict(sorted(policy_kwargs.items())),
+                "budget": self.budget, "max_mg_size": self.max_mg_size,
+                "warm_caches": self.warm_caches,
+                "max_insts": self.max_insts}
+
     def trace(self, bench, input_name: str = DEFAULT_INPUT) -> Trace:
         """Functional (singleton) trace of a benchmark."""
         bench = self._bench(bench)
-        params = {"bench": bench.name, "input": input_name,
-                  "max_insts": self.max_insts}
+        params = self.trace_params(bench.name, input_name)
 
         def compute() -> Trace:
             program = bench.program(input_name)
@@ -124,8 +199,7 @@ class Runner:
                    input_name: str = DEFAULT_INPUT) -> List[Candidate]:
         """Memoized candidate enumeration for a benchmark program."""
         bench = self._bench(bench)
-        params = {"bench": bench.name, "input": input_name,
-                  "max_mg_size": self.max_mg_size}
+        params = self.candidates_params(bench.name, input_name)
 
         def compute() -> List[Candidate]:
             program = bench.program(input_name)
@@ -139,10 +213,7 @@ class Runner:
                  input_name: str = DEFAULT_INPUT) -> RunStats:
         """Singleton (no mini-graphs) timing run."""
         bench = self._bench(bench)
-        params = {"bench": bench.name, "input": input_name,
-                  "config": _config_params(config),
-                  "warm_caches": self.warm_caches,
-                  "max_insts": self.max_insts}
+        params = self.baseline_params(bench.name, config, input_name)
 
         def compute() -> RunStats:
             trace = self.trace(bench, input_name)
@@ -164,11 +235,8 @@ class Runner:
         alternative the paper argues against.
         """
         bench = self._bench(bench)
-        params = {"bench": bench.name, "input": input_name,
-                  "config": _config_params(config),
-                  "global_slack": global_slack,
-                  "warm_caches": self.warm_caches,
-                  "max_insts": self.max_insts}
+        params = self.profile_params(bench.name, config, input_name,
+                                     global_slack)
 
         def compute() -> SlackProfile:
             trace = self.trace(bench, input_name)
@@ -206,14 +274,9 @@ class Runner:
         profile_input = profile_input or input_name
         if profile_config is None:
             profile_config = config_by_name("reduced")
-        params = {"bench": bench.name, "selector": selector.spec(),
-                  "input": input_name,
-                  "profile_config": _config_params(profile_config),
-                  "profile_input": profile_input,
-                  "budget": self.budget, "max_mg_size": self.max_mg_size,
-                  "global_slack": global_slack,
-                  "warm_caches": self.warm_caches,
-                  "max_insts": self.max_insts}
+        params = self.plan_params(bench.name, selector.spec(), input_name,
+                                  profile_config, profile_input,
+                                  global_slack)
 
         def compute() -> MiniGraphPlan:
             profile = None
@@ -266,16 +329,10 @@ class Runner:
         # and the default share one artifact.
         resolved_profile = profile_config if profile_config is not None \
             else config_by_name("reduced")
-        params = {"bench": bench.name, "selector": selector.spec(),
-                  "config": _config_params(config),
-                  "input": input_name,
-                  "profile_config": _config_params(resolved_profile),
-                  "profile_input": profile_input or input_name,
-                  "budget": self.budget, "max_mg_size": self.max_mg_size,
-                  "global_slack": global_slack,
-                  "warm_caches": self.warm_caches,
-                  "max_insts": self.max_insts,
-                  "label": label}
+        params = self.run_params(bench.name, selector.spec(), config,
+                                 input_name, resolved_profile,
+                                 profile_input or input_name,
+                                 global_slack, label)
         return self.store.get_or_compute(
             "run", params,
             lambda: self._run_selector(bench, selector, config, input_name,
@@ -309,13 +366,8 @@ class Runner:
         suffix = "" if mode == "full" else f"-{mode}"
         ideal = "" if outlining_penalty else "ideal-"
         name = f"{ideal}slack-dynamic{suffix}"
-        params = {"bench": bench.name, "config": _config_params(config),
-                  "input": input_name, "mode": mode,
-                  "outlining_penalty": outlining_penalty,
-                  "policy": dict(sorted(policy_kwargs.items())),
-                  "budget": self.budget, "max_mg_size": self.max_mg_size,
-                  "warm_caches": self.warm_caches,
-                  "max_insts": self.max_insts}
+        params = self.dynamic_params(bench.name, config, input_name, mode,
+                                     outlining_penalty, policy_kwargs)
 
         def compute() -> SelectorRun:
             policy = SlackDynamicPolicy(mode=mode,

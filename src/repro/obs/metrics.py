@@ -437,6 +437,44 @@ def collect_store(registry: MetricsRegistry, store) -> None:
                          f"{kind} artifact misses").inc(miss)
 
 
+def collect_server(registry: MetricsRegistry, server) -> None:
+    """Harvest a running :class:`~repro.serve.server.ServeApp`.
+
+    Duck-typed (``server.stats`` counters plus ``server.queue`` gauges)
+    so this module never imports the serve package.
+    """
+    stats = server.stats
+    registry.counter("server.jobs_submitted",
+                     "Jobs admitted to the queue").inc(stats.submitted)
+    registry.counter("server.jobs_completed",
+                     "Jobs finished successfully").inc(stats.completed)
+    registry.counter("server.jobs_failed",
+                     "Jobs finished with an error").inc(stats.failed)
+    registry.counter("server.jobs_cancelled",
+                     "Jobs cancelled before completion").inc(stats.cancelled)
+    registry.counter("server.jobs_rejected",
+                     "Submissions rejected by quota").inc(stats.rejected)
+    registry.counter("server.warm_hits",
+                     "Jobs answered with zero scheduled nodes").inc(
+        stats.warm_hits)
+    registry.counter("server.nodes_scheduled",
+                     "DAG nodes actually executed").inc(
+        stats.nodes_scheduled)
+    registry.counter("server.nodes_pruned",
+                     "DAG nodes served from the store").inc(
+        stats.nodes_pruned)
+    registry.counter("server.store_corruptions",
+                     "Corrupt artifacts recovered as misses").inc(
+        stats.store_corruptions)
+    registry.gauge("server.queue_depth",
+                   "Jobs queued, not yet dispatched").set(
+        server.queue.depth)
+    registry.gauge("server.active_jobs",
+                   "Jobs currently running").set(server.queue.active)
+    registry.gauge("server.warm_hit_ratio",
+                   "Warm hits / completed jobs").set(stats.warm_hit_ratio)
+
+
 def collect_exec_report(registry: MetricsRegistry, report) -> None:
     """Harvest a scheduler :class:`~repro.exec.dag.ExecReport`."""
     registry.counter("exec.tasks_done",

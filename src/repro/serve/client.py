@@ -1,0 +1,250 @@
+"""A dependency-free client for the ``repro serve`` job API.
+
+One connection per request (the server speaks ``Connection: close``
+HTTP/1.1), so a client object is just an address plus helpers — safe to
+share across coroutines, nothing to pool or reconnect. Addresses are
+``unix:/path/to/serve.sock`` or ``host:port``; :func:`resolve_address`
+also accepts a server state directory (reads its ``serve.json``).
+
+:class:`ServeClient` is the async API (used by the loadtest harness);
+:class:`SyncClient` wraps it in ``asyncio.run`` calls for the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def parse_address(address: str) -> Tuple[str, Any]:
+    """``unix:/path`` → ("unix", path); ``host:port`` → ("tcp", (h, p))."""
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    if address.startswith("tcp:"):
+        address = address[len("tcp:"):]
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad server address {address!r} "
+                         f"(want unix:/path or host:port)")
+    return "tcp", (host, int(port))
+
+
+def resolve_address(target: str) -> str:
+    """Accept an address, a state dir, or a ``serve.json`` path."""
+    path = Path(target)
+    if path.is_dir():
+        path = path / "serve.json"
+    if path.is_file() and path.suffix == ".json":
+        return json.loads(path.read_text())["address"]
+    return target
+
+
+class ServeClient:
+    """Async client; one short-lived connection per call."""
+
+    def __init__(self, address: str, client_id: str = "cli",
+                 timeout: float = 60.0):
+        self.scheme, self.target = parse_address(address)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    async def _connect(self):
+        if self.scheme == "unix":
+            return await asyncio.open_unix_connection(self.target)
+        host, port = self.target
+        return await asyncio.open_connection(host, port)
+
+    async def _request(self, method: str, path: str,
+                       body: Optional[Dict[str, Any]] = None
+                       ) -> Tuple[int, Any]:
+        reader, writer = await self._connect()
+        try:
+            payload = json.dumps(body).encode() if body is not None else b""
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: repro-serve\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            status, _ = await asyncio.wait_for(
+                _read_status_headers(reader), self.timeout)
+            raw = await asyncio.wait_for(reader.read(), self.timeout)
+            doc = json.loads(raw.decode()) if raw.strip() else None
+            if status >= 400:
+                message = (doc or {}).get("error", raw.decode()[:200]) \
+                    if isinstance(doc, dict) else raw.decode()[:200]
+                raise ServeError(status, message)
+            return status, doc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- API -------------------------------------------------------------------
+
+    async def health(self) -> Dict[str, Any]:
+        return (await self._request("GET", "/healthz"))[1]
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self._request("GET", "/stats"))[1]
+
+    async def metrics(self, fmt: str = "json") -> Any:
+        reader, writer = await self._connect()
+        try:
+            head = (f"GET /metrics?format={fmt} HTTP/1.1\r\n"
+                    f"Host: repro-serve\r\nConnection: close\r\n\r\n")
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            status, _ = await asyncio.wait_for(
+                _read_status_headers(reader), self.timeout)
+            raw = await asyncio.wait_for(reader.read(), self.timeout)
+            if status >= 400:
+                raise ServeError(status, raw.decode()[:200])
+            return json.loads(raw) if fmt == "json" else raw.decode()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def submit(self, kind: str, spec: Dict[str, Any],
+                     priority: str = "normal") -> Dict[str, Any]:
+        """Submit a job; returns its status summary (with ``id``)."""
+        _, doc = await self._request("POST", "/jobs", {
+            "client": self.client_id, "kind": kind, "spec": spec,
+            "priority": priority})
+        return doc
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        return (await self._request("GET", f"/jobs/{job_id}"))[1]
+
+    async def jobs(self, client: Optional[str] = None
+                   ) -> List[Dict[str, Any]]:
+        path = "/jobs" + (f"?client={client}" if client else "")
+        return (await self._request("GET", path))[1]["jobs"]
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        return (await self._request("POST", f"/jobs/{job_id}/cancel"))[1]
+
+    async def result(self, job_id: str) -> Dict[str, Any]:
+        """The result document; raises :class:`ServeError` 409 if not done."""
+        return (await self._request("GET", f"/jobs/{job_id}/result"))[1]
+
+    async def events(self, job_id: str, start: int = 0
+                     ) -> AsyncIterator[Dict[str, Any]]:
+        """Stream a job's telemetry records until it reaches a terminal
+        state (yields the manifest first, parsed from NDJSON)."""
+        reader, writer = await self._connect()
+        try:
+            head = (f"GET /jobs/{job_id}/events?from={start} HTTP/1.1\r\n"
+                    f"Host: repro-serve\r\nConnection: close\r\n\r\n")
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            status, _ = await _read_status_headers(reader)
+            if status >= 400:
+                raw = await reader.read()
+                raise ServeError(status, raw.decode()[:200])
+            async for line in reader:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def wait(self, job_id: str, poll: float = 0.05,
+                   timeout: float = 600.0) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the result document."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            summary = await self.status(job_id)
+            if summary["state"] in ("done", "failed", "cancelled"):
+                return await self.result(job_id)
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(f"job {job_id} still {summary['state']} "
+                                   f"after {timeout}s")
+            await asyncio.sleep(poll)
+
+
+async def _read_status_headers(reader) -> Tuple[int, Dict[str, str]]:
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(f"malformed status line {line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class SyncClient:
+    """Blocking facade over :class:`ServeClient` for CLI use."""
+
+    def __init__(self, address: str, client_id: str = "cli",
+                 timeout: float = 60.0):
+        self.address = address
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def _client(self) -> ServeClient:
+        return ServeClient(self.address, self.client_id, self.timeout)
+
+    def health(self):
+        return self._run(self._client().health())
+
+    def stats(self):
+        return self._run(self._client().stats())
+
+    def metrics(self, fmt: str = "json"):
+        return self._run(self._client().metrics(fmt))
+
+    def submit(self, kind, spec, priority="normal"):
+        return self._run(self._client().submit(kind, spec, priority))
+
+    def status(self, job_id):
+        return self._run(self._client().status(job_id))
+
+    def jobs(self, client=None):
+        return self._run(self._client().jobs(client))
+
+    def cancel(self, job_id):
+        return self._run(self._client().cancel(job_id))
+
+    def result(self, job_id):
+        return self._run(self._client().result(job_id))
+
+    def wait(self, job_id, poll=0.05, timeout=600.0):
+        return self._run(self._client().wait(job_id, poll, timeout))
+
+    def follow(self, job_id, sink) -> None:
+        """Stream a job's events, calling ``sink(record)`` per record."""
+        async def _follow():
+            async for record in self._client().events(job_id):
+                sink(record)
+        self._run(_follow())

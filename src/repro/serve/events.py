@@ -1,0 +1,138 @@
+"""Per-job progress events, in the batch telemetry wire format.
+
+A job's event stream is exactly the shape of a ``--telemetry`` file
+(:mod:`repro.obs.telemetry`): one run-manifest line followed by Chrome
+trace-event lines — instant events for lifecycle transitions and
+scheduler node events, one closing complete span for the job itself.
+``repro telemetry`` and :func:`~repro.obs.telemetry.validate_telemetry`
+accept a captured stream unchanged, so server-side and batch traces are
+inspected with the same tooling (see ``docs/serving.md``).
+
+Appends may come from worker threads (the scheduler's ``on_event``
+fires inside the job's execution thread); waiting consumers live on the
+asyncio event loop. :class:`JobEventLog` bridges the two: appends are
+plain list appends (atomic under the GIL) plus a
+``call_soon_threadsafe`` wakeup, and readers re-check after every wake,
+so no notification can be lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+
+class JobEventLog:
+    """An append-only, streamable telemetry log for one job."""
+
+    def __init__(self, manifest: Dict[str, Any],
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        self.manifest = manifest
+        self.events: List[Dict[str, Any]] = []
+        self.closed = False
+        self._epoch = time.perf_counter()
+        self._loop = loop
+        self._waiters: List[asyncio.Event] = []
+
+    def _now_us(self) -> int:
+        return int((time.perf_counter() - self._epoch) * 1e6)
+
+    def _notify(self) -> None:
+        for waiter in self._waiters:
+            waiter.set()
+        self._waiters.clear()
+
+    def _wake(self) -> None:
+        if self._loop is None:
+            self._notify()
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._notify)
+        except RuntimeError:
+            pass    # loop already closed; nobody left to wake
+
+    # -- producers (any thread) -----------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self.events.append(record)
+        self._wake()
+
+    def instant(self, name: str, cat: str,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Append an instant (``ph: "i"``) event."""
+        record: Dict[str, Any] = {"name": name, "cat": cat, "ph": "i",
+                                  "ts": self._now_us(), "pid": 0, "tid": 0}
+        if args:
+            record["args"] = args
+        self.append(record)
+
+    def span(self, name: str, cat: str, start_us: int,
+             args: Optional[Dict[str, Any]] = None) -> None:
+        """Append a complete (``ph: "X"``) span ending now."""
+        record: Dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "X", "ts": start_us,
+            "dur": max(0, self._now_us() - start_us), "pid": 0, "tid": 0}
+        if args:
+            record["args"] = args
+        self.append(record)
+
+    def scheduler_sink(self, cancel_check=None):
+        """An ``on_event`` callback mapping DAG events to instants.
+
+        ``cancel_check`` (a ``threading.Event``) turns the callback into
+        the cooperative cancellation point: the scheduler calls it
+        between tasks on the job's execution thread, so a set flag
+        aborts the DAG there.
+        """
+        def on_event(event: Dict[str, Any]) -> None:
+            if cancel_check is not None and cancel_check.is_set():
+                raise JobCancelled()
+            self.instant(event.get("kind", "?"), "exec",
+                         args={k: v for k, v in event.items()
+                               if k != "kind" and v is not None})
+        return on_event
+
+    def close(self) -> None:
+        self.closed = True
+        self._wake()
+
+    # -- consumers (event loop) -----------------------------------------------
+
+    async def _wait(self, seen: int) -> None:
+        # Runs on the event loop; `_notify` does too (appends from
+        # threads are marshaled through call_soon_threadsafe), so the
+        # check-register-await sequence cannot lose a wakeup.
+        while len(self.events) <= seen and not self.closed:
+            waiter = asyncio.Event()
+            self._waiters.append(waiter)
+            await waiter.wait()
+
+    async def stream(self, start: int = 0) -> AsyncIterator[str]:
+        """Yield JSONL lines: the manifest, then events from ``start``.
+
+        Replays history first, then follows live appends until the log
+        is closed (the job reached a terminal state).
+        """
+        yield json.dumps(self.manifest, sort_keys=True, default=str)
+        index = start
+        while True:
+            while index < len(self.events):
+                yield json.dumps(self.events[index], sort_keys=True,
+                                 default=str)
+                index += 1
+            if self.closed and index >= len(self.events):
+                return
+            await self._wait(index)
+
+    def lines(self) -> List[str]:
+        """The full log as JSONL lines (manifest first), non-blocking."""
+        out = [json.dumps(self.manifest, sort_keys=True, default=str)]
+        out.extend(json.dumps(event, sort_keys=True, default=str)
+                   for event in list(self.events))
+        return out
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside a job's execution thread by a cancellation flag."""

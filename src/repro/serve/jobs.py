@@ -1,0 +1,204 @@
+"""Job kinds: spec validation and blocking execution payloads.
+
+A job spec is plain JSON. Four kinds are served, mirroring the batch
+CLIs they replace:
+
+``experiment``
+    ``{"points": [...], "jobs": N?, "check": bool?}`` — a list of grid
+    points, each ``{"kind": "baseline"|"selector"|"slack-dynamic",
+    "bench": ..., "config": ..., "input"?, "selector"?,
+    "profile_config"?, "profile_input"?, "global_slack"?, "policy"?}``.
+    Executed as a deduplicated trace→profile→plan→timing DAG with the
+    warm path pruning already-materialized nodes (:mod:`.warm`).
+``bench``
+    ``{"benchmarks": [...]?, "selectors": [...]?, "config"?,
+    "repeat"?}`` — a simulator-throughput matrix
+    (:mod:`repro.harness.bench`).
+``fuzz``
+    ``{"budget": seconds?, "programs"?, "seed"?}`` — a differential
+    fuzzing campaign (:mod:`repro.check.fuzz`).
+``limit-study``
+    ``{"bench"?, "input"?, "cap"?, "jobs"?}`` — the Figure 8 subset
+    sweep (:mod:`repro.analysis.limit_study`).
+
+Validation happens at admission (a bad spec is rejected with 400 before
+it can occupy queue space); execution functions are blocking and run on
+dispatcher worker threads, polling the job's cancellation flag through
+their progress callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..exec.grid import Point, baseline_point, dynamic_point, selector_point
+from ..exec.tasks import selector_from_spec
+from ..pipeline.config import config_by_name
+from ..workloads.suite import benchmark
+
+JOB_KINDS = ("experiment", "bench", "fuzz", "limit-study")
+
+_POINT_KINDS = ("baseline", "selector", "slack-dynamic")
+
+
+def validate_spec(kind: str, spec: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` on a malformed job spec."""
+    if kind not in JOB_KINDS:
+        raise ValueError(f"unknown job kind {kind!r} "
+                         f"(choose from {', '.join(JOB_KINDS)})")
+    if not isinstance(spec, dict):
+        raise ValueError("job spec must be a JSON object")
+    if kind == "experiment":
+        parse_points(spec)   # validates every point
+        if not isinstance(spec.get("jobs", 1), int) or spec.get("jobs", 1) < 1:
+            raise ValueError("'jobs' must be a positive integer")
+    elif kind == "bench":
+        for name in spec.get("benchmarks") or ():
+            benchmark(name)
+    elif kind == "fuzz":
+        budget = spec.get("budget", 10.0)
+        if not isinstance(budget, (int, float)) or budget <= 0:
+            raise ValueError("'budget' must be positive seconds")
+    elif kind == "limit-study":
+        benchmark(spec.get("bench", "adpcm"))
+        config_by_name(spec.get("config", "reduced"))
+
+
+def parse_points(spec: Dict[str, Any]) -> List[Point]:
+    """Experiment spec → deduplicated grid :class:`Point` list."""
+    raw = spec.get("points")
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("experiment spec needs a non-empty 'points' list")
+    points: List[Point] = []
+    for i, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise ValueError(f"points[{i}] is not an object")
+        kind = entry.get("kind", "selector")
+        if kind not in _POINT_KINDS:
+            raise ValueError(f"points[{i}]: unknown point kind {kind!r}")
+        bench = entry.get("bench")
+        if not isinstance(bench, str):
+            raise ValueError(f"points[{i}]: missing 'bench'")
+        benchmark(bench)                       # raises on unknown name
+        config = entry.get("config", "reduced")
+        config_by_name(config)                 # raises on unknown name
+        input_name = entry.get("input", "train")
+        if kind == "baseline":
+            points.append(baseline_point(bench, config, input_name))
+        elif kind == "slack-dynamic":
+            policy = entry.get("policy") or {}
+            points.append(dynamic_point(bench, config, input_name,
+                                        **policy))
+        else:
+            selector = entry.get("selector") or {"kind": "struct-all"}
+            selector_from_spec(selector)       # raises on unknown spec
+            if entry.get("profile_config"):
+                config_by_name(entry["profile_config"])
+            points.append(selector_point(
+                bench, selector, config, input_name,
+                profile_config=entry.get("profile_config"),
+                profile_input=entry.get("profile_input"),
+                global_slack=bool(entry.get("global_slack", False))))
+    return points
+
+
+def collect_experiment_results(runner, points: List[Point]
+                               ) -> Dict[str, Any]:
+    """Assemble an experiment job's result from the (now warm) store.
+
+    Called after the pruned DAG completes (or entirely warm): every
+    call below hits the store's memory or disk layer, so this is the
+    serial replay trick of :func:`repro.exec.grid.run_points` in
+    miniature.
+    """
+    results = []
+    for point in points:
+        config = config_by_name(point.config)
+        if point.kind == "baseline":
+            stats = runner.baseline(point.bench, config, point.input_name)
+            results.append({"kind": "baseline", "bench": point.bench,
+                            "config": point.config,
+                            "input": point.input_name,
+                            "ipc": stats.ipc})
+        elif point.kind == "slack-dynamic":
+            run = runner.run_slack_dynamic(
+                point.bench, config, input_name=point.input_name,
+                **{k: v for k, v in point.policy})
+            results.append({"kind": "slack-dynamic", "bench": point.bench,
+                            "config": point.config,
+                            "input": point.input_name,
+                            "selector": run.selector, "ipc": run.ipc,
+                            "coverage": run.coverage})
+        else:
+            selector_spec = {k: v for k, v in point.selector}
+            run = runner.run_selector(
+                point.bench, selector_from_spec(selector_spec), config,
+                input_name=point.input_name,
+                profile_config=config_by_name(point.profile_config)
+                if point.profile_config else None,
+                profile_input=point.profile_input,
+                global_slack=point.global_slack)
+            results.append({"kind": "selector", "bench": point.bench,
+                            "config": point.config,
+                            "input": point.input_name,
+                            "selector": run.selector, "ipc": run.ipc,
+                            "coverage": run.coverage,
+                            "templates": run.plan.n_templates})
+    return {"points": results}
+
+
+def run_bench_job(runner, spec: Dict[str, Any],
+                  log: Callable[[str], None]) -> Dict[str, Any]:
+    """Execute a ``bench`` job (blocking; runs on a worker thread)."""
+    from ..harness.bench import (QUICK_BENCHMARKS, QUICK_SELECTORS,
+                                 run_bench)
+    report = run_bench(
+        list(spec.get("benchmarks") or QUICK_BENCHMARKS),
+        list(spec.get("selectors") or QUICK_SELECTORS),
+        config=config_by_name(spec.get("config", "reduced")),
+        label=str(spec.get("label", "serve")),
+        repeat=int(spec.get("repeat", 1)),
+        runner=runner, log=log)
+    return report.to_dict()
+
+
+def run_fuzz_job(spec: Dict[str, Any], log: Callable[[str], None],
+                 cancel=None) -> Dict[str, Any]:
+    """Execute a ``fuzz`` job (blocking; runs on a worker thread).
+
+    ``cancel`` (a ``threading.Event``) is polled per program×selector
+    through ``plan_hook`` — far finer-grained than the campaign's own
+    every-25-programs log cadence, so a cancelled fuzz job unwinds its
+    worker thread promptly instead of riding out the time budget.
+    """
+    from ..check.fuzz import run_fuzz
+
+    def plan_hook(program, selector, plan):
+        if cancel is not None and cancel.is_set():
+            from .events import JobCancelled
+            raise JobCancelled()
+        return plan
+
+    report = run_fuzz(budget=float(spec.get("budget", 10.0)),
+                      seed=int(spec.get("seed", 0)),
+                      max_programs=spec.get("programs"),
+                      shrink=bool(spec.get("shrink", True)),
+                      plan_hook=plan_hook, log=log)
+    return {"ok": report.ok, "summary": report.render()}
+
+
+def run_limit_study_job(runner, spec: Dict[str, Any],
+                        progress) -> Dict[str, Any]:
+    """Execute a ``limit-study`` job (blocking; runs on a worker thread)."""
+    from ..analysis.limit_study import run_limit_study
+    result = run_limit_study(
+        runner, bench=spec.get("bench", "adpcm"),
+        input_name=spec.get("input", "tiny"),
+        subset_cap=spec.get("cap"),
+        jobs=int(spec.get("jobs", 1)),
+        progress=progress)
+    best = result.best
+    return {"bench": result.bench, "input": result.input_name,
+            "subsets": len(result.points),
+            "best_mask": best.mask, "best_relative_ipc": best.relative_ipc,
+            "summary": result.render()}

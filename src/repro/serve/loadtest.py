@@ -1,0 +1,253 @@
+"""``repro loadtest``: hammer a running daemon with concurrent clients.
+
+Spawns N simulated clients as asyncio coroutines against one server
+address. Each client submits a small mixed stream of jobs — warm
+experiment points (the same handful of grid points across all clients,
+so the server's warm path and cross-job dedup carry nearly all of the
+load), plus occasional status/stats probes — then follows each job to
+its terminal state and checks its result document.
+
+Measured per job: submit latency (POST round-trip), submit→first-event
+latency (the streaming path), and submit→done. Verified globally: no
+job lost (every submitted id reaches a terminal state with a
+retrievable result), no job duplicated (server ids are unique), and the
+server's accounting agrees with the client-side tally. The report gates
+CI (``--gate-*`` flags map to :meth:`LoadtestReport.check`).
+
+Client counts in the thousands are the point: connections are short-
+lived (one per request), so the daemon needs nothing beyond a healthy
+fd limit and the asyncio accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .client import ServeClient, ServeError
+
+#: The default experiment points the clients cycle through. Tiny inputs
+#: (micro benchmarks ship "tiny"/"train"), so a cold first pass is
+#: seconds and every later hit is a store lookup.
+DEFAULT_POINTS = [
+    {"kind": "baseline", "bench": "crc32", "config": "reduced",
+     "input": "train"},
+    {"kind": "selector", "bench": "crc32", "config": "reduced",
+     "input": "train", "selector": {"kind": "struct-all"}},
+    {"kind": "selector", "bench": "dijkstra", "config": "reduced",
+     "input": "train", "selector": {"kind": "struct-all"}},
+]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (upper); 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+@dataclass
+class LoadtestReport:
+    """Everything the gate and the human summary need."""
+
+    clients: int
+    jobs_per_client: int
+    elapsed: float = 0.0
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    rejected: int = 0
+    errors: List[str] = field(default_factory=list)
+    duplicate_ids: int = 0
+    lost: int = 0
+    submit_s: List[float] = field(default_factory=list)
+    first_event_s: List[float] = field(default_factory=list)
+    complete_s: List[float] = field(default_factory=list)
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def warm_hit_ratio(self) -> float:
+        return float(self.server_stats.get("warm_hit_ratio", 0.0))
+
+    @property
+    def throughput(self) -> float:
+        return self.done / self.elapsed if self.elapsed else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": self.clients, "jobs_per_client": self.jobs_per_client,
+            "elapsed_s": round(self.elapsed, 3),
+            "submitted": self.submitted, "done": self.done,
+            "failed": self.failed, "rejected": self.rejected,
+            "lost": self.lost, "duplicate_ids": self.duplicate_ids,
+            "throughput_jobs_s": round(self.throughput, 2),
+            "warm_hit_ratio": round(self.warm_hit_ratio, 4),
+            "submit_p50_ms": round(percentile(self.submit_s, 0.50) * 1e3, 2),
+            "submit_p95_ms": round(percentile(self.submit_s, 0.95) * 1e3, 2),
+            "first_event_p50_ms":
+                round(percentile(self.first_event_s, 0.50) * 1e3, 2),
+            "first_event_p95_ms":
+                round(percentile(self.first_event_s, 0.95) * 1e3, 2),
+            "complete_p50_ms":
+                round(percentile(self.complete_s, 0.50) * 1e3, 2),
+            "complete_p95_ms":
+                round(percentile(self.complete_s, 0.95) * 1e3, 2),
+            "errors": self.errors[:10],
+        }
+
+    def render(self) -> str:
+        doc = self.to_dict()
+        lines = [f"=== loadtest: {self.clients} clients × "
+                 f"{self.jobs_per_client} jobs in {self.elapsed:.1f}s ===",
+                 f"submitted {self.submitted}, done {self.done}, "
+                 f"failed {self.failed}, rejected {self.rejected}, "
+                 f"lost {self.lost}, duplicate ids {self.duplicate_ids}",
+                 f"throughput {doc['throughput_jobs_s']} jobs/s, "
+                 f"warm-hit ratio {doc['warm_hit_ratio']:.1%}"
+                 if self.server_stats else
+                 f"throughput {doc['throughput_jobs_s']} jobs/s",
+                 f"submit      p50 {doc['submit_p50_ms']:8.2f} ms   "
+                 f"p95 {doc['submit_p95_ms']:8.2f} ms",
+                 f"first-event p50 {doc['first_event_p50_ms']:8.2f} ms   "
+                 f"p95 {doc['first_event_p95_ms']:8.2f} ms",
+                 f"complete    p50 {doc['complete_p50_ms']:8.2f} ms   "
+                 f"p95 {doc['complete_p95_ms']:8.2f} ms"]
+        for error in self.errors[:10]:
+            lines.append(f"  error: {error}")
+        return "\n".join(lines)
+
+    def check(self, max_failed: int = 0,
+              min_warm_ratio: Optional[float] = None,
+              max_first_event_p95: Optional[float] = None) -> List[str]:
+        """Gate violations (empty list = pass)."""
+        problems = []
+        if self.lost:
+            problems.append(f"{self.lost} job(s) lost")
+        if self.duplicate_ids:
+            problems.append(f"{self.duplicate_ids} duplicate job id(s)")
+        if self.failed > max_failed:
+            problems.append(f"{self.failed} failed job(s) "
+                            f"(allowed {max_failed})")
+        if self.errors:
+            problems.append(f"{len(self.errors)} client error(s): "
+                            f"{self.errors[0]}")
+        if min_warm_ratio is not None \
+                and self.warm_hit_ratio < min_warm_ratio:
+            problems.append(f"warm-hit ratio {self.warm_hit_ratio:.3f} "
+                            f"< {min_warm_ratio}")
+        if max_first_event_p95 is not None:
+            p95 = percentile(self.first_event_s, 0.95)
+            if p95 > max_first_event_p95:
+                problems.append(f"first-event p95 {p95 * 1e3:.1f}ms "
+                                f"> {max_first_event_p95 * 1e3:.0f}ms")
+        return problems
+
+
+async def _run_one_job(client: ServeClient, spec_kind: str,
+                       spec: Dict[str, Any], priority: str,
+                       report: LoadtestReport,
+                       timeout: float) -> Optional[str]:
+    t0 = time.perf_counter()
+    try:
+        summary = await client.submit(spec_kind, spec, priority)
+    except ServeError as error:
+        if error.status == 429:
+            report.rejected += 1
+            await asyncio.sleep(0.05)
+            return
+        raise
+    report.submit_s.append(time.perf_counter() - t0)
+    report.submitted += 1
+    job_id = summary["id"]
+
+    async def _first_event() -> None:
+        async for record in client.events(job_id):
+            if record.get("kind") != "manifest":
+                report.first_event_s.append(time.perf_counter() - t0)
+                return
+
+    try:
+        await asyncio.wait_for(_first_event(), timeout)
+    except (asyncio.TimeoutError, ConnectionError):
+        pass      # latency sample lost, not the job: `wait` still verifies
+    result = await client.wait(job_id, poll=0.05, timeout=timeout)
+    report.complete_s.append(time.perf_counter() - t0)
+    if result["state"] == "done" and result.get("result") is not None:
+        report.done += 1
+    else:
+        report.failed += 1
+    return job_id
+
+
+async def _client_coro(index: int, address: str, jobs: int,
+                       points: List[Dict[str, Any]], mix: bool,
+                       stagger: float, report: LoadtestReport,
+                       ids: List[str], timeout: float) -> None:
+    client = ServeClient(address, client_id=f"load-{index:05d}",
+                         timeout=timeout)
+    await asyncio.sleep(stagger * index)
+    for j in range(jobs):
+        point = points[(index + j) % len(points)]
+        if mix and (index + j) % 7 == 3:
+            kind, spec = "fuzz", {"budget": 0.2, "programs": 2}
+        else:
+            kind, spec = "experiment", {"points": [point]}
+        priority = ("interactive", "normal", "batch")[(index + j) % 3]
+        for attempt in range(3):
+            try:
+                job_id = await _run_one_job(client, kind, spec, priority,
+                                            report, timeout)
+                if job_id is not None:
+                    ids.append(job_id)
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError) as err:
+                if attempt == 2:
+                    report.errors.append(
+                        f"client {index}: {type(err).__name__}: {err}")
+                else:
+                    await asyncio.sleep(0.1 * (attempt + 1))
+            except ServeError as err:
+                report.errors.append(f"client {index}: {err}")
+                break
+
+
+async def run_loadtest(address: str, clients: int = 100,
+                       jobs_per_client: int = 2,
+                       points: Optional[List[Dict[str, Any]]] = None,
+                       mix: bool = False, stagger: float = 0.0,
+                       timeout: float = 120.0,
+                       warmup: bool = True) -> LoadtestReport:
+    """Drive ``clients`` concurrent clients; verify and measure.
+
+    With ``warmup`` (default) one pilot client first submits every
+    experiment point serially, so the measured fleet exercises the warm
+    path rather than stampeding the cold compute — mirroring a steady-
+    state server. Pass ``warmup=False`` to measure the cold stampede.
+    """
+    points = points or DEFAULT_POINTS
+    report = LoadtestReport(clients=clients, jobs_per_client=jobs_per_client)
+    if warmup:
+        pilot = ServeClient(address, client_id="load-pilot",
+                            timeout=timeout)
+        for point in points:
+            summary = await pilot.submit("experiment", {"points": [point]})
+            await pilot.wait(summary["id"], timeout=timeout)
+    ids: List[str] = []
+    t0 = time.perf_counter()
+    await asyncio.gather(*[
+        _client_coro(index, address, jobs_per_client, points, mix,
+                     stagger, report, ids, timeout)
+        for index in range(clients)])
+    report.elapsed = time.perf_counter() - t0
+    report.duplicate_ids = len(ids) - len(set(ids))
+    report.lost = report.submitted - (report.done + report.failed)
+    try:
+        report.server_stats = await ServeClient(
+            address, client_id="load-pilot", timeout=timeout).stats()
+    except (ConnectionError, OSError, ServeError):
+        pass
+    return report

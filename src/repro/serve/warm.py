@@ -1,0 +1,104 @@
+"""Warm-path reuse: answer repeat work from the store, schedule the rest.
+
+The artifact store's content addresses make "has this exact result been
+computed before?" a pure key lookup — no invalidation protocol, no
+staleness window (:mod:`repro.exec.store`). This module exploits that
+for serving: before a job's DAG reaches the scheduler, every node whose
+output artifact already exists (from a previous job, a previous daemon
+incarnation, or a batch CLI run against the same cache directory) is
+*pruned*, and its dependents' edges are dropped with it. A repeated
+experiment prunes to nothing and never touches the scheduler at all —
+the acceptance contract for the serve warm path.
+
+Probing uses the :class:`~repro.harness.runner.Runner` ``*_params``
+builders — the same code that keys the compute paths — so a probe can
+never disagree with the executor about what an artifact is called.
+Probe hits are pulled through the store's memory layer, which *is* the
+in-process memoization: the daemon accumulates hot traces, plans and
+timing runs across requests for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exec.dag import Task
+from ..exec.store import MISS
+from ..pipeline.config import config_by_name
+
+
+def task_artifact(runner, task: Task) -> Optional[Tuple[str, Dict]]:
+    """The ``(kind, params)`` store address of a DAG node's artifact.
+
+    Returns ``None`` for nodes that are not backed by a store artifact
+    (``check`` validation nodes recompute by design) — those are never
+    pruned.
+    """
+    spec = task.args[0] if task.args else {}
+    stage = task.stage
+    if stage == "trace":
+        return "trace", runner.trace_params(spec["bench"], spec["input"])
+    if stage == "candidates":
+        return "candidates", runner.candidates_params(spec["bench"],
+                                                      spec["input"])
+    if stage == "profile":
+        return "profile", runner.profile_params(
+            spec["bench"], config_by_name(spec["config"]), spec["input"],
+            spec.get("global_slack", False))
+    if stage == "baseline":
+        return "baseline", runner.baseline_params(
+            spec["bench"], config_by_name(spec["config"]), spec["input"])
+    if stage == "plan":
+        return "plan", runner.plan_params(
+            spec["bench"], spec["selector"], spec["input"],
+            config_by_name(spec.get("profile_config") or "reduced"),
+            spec.get("profile_input") or spec["input"],
+            spec.get("global_slack", False))
+    if stage == "timing":
+        if spec.get("point_kind") == "slack-dynamic":
+            policy = dict(spec.get("policy") or {})
+            mode = policy.pop("mode", "full")
+            outlining = policy.pop("outlining_penalty", True)
+            return "run-dynamic", runner.dynamic_params(
+                spec["bench"], config_by_name(spec["config"]),
+                spec["input"], mode, outlining, policy)
+        return "run", runner.run_params(
+            spec["bench"], spec["selector"],
+            config_by_name(spec["config"]), spec["input"],
+            config_by_name(spec.get("profile_config") or "reduced"),
+            spec.get("profile_input") or spec["input"],
+            spec.get("global_slack", False), None)
+    return None
+
+
+def prune_cached(runner, tasks: Sequence[Task]
+                 ) -> Tuple[List[Task], List[str]]:
+    """Split a DAG into (nodes to schedule, node ids served warm).
+
+    A node is pruned when its artifact probes present; surviving
+    dependents drop the pruned edge and re-materialize the upstream
+    value through the store inside their own task function (one memory-
+    layer hit in the worker). ``build_tasks`` emits dependencies before
+    dependents, so one forward pass suffices.
+    """
+    pruned: List[str] = []
+    kept: List[Task] = []
+    for task in tasks:
+        address = task_artifact(runner, task)
+        if address is not None:
+            kind, params = address
+            if runner.store.get(runner.store.key(kind, params),
+                                kind) is not MISS:
+                pruned.append(task.id)
+                continue
+        kept.append(task)
+    if pruned:
+        dead = set(pruned)
+        kept = [
+            Task(id=task.id, fn=task.fn, args=task.args,
+                 deps=tuple(dep for dep in task.deps if dep not in dead),
+                 stage=task.stage, retries=task.retries,
+                 timeout=task.timeout)
+            for task in kept
+        ]
+    return kept, pruned

@@ -1,0 +1,67 @@
+"""The loadtest harness against an in-process daemon.
+
+A small fleet (CI-friendly) is enough to exercise every verification
+path: concurrent submissions over the real socket, per-job follow-up,
+lost/duplicate accounting, and the warm-hit gate — the pilot warm pass
+plus a single shared grid point means every measured job rides the warm
+path.
+"""
+
+import asyncio
+
+from repro.serve.loadtest import (
+    DEFAULT_POINTS, LoadtestReport, percentile, run_loadtest,
+)
+from repro.serve.server import ServeApp, ServerConfig
+
+
+def test_percentile_edges():
+    assert percentile([], 0.95) == 0.0
+    assert percentile([3.0], 0.5) == 3.0
+    values = [float(i) for i in range(1, 101)]
+    assert percentile(values, 0.50) == 51.0   # nearest rank, upper
+    assert percentile(values, 0.95) == 95.0
+
+
+def test_report_gates():
+    report = LoadtestReport(clients=2, jobs_per_client=1)
+    report.submitted = 2
+    report.done = 1
+    report.failed = 0
+    report.lost = 1
+    report.server_stats = {"warm_hit_ratio": 0.0}
+    problems = report.check(min_warm_ratio=0.5)
+    assert any("lost" in p for p in problems)
+    assert any("warm-hit" in p for p in problems)
+    report.done = 2
+    report.lost = 0
+    report.server_stats = {"warm_hit_ratio": 0.9}
+    assert report.check(min_warm_ratio=0.5) == []
+
+
+def test_small_fleet_end_to_end(tmp_path):
+    async def main():
+        app = ServeApp(ServerConfig(
+            state_dir=tmp_path, quiet=True, job_slots=4,
+            max_queued=64, max_running=64))
+        await app.start()
+        try:
+            return await run_loadtest(
+                app.config.address, clients=20, jobs_per_client=2,
+                points=DEFAULT_POINTS[:1], timeout=240.0)
+        finally:
+            await app.stop()
+
+    report = asyncio.run(main())
+    assert report.submitted == 40
+    assert report.done == 40
+    assert report.failed == 0
+    assert report.lost == 0
+    assert report.duplicate_ids == 0
+    assert report.errors == []
+    # The pilot warmed the single grid point: the whole measured fleet
+    # must be warm hits.
+    assert report.warm_hit_ratio > 0.9
+    assert report.check(min_warm_ratio=0.5,
+                        max_first_event_p95=30.0) == []
+    assert "loadtest" in report.render()

@@ -1,0 +1,241 @@
+"""End-to-end daemon tests over a real unix socket.
+
+Each test boots a :class:`ServeApp` inside its own ``asyncio.run`` and
+talks to it with the real :class:`ServeClient` — the full wire path
+(HTTP parse, routing, NDJSON streaming) is exercised, not the app
+object directly. A module-scoped cache directory is shared so later
+tests ride the warm path the earlier ones paid for.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import validate_metrics
+from repro.obs.telemetry import validate_telemetry
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ServeApp, ServerConfig
+
+BASELINE_SPEC = {"points": [{"kind": "baseline", "bench": "crc32",
+                             "config": "reduced", "input": "train"}]}
+
+
+@pytest.fixture(scope="module")
+def state_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("serve-state")
+
+
+def serve(state_dir, body, **overrides):
+    """Boot a daemon, run ``body(app, client)``, tear down."""
+    async def _main():
+        overrides.setdefault("quiet", True)
+        app = ServeApp(ServerConfig(state_dir=state_dir, **overrides))
+        await app.start()
+        try:
+            return await body(app, ServeClient(app.config.address,
+                                               client_id="test"))
+        finally:
+            await app.stop()
+    return asyncio.run(_main())
+
+
+class TestJobLifecycle:
+    def test_submit_run_result(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("experiment", BASELINE_SPEC)
+            assert summary["state"] in ("queued", "running")
+            doc = await client.wait(summary["id"], timeout=240)
+            assert doc["state"] == "done"
+            point = doc["result"]["points"][0]
+            assert point["bench"] == "crc32"
+            assert point["ipc"] > 0
+        serve(state_dir, body)
+
+    def test_repeat_submission_is_a_zero_node_warm_hit(self, state_dir):
+        """The acceptance criterion: an identical experiment completes
+        the second time with zero scheduled DAG nodes."""
+        async def body(app, client):
+            first = await client.submit("experiment", BASELINE_SPEC)
+            await client.wait(first["id"], timeout=240)
+            second = await client.submit("experiment", BASELINE_SPEC)
+            doc = await client.wait(second["id"], timeout=60)
+            assert doc["state"] == "done"
+            assert doc["warm_hit"] is True
+            assert doc["nodes_scheduled"] == 0
+            assert app.stats.warm_hits >= 1
+        serve(state_dir, body)
+
+    def test_status_and_listing(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("experiment", BASELINE_SPEC)
+            await client.wait(summary["id"], timeout=240)
+            status = await client.status(summary["id"])
+            assert status["client"] == "test"
+            assert status["state"] == "done"
+            listed = await client.jobs(client="test")
+            assert summary["id"] in [j["id"] for j in listed]
+            assert await client.jobs(client="nobody") == []
+        serve(state_dir, body)
+
+    def test_result_conflicts_until_terminal(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("fuzz", {"budget": 5.0})
+            with pytest.raises(ServeError) as exc:
+                # Immediately: queued or just started, never terminal.
+                await client.result(summary["id"])
+            assert exc.value.status == 409
+            await client.cancel(summary["id"])
+        serve(state_dir, body)
+
+    def test_failed_job_reports_its_error(self, state_dir):
+        async def body(app, client):
+            # An unknown profile_config passes admission (the plan point
+            # validates lazily) — no, admission validates. Use a fuzz
+            # job with an impossible spec instead: programs=0 still
+            # succeeds, so force failure through a bad bench override.
+            summary = await client.submit(
+                "limit-study", {"bench": "adpcm", "cap": 1, "input": "nope"})
+            doc = await client.wait(summary["id"], timeout=120)
+            assert doc["state"] == "failed"
+            assert doc["error"]
+            assert app.stats.failed >= 1
+        serve(state_dir, body)
+
+
+class TestValidationAndQuotas:
+    def test_bad_specs_rejected_at_admission(self, state_dir):
+        async def body(app, client):
+            for kind, spec in [("experiment", {}),
+                               ("experiment", {"points": [{"bench": 7}]}),
+                               ("nonsense", {}),
+                               ("fuzz", {"budget": -1})]:
+                with pytest.raises(ServeError) as exc:
+                    await client.submit(kind, spec)
+                assert exc.value.status == 400
+            assert app.stats.submitted == 0
+        serve(state_dir, body)
+
+    def test_quota_overflow_is_429(self, state_dir):
+        async def body(app, client):
+            held = [await client.submit("fuzz", {"budget": 30.0})
+                    for _ in range(3)]
+            with pytest.raises(ServeError) as exc:
+                await client.submit("fuzz", {"budget": 30.0})
+            assert exc.value.status == 429
+            assert app.stats.rejected == 1
+            for summary in held:
+                await client.cancel(summary["id"])
+        # job_slots=1 so two jobs stay queued; max_queued counts only
+        # queued jobs, so the third *queued* submission must overflow.
+        serve(state_dir, body, job_slots=1, max_queued=2)
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, state_dir):
+        async def body(app, client):
+            blocker = await client.submit("fuzz", {"budget": 30.0})
+            queued = await client.submit("fuzz", {"budget": 30.0})
+            doc = await client.cancel(queued["id"])
+            assert doc["state"] == "cancelled"
+            result = await client.result(queued["id"])
+            assert result["state"] == "cancelled"
+            await client.cancel(blocker["id"])
+        serve(state_dir, body, job_slots=1)
+
+    def test_cancel_running_job_mid_flight(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("fuzz", {"budget": 60.0})
+            for _ in range(200):           # wait until it is running
+                status = await client.status(summary["id"])
+                if status["state"] == "running":
+                    break
+                await asyncio.sleep(0.02)
+            assert status["state"] == "running"
+            await client.cancel(summary["id"])
+            doc = await client.wait(summary["id"], timeout=60)
+            assert doc["state"] == "cancelled"
+            assert app.stats.cancelled == 1
+        serve(state_dir, body)
+
+
+class TestEventStreams:
+    def test_events_validate_against_the_telemetry_schema(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("experiment", BASELINE_SPEC)
+            lines = []
+            async for record in client.events(summary["id"]):
+                lines.append(json.dumps(record, sort_keys=True))
+            report = validate_telemetry(lines)
+            assert report["manifest"]["label"] == f"job/{summary['id']}"
+            assert report["cats"].get("job", 0) >= 2   # queued + terminal
+            assert report["spans"] == 1                # the closing span
+        serve(state_dir, body)
+
+    def test_stream_replays_history_after_completion(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("experiment", BASELINE_SPEC)
+            await client.wait(summary["id"], timeout=240)
+            names = [record["name"]
+                     async for record in client.events(summary["id"])
+                     if record.get("ph") == "i"]
+            assert names[0] == "queued"
+            assert "done" in names
+        serve(state_dir, body)
+
+
+class TestIntrospection:
+    def test_stats_and_metrics_endpoints(self, state_dir):
+        async def body(app, client):
+            summary = await client.submit("experiment", BASELINE_SPEC)
+            await client.wait(summary["id"], timeout=240)
+            stats = await client.stats()
+            assert stats["submitted"] == 1
+            assert stats["completed"] == 1
+            assert stats["queue_depth"] == 0
+            doc = await client.metrics("json")
+            validate_metrics(doc)
+            names = {m["name"] for m in doc["metrics"]}
+            assert {"server.jobs_submitted", "server.queue_depth",
+                    "server.warm_hit_ratio",
+                    "server.store_corruptions"} <= names
+            prom = await client.metrics("prom")
+            assert "server_jobs_submitted" in prom.replace(".", "_")
+        serve(state_dir, body)
+
+    def test_health_and_unknown_routes(self, state_dir):
+        async def body(app, client):
+            assert (await client.health())["ok"] is True
+            with pytest.raises(ServeError) as exc:
+                await client.status("j999999")
+            assert exc.value.status == 404
+        serve(state_dir, body)
+
+
+class TestRestartRecovery:
+    def test_queued_jobs_survive_a_daemon_restart(self, tmp_path):
+        async def first_life():
+            app = ServeApp(ServerConfig(state_dir=tmp_path, quiet=True,
+                                        job_slots=1))
+            await app.start()
+            client = ServeClient(app.config.address, client_id="test")
+            blocker = await client.submit("fuzz", {"budget": 120.0})
+            queued = await client.submit("experiment", BASELINE_SPEC)
+            # Kill the daemon with one job running, one queued — no
+            # graceful finish for the queued job.
+            await app.stop()
+            return queued["id"]
+
+        async def second_life(queued_id):
+            app = ServeApp(ServerConfig(state_dir=tmp_path, quiet=True,
+                                        job_slots=1))
+            await app.start()
+            client = ServeClient(app.config.address, client_id="test")
+            status = await client.status(queued_id)
+            assert status["state"] in ("queued", "running", "done")
+            doc = await client.wait(queued_id, timeout=240)
+            assert doc["state"] == "done"
+            await app.stop()
+
+        queued_id = asyncio.run(first_life())
+        asyncio.run(second_life(queued_id))
