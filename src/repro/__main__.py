@@ -148,6 +148,10 @@ def _cmd_report(args) -> int:
 def _cmd_limit_study(args) -> int:
     from .analysis.limit_study import run_limit_study
     store = _store_for(args)
+    if args.ledger and not store.persistent:
+        print("limit-study: --ledger needs a persistent store; pass "
+              "--cache-dir or set $REPRO_CACHE_DIR", file=sys.stderr)
+        return 2
     telemetry = None
     if getattr(args, "telemetry", None):
         from .obs.telemetry import (
@@ -157,13 +161,33 @@ def _cmd_limit_study(args) -> int:
                                     run_manifest(label="limit-study"))
 
     def study(runner):
-        if telemetry is not None:
-            attach_store_telemetry(runner.store, telemetry)
-            with telemetry.span("limit-study", "experiment",
-                                args={"jobs": args.jobs}):
-                return run_limit_study(runner, subset_cap=args.cap,
-                                       jobs=args.jobs)
-        return run_limit_study(runner, subset_cap=args.cap, jobs=args.jobs)
+        ledger = None
+        progress = None
+        if args.ledger:
+            from .dist.resume import open_ledger, workload_for_limit_study
+            ledger = open_ledger(
+                args.ledger, runner,
+                workload_for_limit_study("adpcm", "tiny", "reduced", 10,
+                                         args.cap),
+                extra={"jobs": args.jobs})
+            progress = ledger.sink(None)
+        try:
+            if telemetry is not None:
+                attach_store_telemetry(runner.store, telemetry)
+                with telemetry.span("limit-study", "experiment",
+                                    args={"jobs": args.jobs}):
+                    result = run_limit_study(runner, subset_cap=args.cap,
+                                             jobs=args.jobs,
+                                             progress=progress)
+            else:
+                result = run_limit_study(runner, subset_cap=args.cap,
+                                         jobs=args.jobs, progress=progress)
+            if ledger is not None:
+                ledger.complete(len(result.points), 0)
+            return result
+        finally:
+            if ledger is not None:
+                ledger.close()
 
     try:
         if args.jobs > 1 and not store.persistent:
@@ -420,26 +444,78 @@ def _cmd_cache(args) -> int:
         print("no cache directory: pass --cache-dir or set "
               "$REPRO_CACHE_DIR", file=sys.stderr)
         return 1
-    store = ArtifactStore(cache_dir)
+    if args.action == "migrate":
+        from .dist.sqlite_store import SqliteManifestBackend
+        backend = SqliteManifestBackend(cache_dir)
+        count = backend.reindex(force=True)
+        backend.close()
+        print(f"indexed {count} artifacts into "
+              f"{cache_dir}/manifest.sqlite")
+        return 0
+    store = ArtifactStore(cache_dir, backend=args.backend)
     if args.action == "stats":
         summary = store.disk_summary()
         total_count = sum(e["count"] for e in summary.values())
         total_bytes = sum(e["bytes"] for e in summary.values())
-        print(f"artifact store at {store.root}")
+        print(f"artifact store at {store.root} "
+              f"({store.backend_name} backend)")
         print(f"{'kind':<12s} {'count':>7s} {'bytes':>12s}")
         for kind in sorted(summary):
             entry = summary[kind]
             print(f"{kind:<12s} {entry['count']:>7d} {entry['bytes']:>12d}")
         print(f"{'total':<12s} {total_count:>7d} {total_bytes:>12d}")
         print(f"code-version salt: {store.salt}")
+        if args.compare or args.bench_out:
+            from .dist.sqlite_store import compare_backends
+            timing = compare_backends(store.root)
+            print(f"stats timing: dir {timing['dir_stats_s'] * 1e3:.2f}ms "
+                  f"sqlite {timing['sqlite_stats_s'] * 1e3:.2f}ms "
+                  f"({timing['speedup']:.1f}x, "
+                  f"{timing['artifacts']} artifacts)")
+            if args.bench_out:
+                import json as _json
+                from pathlib import Path
+                doc = {k: v for k, v in timing.items() if k != "summary"}
+                Path(args.bench_out).write_text(
+                    _json.dumps(doc, indent=2, sort_keys=True) + "\n")
+                print(f"wrote {args.bench_out}")
     elif args.action == "clear":
         print(f"removed {store.clear()} artifacts from {store.root}")
+    elif args.action == "dedup":
+        result = store.dedup()
+        print(f"deduplicated {store.root}: {result['groups']} duplicate "
+              f"groups, {result['linked']} payloads hard-linked, "
+              f"{result['bytes_saved']} bytes saved")
     else:  # prune
         max_age = args.max_age_days * 86400.0 \
             if args.max_age_days is not None else None
         removed = store.prune(max_age=max_age, kinds=args.kinds or None)
         print(f"pruned {removed} artifacts from {store.root}")
     return 0
+
+
+def _cmd_resume(args) -> int:
+    from .dist.ledger import LedgerError
+    from .dist.resume import resume_run
+    from .exec import ProgressPrinter
+    dispatch = None
+    if args.dispatch:
+        from .dist.dispatch import make_dispatch
+        dispatch = make_dispatch(args.dispatch, jobs=args.jobs or 1)
+    try:
+        summary = resume_run(
+            args.ledger, jobs=args.jobs,
+            on_event=None if args.quiet else ProgressPrinter(),
+            dispatch=dispatch, allow_stale=args.force)
+    except LedgerError as error:
+        print(f"repro: resume: {error}", file=sys.stderr)
+        return 1
+    print(f"resumed {summary['kind']} run from {args.ledger}: "
+          f"{summary['skipped']} nodes already durable, "
+          f"{summary['scheduled']} scheduled, "
+          f"{summary['completed']} completed, "
+          f"{summary['failed']} failed")
+    return 1 if summary["failed"] else 0
 
 
 def _cmd_serve(args) -> int:
@@ -454,7 +530,9 @@ def _cmd_serve(args) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         job_slots=args.job_slots, pool_workers=args.pool,
         max_queued=args.max_queued, max_running=args.max_running,
-        budget=args.budget, quiet=args.quiet)
+        budget=args.budget, quiet=args.quiet,
+        max_results=args.max_results, result_ttl=args.result_ttl,
+        max_job_events=args.max_job_events, dispatch=args.dispatch)
     return asyncio.run(serve_forever(config))
 
 
@@ -521,6 +599,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "experiments":
         from .harness.experiments import main as experiments_main
         return experiments_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from .dist.worker import main as worker_main
+        return worker_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -571,6 +652,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="worker processes for the subset sweep")
     p_limit.add_argument("--telemetry", default=None, metavar="PATH",
                          help="write run telemetry JSONL to PATH")
+    p_limit.add_argument("--ledger", default=None, metavar="PATH",
+                         help="journal subset completion to PATH; a "
+                              "killed study resumes with "
+                              "`repro resume PATH`")
     _add_cache_flags(p_limit)
     p_limit.set_defaults(fn=_cmd_limit_study)
 
@@ -697,15 +782,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_cache = sub.add_parser("cache",
                              help="artifact store maintenance")
-    p_cache.add_argument("action", choices=["stats", "clear", "prune"])
+    p_cache.add_argument("action", choices=["stats", "clear", "prune",
+                                            "migrate", "dedup"])
     p_cache.add_argument("--cache-dir", default=None,
                          help="store directory (default: $REPRO_CACHE_DIR)")
+    p_cache.add_argument("--backend", default=None,
+                         choices=["dir", "sqlite"],
+                         help="store index backend (default: "
+                              "$REPRO_STORE_BACKEND, else dir)")
     p_cache.add_argument("--max-age-days", type=float, default=None,
                          help="prune: drop artifacts older than this")
     p_cache.add_argument("--kinds", nargs="*", default=None,
                          help="prune: restrict to artifact kinds "
                               "(trace profile candidates plan baseline "
-                              "run run-dynamic)")
+                              "run run-dynamic subset)")
+    p_cache.add_argument("--compare", action="store_true",
+                         help="stats: time the dir walk against the "
+                              "sqlite manifest on this store")
+    p_cache.add_argument("--bench-out", default=None, metavar="PATH",
+                         help="stats: write the backend timing comparison "
+                              "JSON here (implies --compare)")
     p_cache.set_defaults(fn=_cmd_cache)
 
     p_serve = sub.add_parser(
@@ -739,6 +835,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="MGT template budget for served runs")
     p_serve.add_argument("--quiet", action="store_true",
                          help="suppress progress lines on stderr")
+    p_serve.add_argument("--max-results", type=int, default=256,
+                         help="terminal jobs retained in the job table "
+                              "before LRU eviction (default 256)")
+    p_serve.add_argument("--result-ttl", type=float, default=3600.0,
+                         help="seconds a finished job's result stays "
+                              "queryable (default 3600)")
+    p_serve.add_argument("--max-job-events", type=int, default=10_000,
+                         help="per-job event-log window; older events "
+                              "are truncated (default 10000)")
+    p_serve.add_argument("--dispatch", default=None, metavar="SPEC",
+                         help="run DAGs on a worker fleet: workers:HOST"
+                              ":PORT (workers join with 'repro worker')")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -794,10 +902,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "this")
     p_load.set_defaults(fn=_cmd_loadtest)
 
-    # "experiments" is documented here even though it is dispatched above.
+    p_resume = sub.add_parser(
+        "resume", help="resume a killed run from its --ledger journal, "
+                       "scheduling only nodes whose durable artifacts "
+                       "are missing (see docs/distributed.md)")
+    p_resume.add_argument("ledger", help="ledger path from --ledger")
+    p_resume.add_argument("--jobs", type=int, default=None,
+                          help="override the dead run's fan-out")
+    p_resume.add_argument("--dispatch", default=None, metavar="SPEC",
+                          help="dispatch backend: 'local' or "
+                               "'workers:ADDR' (repro worker fleet)")
+    p_resume.add_argument("--force", action="store_true",
+                          help="proceed even if the code-version salt "
+                               "changed (re-runs everything)")
+    p_resume.add_argument("--quiet", action="store_true",
+                          help="suppress the scheduler progress stream")
+    p_resume.set_defaults(fn=_cmd_resume)
+
+    # "experiments" and "worker" are documented here even though they are
+    # dispatched above.
     sub.add_parser("experiments",
                    help="regenerate paper figures "
                         "(see repro.harness.experiments)")
+    sub.add_parser("worker",
+                   help="join a dispatch coordinator and execute leased "
+                        "DAG nodes (see repro.dist.worker)")
 
     args = parser.parse_args(argv)
     try:

@@ -113,6 +113,33 @@ def _evaluate_subset(runner: Runner, bench: str, input_name: str,
     return SubsetPoint(mask, stats.coverage, stats.ipc / baseline_ipc)
 
 
+def evaluate_subset_cached(runner: Runner, bench: str, input_name: str,
+                           config: MachineConfig, n_candidates: int,
+                           mask: int, baseline_ipc: float,
+                           sites: Optional[List[MGSite]] = None
+                           ) -> SubsetPoint:
+    """Store-backed subset evaluation: the durable form of one Figure 8
+    scatter point.
+
+    Keyed via :meth:`Runner.subset_params` (full machine sizing, mask,
+    candidate count, normalization baseline, runner knobs), so completed
+    masks survive process death — which is what lets ``repro resume``
+    skip them after a killed limit study — and repeated sweeps over the
+    same cache directory are free. ``sites`` skips the candidate ranking
+    when the caller already holds it.
+    """
+    params = runner.subset_params(bench, input_name, config, n_candidates,
+                                  mask, baseline_ipc)
+
+    def compute() -> SubsetPoint:
+        ranked = sites if sites is not None else top_nonoverlapping_sites(
+            runner, bench, input_name, n_candidates)
+        return _evaluate_subset(runner, bench, input_name, config, ranked,
+                                mask, baseline_ipc)
+
+    return runner.store.get_or_compute("subset", params, compute)
+
+
 def _selector_mask(plan_sites: List[MGSite], sites: List[MGSite]) -> int:
     chosen_ids = {site.id for site in plan_sites}
     mask = 0
@@ -204,9 +231,9 @@ def run_limit_study(runner: Optional[Runner] = None, bench: str = "adpcm",
             baseline_ipc, jobs, progress=progress))
     else:
         for mask in range(n_subsets):
-            result.points.append(_evaluate_subset(
-                runner, bench, input_name, config, sites, mask,
-                baseline_ipc))
+            result.points.append(evaluate_subset_cached(
+                runner, bench, input_name, config, n_candidates, mask,
+                baseline_ipc, sites=sites))
 
     # Place each static selector: its pool restricted to the 10 candidates.
     profile = runner.slack_profile(bench, config, input_name)
@@ -218,8 +245,9 @@ def run_limit_study(runner: Optional[Runner] = None, bench: str = "adpcm",
         mask = _selector_mask(pool, sites)
         point = by_mask.get(mask)
         if point is None:
-            point = _evaluate_subset(runner, bench, input_name, config,
-                                     sites, mask, baseline_ipc)
+            point = evaluate_subset_cached(runner, bench, input_name,
+                                           config, n_candidates, mask,
+                                           baseline_ipc, sites=sites)
         result.selector_points[selector.name] = point
 
     # Slack-Dynamic starts from the full set and disables at run time.

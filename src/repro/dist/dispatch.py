@@ -1,0 +1,209 @@
+"""Dispatch backends: where the scheduler's ready tasks actually run.
+
+The :class:`~repro.exec.dag.Scheduler` owns the DAG — topological order,
+retry policy, deadlines, failure poisoning. A :class:`DispatchBackend`
+owns only the question "run this task somewhere and tell me how it
+went". The contract is deliberately shaped like
+``concurrent.futures`` so the local-pool backend is a transparent
+wrapper over today's ``ProcessPoolExecutor`` path:
+
+- :meth:`~DispatchBackend.submit` returns an opaque handle;
+- :meth:`~DispatchBackend.wait` blocks (bounded) until some handle
+  completes;
+- :meth:`~DispatchBackend.result` returns ``(result, duration)``,
+  raises the task's exception, or raises :class:`WorkerLost` when the
+  executor itself died — which the scheduler answers by degrading to
+  serial in-process execution, exactly as it always has for
+  ``BrokenProcessPool``.
+
+:class:`LocalPoolBackend` preserves the historical behavior bit for
+bit (including shared-pool mode for the serve daemon and the
+terminate-stuck-workers timeout policy).
+:class:`repro.dist.remote.SocketDispatchBackend` runs the same contract
+over a coordinator socket with leased batches, heartbeats, and work
+stealing.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (CancelledError, FIRST_COMPLETED,
+                                ProcessPoolExecutor, wait)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def _invoke(fn: Callable, args: Tuple) -> Tuple[Any, float]:
+    """Worker-side wrapper: run the task and clock it."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+class WorkerLost(RuntimeError):
+    """The executor (not the task) failed: dead worker, torn-down pool,
+    or no workers left to lease to. The scheduler reacts by finishing
+    the remaining graph serially in-process."""
+
+
+@dataclass
+class DispatchStats:
+    """Counters a backend accumulates over one run (``dist.*`` metrics)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    leases: int = 0
+    steals: int = 0
+    expiries: int = 0
+    reassigned: int = 0
+    workers_joined: int = 0
+    workers_lost: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, int]:
+        doc = {"submitted": self.submitted, "completed": self.completed,
+               "failed": self.failed, "leases": self.leases,
+               "steals": self.steals, "expiries": self.expiries,
+               "reassigned": self.reassigned,
+               "workers_joined": self.workers_joined,
+               "workers_lost": self.workers_lost}
+        doc.update(self.extra)
+        return doc
+
+
+class DispatchBackend:
+    """Executor abstraction behind the scheduler's parallel path."""
+
+    name = "?"
+
+    def __init__(self) -> None:
+        self.stats = DispatchStats()
+
+    def open(self) -> None:
+        """Acquire executor resources. Called once per scheduler run."""
+
+    def capacity(self) -> int:
+        """How many tasks may be in flight right now (≥ 1).
+
+        Re-polled every scheduler iteration, so backends with elastic
+        capacity (workers joining/leaving) take effect immediately.
+        """
+        raise NotImplementedError
+
+    def submit(self, task) -> Any:
+        """Start ``task`` (a :class:`repro.exec.dag.Task`); returns a
+        handle usable with :meth:`wait`/:meth:`result`/:meth:`cancel`."""
+        raise NotImplementedError
+
+    def wait(self, handles: Sequence[Any], timeout: float) -> List[Any]:
+        """Handles from ``handles`` that are now complete (possibly
+        empty if ``timeout`` elapsed first)."""
+        raise NotImplementedError
+
+    def result(self, handle) -> Tuple[Any, float]:
+        """``(result, duration)`` for a completed handle.
+
+        Raises the task's own exception for a task failure, or
+        :class:`WorkerLost` when the executor died underneath it.
+        """
+        raise NotImplementedError
+
+    def cancel(self, handle) -> bool:
+        """Try to prevent a submitted task from running; ``True`` only
+        if it is guaranteed not to (be) run."""
+        raise NotImplementedError
+
+    def handle_timeout(self) -> None:
+        """A task blew its deadline and could not be cancelled; the
+        scheduler is about to degrade. Kill stragglers if this backend
+        owns them."""
+
+    def close(self, pending: Sequence[Any]) -> None:
+        """Release executor resources; ``pending`` holds the handles
+        still in flight (cancel or abandon them)."""
+
+
+class LocalPoolBackend(DispatchBackend):
+    """Today's executor: a ``ProcessPoolExecutor``, owned or shared.
+
+    With ``pool=None`` the backend spawns a private pool of ``jobs``
+    workers per run and tears it down afterwards; with an external pool
+    it only submits (never shuts down, never terminates workers —
+    they belong to other runs too).
+    """
+
+    name = "local"
+
+    def __init__(self, jobs: int = 1,
+                 pool: Optional[ProcessPoolExecutor] = None):
+        super().__init__()
+        self.jobs = max(1, int(jobs))
+        self._own = pool is None
+        self._pool: Optional[ProcessPoolExecutor] = pool
+
+    def open(self) -> None:
+        if self._own:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+    def capacity(self) -> int:
+        return self.jobs
+
+    def submit(self, task) -> Any:
+        self.stats.submitted += 1
+        return self._pool.submit(_invoke, task.fn, task.args)
+
+    def wait(self, handles: Sequence[Any], timeout: float) -> List[Any]:
+        done, _ = wait(list(handles), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        return list(done)
+
+    def result(self, handle) -> Tuple[Any, float]:
+        try:
+            result = handle.result()
+        except (BrokenProcessPool, CancelledError) as error:
+            # The worker died mid-task (segfault, os._exit, OOM kill) or
+            # the future was torn down. The pool is unusable.
+            self.stats.workers_lost += 1
+            raise WorkerLost(str(error) or type(error).__name__) from error
+        except Exception:
+            self.stats.failed += 1
+            raise
+        self.stats.completed += 1
+        return result
+
+    def cancel(self, handle) -> bool:
+        return handle.cancel()
+
+    def handle_timeout(self) -> None:
+        # A stuck worker would block interpreter exit (the pool joins
+        # its processes at shutdown). A shared pool's workers belong to
+        # other runs too and must not be terminated from here.
+        if self._own and self._pool is not None:
+            for proc in list(self._pool._processes.values()):
+                proc.terminate()
+
+    def close(self, pending: Sequence[Any]) -> None:
+        if self._own:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+        else:
+            for handle in pending:
+                handle.cancel()
+
+
+def make_dispatch(spec: Optional[str], jobs: int,
+                  pool: Optional[ProcessPoolExecutor] = None
+                  ) -> Optional[DispatchBackend]:
+    """CLI resolution of ``--dispatch``: ``None``/``"local"`` → local
+    pool, ``"workers:ADDR"`` → socket coordinator at ADDR (a unix socket
+    path or ``host:port``)."""
+    if spec is None or spec == "local":
+        return None  # scheduler builds its default LocalPoolBackend
+    if spec.startswith("workers:"):
+        from repro.dist.remote import SocketDispatchBackend
+        return SocketDispatchBackend(spec[len("workers:"):], jobs=jobs)
+    raise ValueError(f"unknown dispatch backend: {spec!r} "
+                     f"(expected 'local' or 'workers:ADDR')")

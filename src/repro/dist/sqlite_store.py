@@ -1,0 +1,249 @@
+"""SQLite manifest backend for the artifact store.
+
+The directory backend answers every maintenance query — ``repro cache
+stats``, ``prune``, ``dedup`` — by walking ``<root>/??/*.json`` and
+parsing each sidecar. That is fine at thousands of artifacts and O(walk)
+at millions. This backend keeps the blob layout *byte-identical*
+(payloads and sidecars are still written, so a store directory remains
+readable by the dir backend and by older checkouts) and adds one SQLite
+manifest next to the shards::
+
+    <root>/manifest.sqlite
+        artifacts(key PRIMARY KEY, kind, size, created, mtime,
+                  salt, sha, last_access, params)
+
+One row per artifact. Stats become ``GROUP BY kind``, prune becomes an
+indexed range scan, dedup groups by payload digest without re-hashing a
+single blob, and reads update ``last_access`` so LRU pruning has real
+data to work with.
+
+Migration is lazy: opening a populated store whose manifest is empty
+reindexes from the sidecars automatically (``repro cache migrate``
+forces a full rebuild). The manifest is derived state — deleting it
+costs a reindex, never an artifact.
+
+Concurrency: WAL journal mode plus a busy timeout lets scheduler worker
+processes (each with its own connection) publish rows concurrently; a
+process-local lock serializes the connection across threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.exec.store import DirBackend, iter_sidecars
+
+MANIFEST_NAME = "manifest.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    key         TEXT PRIMARY KEY,
+    kind        TEXT NOT NULL,
+    size        INTEGER NOT NULL,
+    created     REAL NOT NULL,
+    mtime       REAL NOT NULL,
+    salt        TEXT NOT NULL DEFAULT '',
+    sha         TEXT NOT NULL DEFAULT '',
+    last_access REAL NOT NULL DEFAULT 0,
+    params      TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_kind ON artifacts (kind);
+CREATE INDEX IF NOT EXISTS idx_artifacts_created ON artifacts (created);
+CREATE INDEX IF NOT EXISTS idx_artifacts_sha ON artifacts (sha);
+"""
+
+
+class SqliteManifestBackend(DirBackend):
+    """Blob layout of :class:`DirBackend` + a SQLite index of the sidecars."""
+
+    name = "sqlite"
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.manifest_path = self.root / MANIFEST_NAME
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.manifest_path), timeout=30.0,
+                                     check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+        # Lazy migration: blobs on disk but an empty manifest means this
+        # store predates the manifest (or the manifest was deleted).
+        if self._count() == 0 and next(iter_sidecars(self.root), None):
+            self.reindex()
+
+    # -- manifest upkeep ------------------------------------------------------
+
+    def _count(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM artifacts").fetchone()
+        return int(row[0])
+
+    def _upsert(self, key: str, meta: Dict[str, Any]) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO artifacts "
+                "(key, kind, size, created, mtime, salt, sha, last_access, "
+                " params) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (key,
+                 meta.get("kind", "?"),
+                 int(meta.get("size", 0) or 0),
+                 float(meta.get("created", 0.0) or 0.0),
+                 time.time(),
+                 meta.get("salt", ""),
+                 meta.get("sha", ""),
+                 float(meta.get("created", 0.0) or 0.0),
+                 json.dumps(meta.get("params", {}), sort_keys=True)))
+
+    def reindex(self, force: bool = False) -> int:
+        """(Re)build the manifest from the on-disk sidecars.
+
+        The migration path from a dir-backend store, and the repair path
+        after any out-of-band mutation of the shards. Sidecars that
+        predate the payload digest get one hashed in so dedup never has
+        to touch blob bytes again. Returns rows indexed.
+        """
+        rows = []
+        for key, meta in iter_sidecars(self.root):
+            sha = meta.get("sha", "")
+            if not sha:
+                try:
+                    sha = hashlib.sha256(
+                        self.payload_path(key).read_bytes()).hexdigest()
+                except OSError:
+                    continue
+            created = float(meta.get("created", 0.0) or 0.0)
+            rows.append((key,
+                         meta.get("kind", "?"),
+                         int(meta.get("size", 0) or 0),
+                         created,
+                         time.time(),
+                         meta.get("salt", ""),
+                         sha,
+                         created,
+                         json.dumps(meta.get("params", {}), sort_keys=True)))
+        with self._lock, self._conn:
+            if force:
+                self._conn.execute("DELETE FROM artifacts")
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO artifacts "
+                "(key, kind, size, created, mtime, salt, sha, last_access, "
+                " params) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)", rows)
+        return len(rows)
+
+    # -- blob ops (keep the manifest in lockstep) -----------------------------
+
+    def write(self, key: str, payload: bytes, meta: Dict[str, Any]) -> None:
+        super().write(key, payload, meta)
+        self._upsert(key, meta)
+
+    def delete(self, key: str) -> None:
+        super().delete(key)
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM artifacts WHERE key = ?", (key,))
+
+    def touch(self, key: str) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE artifacts SET last_access = ? WHERE key = ?",
+                (time.time(), key))
+
+    # -- index queries (O(rows matched), no directory walk) -------------------
+
+    def entries(self) -> Iterable[Tuple[str, Dict[str, Any]]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, kind, size, created, salt, sha, params "
+                "FROM artifacts ORDER BY key").fetchall()
+        for key, kind, size, created, salt, sha, params in rows:
+            try:
+                params_doc = json.loads(params)
+            except ValueError:
+                params_doc = {}
+            yield key, {"kind": kind, "size": size, "created": created,
+                        "salt": salt, "sha": sha, "params": params_doc}
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT kind, COUNT(*), COALESCE(SUM(size), 0) "
+                "FROM artifacts GROUP BY kind").fetchall()
+        return {kind: {"count": int(count), "bytes": int(total)}
+                for kind, count, total in rows}
+
+    def prune(self, cutoff: Optional[float],
+              kind_set: Optional[set]) -> List[str]:
+        clauses, args = [], []
+        if cutoff is not None:
+            clauses.append("created <= ?")
+            args.append(cutoff)
+        if kind_set is not None:
+            clauses.append("kind IN (%s)" % ",".join("?" * len(kind_set)))
+            args.extend(sorted(kind_set))
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        with self._lock:
+            keys = [row[0] for row in self._conn.execute(
+                "SELECT key FROM artifacts" + where, args).fetchall()]
+        for key in keys:
+            self.delete(key)
+        return keys
+
+    def clear(self) -> int:
+        removed = super().clear()
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM artifacts")
+        return removed
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def compare_backends(root, repeat: int = 3) -> Dict[str, Any]:
+    """Time the dir walk vs the manifest query answering ``cache stats``.
+
+    Opens the same store root through both backends, runs ``summary()``
+    ``repeat`` times each, and keeps the best wall time per leg (the
+    comparison is I/O-bound; the minimum is the least noisy estimator).
+    Verifies both backends agree on the answer before timing counts.
+    """
+    root = Path(root)
+    dir_backend = DirBackend(root)
+    sqlite_backend = SqliteManifestBackend(root)
+    try:
+        dir_summary = dir_backend.summary()
+        sqlite_summary = sqlite_backend.summary()
+        if dir_summary != sqlite_summary:
+            raise RuntimeError(
+                "backend disagreement on cache stats: "
+                f"dir={dir_summary} sqlite={sqlite_summary} "
+                "(run `repro cache migrate` to rebuild the manifest)")
+
+        def best(fn) -> float:
+            times = []
+            for _ in range(max(1, repeat)):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        dir_s = best(dir_backend.summary)
+        sqlite_s = best(sqlite_backend.summary)
+        artifacts = sum(e["count"] for e in dir_summary.values())
+        return {
+            "artifacts": artifacts,
+            "dir_stats_s": dir_s,
+            "sqlite_stats_s": sqlite_s,
+            "speedup": (dir_s / sqlite_s) if sqlite_s > 0 else 0.0,
+            "summary": dir_summary,
+        }
+    finally:
+        sqlite_backend.close()

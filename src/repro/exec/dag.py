@@ -33,12 +33,13 @@ times at the end.
 from __future__ import annotations
 
 import time
-from concurrent.futures import (CancelledError, FIRST_COMPLETED,
-                                ProcessPoolExecutor, wait)
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
+
+from repro.dist.dispatch import (DispatchBackend, LocalPoolBackend,
+                                 WorkerLost, _invoke)
 
 
 @dataclass
@@ -126,20 +127,14 @@ class ProgressPrinter:
         print(line, file=self.stream)
 
 
-def _invoke(fn: Callable, args: Tuple) -> Tuple[Any, float]:
-    """Worker-side wrapper: run the task and clock it."""
-    start = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - start
-
-
 class Scheduler:
-    """Runs a task DAG serially or across a process pool."""
+    """Runs a task DAG serially or across a dispatch backend."""
 
     def __init__(self, jobs: int = 1, retries: int = 1,
                  backoff: float = 0.1, timeout: Optional[float] = None,
                  on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
-                 pool: Optional[ProcessPoolExecutor] = None):
+                 pool: Optional[ProcessPoolExecutor] = None,
+                 dispatch: Optional[DispatchBackend] = None):
         self.jobs = max(1, int(jobs))
         self.retries = retries
         self.backoff = backoff
@@ -153,6 +148,15 @@ class Scheduler:
         #: it cannot terminate the pool's workers either, so runaway
         #: tasks are abandoned rather than killed.
         self.pool = pool
+        #: Optional :class:`~repro.dist.dispatch.DispatchBackend`.
+        #: ``None`` (the default) builds a fresh
+        #: :class:`~repro.dist.dispatch.LocalPoolBackend` per run —
+        #: today's process-pool semantics exactly. A socket backend
+        #: (``repro.dist.remote``) fans the same graph out to ``repro
+        #: worker`` processes instead; every fault-tolerance path
+        #: (retry, degrade-to-serial on :class:`WorkerLost`, deadline
+        #: sweep) is backend-agnostic.
+        self.dispatch = dispatch
 
     # -- graph preparation -----------------------------------------------------
 
@@ -281,29 +285,33 @@ class Scheduler:
 
     def _run_parallel(self, table: Dict[str, Task], order: List[str],
                       report: ExecReport) -> None:
-        own_pool = self.pool is None
-        pool = ProcessPoolExecutor(max_workers=self.jobs) if own_pool \
-            else self.pool
-        # future → (task, submit time, attempt); submissions are throttled
-        # to pool width so "submitted" ≈ "started" and deadlines are fair.
+        dispatch = self.dispatch if self.dispatch is not None \
+            else LocalPoolBackend(jobs=self.jobs, pool=self.pool)
+        dispatch.open()
+        # handle → (task, submit time, attempt); submissions are throttled
+        # to backend capacity so "submitted" ≈ "started" and deadlines are
+        # fair.
         in_flight: Dict[Any, Tuple[Task, float, int]] = {}
         attempts: Dict[str, int] = {}
         pending: List[str] = list(order)
         degrade = False
 
         def submit(task: Task) -> None:
-            future = pool.submit(_invoke, task.fn, task.args)
-            in_flight[future] = (task, time.monotonic(), attempts.get(task.id, 0))
+            handle = dispatch.submit(task)
+            in_flight[handle] = (task, time.monotonic(), attempts.get(task.id, 0))
             self._emit("submit", task, self._state(table, report,
                                                    running=len(in_flight)))
 
         try:
             while (pending or in_flight) and not degrade:
-                # Fill free workers with ready tasks, in topological order.
+                # Fill free capacity with ready tasks, in topological
+                # order. Capacity is re-polled each pass: elastic
+                # backends grow/shrink as workers join or die.
+                capacity = max(1, dispatch.capacity())
                 still_pending: List[str] = []
                 for tid in pending:
                     task = table[tid]
-                    if len(in_flight) >= self.jobs:
+                    if len(in_flight) >= capacity:
                         still_pending.append(tid)
                     elif any(dep in report.failures for dep in task.deps):
                         self._skip_for_deps(task, report, table)
@@ -317,16 +325,15 @@ class Scheduler:
                         continue
                     break
 
-                completed, _ = wait(list(in_flight), timeout=0.05,
-                                    return_when=FIRST_COMPLETED)
-                for future in completed:
-                    task, _submitted, attempt = in_flight.pop(future)
+                completed = dispatch.wait(list(in_flight), timeout=0.05)
+                for handle in completed:
+                    task, _submitted, attempt = in_flight.pop(handle)
                     try:
-                        result, duration = future.result()
-                    except (BrokenProcessPool, CancelledError):
-                        # The worker died mid-task (segfault, os._exit, OOM
-                        # kill) or the future was torn down. The pool is
-                        # unusable; finish serially.
+                        result, duration = dispatch.result(handle)
+                    except WorkerLost:
+                        # The executor died underneath the task (dead
+                        # worker process, torn-down pool, empty worker
+                        # fleet). It is unusable; finish serially.
                         attempts[task.id] = attempt  # retried serially below
                         pending.insert(0, task.id)
                         degrade = True
@@ -358,31 +365,22 @@ class Scheduler:
                 if not degrade:
                     now = time.monotonic()
                     timed_out = False
-                    for future, (task, submitted, _a) in list(in_flight.items()):
+                    for handle, (task, submitted, _a) in list(in_flight.items()):
                         limit = self.timeout if task.timeout is None \
                             else task.timeout
                         if limit is not None and now - submitted > limit \
-                                and not future.cancel():
-                            in_flight.pop(future)
+                                and not dispatch.cancel(handle):
+                            in_flight.pop(handle)
                             report.failures[task.id] = \
                                 f"timeout after {limit:.1f}s"
                             self._emit("failed", task,
                                        self._state(table, report,
                                                    running=len(in_flight)))
                             degrade = timed_out = True
-                    if timed_out and own_pool:
-                        # A stuck worker would block interpreter exit
-                        # (the pool joins its processes at shutdown). A
-                        # shared pool's workers belong to other runs too
-                        # and must not be terminated from here.
-                        for proc in list(pool._processes.values()):
-                            proc.terminate()
+                    if timed_out:
+                        dispatch.handle_timeout()
         finally:
-            if own_pool:
-                pool.shutdown(wait=False, cancel_futures=True)
-            else:
-                for future in list(in_flight):
-                    future.cancel()
+            dispatch.close(list(in_flight))
 
         if degrade or pending or in_flight:
             # Anything still unfinished (including tasks whose futures were

@@ -52,6 +52,28 @@ class Point:
     policy: Spec = ()              # slack-dynamic kwargs items
 
 
+def point_to_doc(point: Point) -> Dict[str, Any]:
+    """JSON document for a :class:`Point` (ledger headers, wire formats)."""
+    return {"kind": point.kind, "bench": point.bench, "config": point.config,
+            "input": point.input_name,
+            "selector": [[key, value] for key, value in point.selector],
+            "profile_config": point.profile_config,
+            "profile_input": point.profile_input,
+            "global_slack": point.global_slack,
+            "policy": [[key, value] for key, value in point.policy]}
+
+
+def point_from_doc(doc: Dict[str, Any]) -> Point:
+    """Inverse of :func:`point_to_doc` (exact: same task ids, same keys)."""
+    return Point(doc["kind"], doc["bench"], doc["config"],
+                 doc.get("input", "train"),
+                 tuple((key, value)
+                       for key, value in doc.get("selector", [])),
+                 doc.get("profile_config"), doc.get("profile_input"),
+                 bool(doc.get("global_slack", False)),
+                 tuple((key, value) for key, value in doc.get("policy", [])))
+
+
 def baseline_point(bench: str, config: str,
                    input_name: str = "train") -> Point:
     """A singleton (no mini-graphs) timing run."""
@@ -268,7 +290,10 @@ def run_points(runner, points: Sequence[Point], jobs: int,
                retries: int = 1, timeout: Optional[float] = None,
                on_event: Optional[Callable[[Dict], None]] = None,
                raise_on_failure: bool = False,
-               check: bool = False) -> ExecReport:
+               check: bool = False,
+               ledger=None,
+               dispatch=None,
+               tasks: Optional[List[Task]] = None) -> ExecReport:
     """Prewarm the runner's store by executing the point DAG in parallel.
 
     Requires a persistent store when ``jobs > 1`` — worker processes can
@@ -277,27 +302,44 @@ def run_points(runner, points: Sequence[Point], jobs: int,
     (program, selector) point; a divergence fails the run (see
     :func:`build_tasks`).
 
+    ``ledger`` (a :class:`repro.dist.ledger.RunLedger`) journals every
+    terminal node event so a killed run can be resumed with ``repro
+    resume``. ``dispatch`` (a :class:`repro.dist.dispatch.DispatchBackend`)
+    replaces the default local process pool — e.g. a socket coordinator
+    fanning out to ``repro worker`` fleets. ``tasks`` overrides the DAG
+    (the resume path passes the already-pruned graph).
+
     Functional traces the parent already holds are shipped to workers
     through shared memory (:mod:`repro.exec.shm`) rather than pickled;
     the segments are unlinked before returning, whatever happens to the
-    workers.
+    workers. Remote dispatch skips shm publishing — a worker on another
+    host cannot attach this process's segments — and rehydrates traces
+    through the shared store instead.
     """
     if jobs > 1 and not runner.store.persistent:
         raise ValueError(
             "parallel execution needs a persistent store: construct the "
             "Runner with ArtifactStore(cache_dir) or use --cache-dir")
+    if dispatch is not None and not runner.store.persistent:
+        raise ValueError("remote dispatch needs a persistent store")
     registry = None
     shm_traces: Dict[Tuple[str, str], Dict] = {}
-    if jobs > 1:
+    if jobs > 1 and dispatch is None:
         from .shm import ShmRegistry
         registry = ShmRegistry()
         shm_traces = publish_point_traces(runner, points, registry)
+    if ledger is not None:
+        on_event = ledger.sink(on_event)
     try:
         scheduler = Scheduler(jobs=jobs, retries=retries, timeout=timeout,
-                              on_event=on_event)
-        return scheduler.run(
-            build_tasks(points, runner, check=check, shm_traces=shm_traces),
-            raise_on_failure=raise_on_failure)
+                              on_event=on_event, dispatch=dispatch)
+        if tasks is None:
+            tasks = build_tasks(points, runner, check=check,
+                                shm_traces=shm_traces)
+        report = scheduler.run(tasks, raise_on_failure=raise_on_failure)
+        if ledger is not None:
+            ledger.complete(len(report.results), len(report.failures))
+        return report
     finally:
         if registry is not None:
             registry.release_all()

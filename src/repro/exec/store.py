@@ -11,20 +11,26 @@ value or nothing: there is no invalidation protocol, only misses.
 
 The store is two-layered. An in-memory dict gives object *identity*
 within a process (``runner.trace(b) is runner.trace(b)``), preserving the
-old ``Runner`` memoization contract; an optional on-disk layer under
-``root`` persists artifacts across processes and interpreter restarts and
-is what lets scheduler worker processes share upstream work. Disk writes
-are atomic (temp file + ``os.replace``) so a crashed or killed worker can
-never publish a torn artifact, and unreadable payloads are treated as
-misses and deleted rather than propagated.
+old ``Runner`` memoization contract; an optional on-disk layer persists
+artifacts across processes and interpreter restarts and is what lets
+scheduler worker processes share upstream work. Disk writes are atomic
+(temp file + ``os.replace``) so a crashed or killed worker can never
+publish a torn artifact, and unreadable payloads are treated as misses
+and deleted rather than propagated.
 
-Layout on disk::
+The disk layer is pluggable behind :class:`ArtifactBackend`. All
+backends share one byte-identical blob layout::
 
     <root>/ab/<sha256>.pkl    # pickled payload  (sharded by 2-hex prefix)
-    <root>/ab/<sha256>.json   # sidecar: kind, params, created, size
+    <root>/ab/<sha256>.json   # sidecar: kind, params, created, size, sha
 
-The sidecars make the store introspectable without unpickling anything;
-``repro cache stats|clear|prune`` is built on them.
+What differs is the *index*: :class:`DirBackend` (the default and the
+historical behavior) answers ``stats``/``prune``/``dedup`` by walking the
+sidecars, while :class:`repro.dist.sqlite_store.SqliteManifestBackend`
+keeps a SQLite manifest alongside the blobs so those queries stay O(rows
+matched) at millions of artifacts. Because every backend writes the same
+blobs *and* sidecars, a store directory can be opened with either backend
+at any time; the manifest is an index, not a format change.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 #: Sentinel returned by :meth:`ArtifactStore.get` on a miss, so that
 #: ``None`` remains a storable value.
@@ -134,18 +140,248 @@ def resolve_cache_dir(arg: Optional[str],
     return arg or os.environ.get("REPRO_CACHE_DIR") or None
 
 
+def resolve_store_backend(arg: Optional[str] = None) -> str:
+    """CLI policy for the disk backend: flag > ``$REPRO_STORE_BACKEND`` > dir."""
+    return arg or os.environ.get("REPRO_STORE_BACKEND") or "dir"
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=".tmp-", suffix=".part")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def iter_sidecars(root: Path) -> Iterable[Tuple[str, Dict[str, Any]]]:
+    """Walk the shared blob layout's JSON sidecars: ``(key, meta)`` pairs.
+
+    Unreadable sidecars yield an empty meta rather than raising, so one
+    torn write can never poison a maintenance sweep.
+    """
+    for sidecar in sorted(root.glob("??/*.json")):
+        try:
+            meta = json.loads(sidecar.read_text())
+        except (OSError, ValueError):
+            meta = {}
+        yield sidecar.stem, meta
+
+
+class ArtifactBackend:
+    """Disk layer of an :class:`ArtifactStore`.
+
+    A backend moves payload bytes and answers index queries; keys,
+    pickling, the memory layer, and corruption policy all stay in the
+    store. The blob layout (sharded ``.pkl`` + ``.json`` sidecar pairs,
+    atomic writes) is implemented here once and shared by every backend
+    so that payload bytes are identical no matter which index fronts
+    them; subclasses provide :meth:`entries` and may override the
+    maintenance queries with something faster than a directory walk.
+    """
+
+    name = "?"
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- blob layout (identical across backends) ------------------------------
+
+    def payload_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def sidecar_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def read(self, key: str) -> Optional[bytes]:
+        """Payload bytes, or ``None`` if absent. I/O errors propagate."""
+        try:
+            with open(self.payload_path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def write(self, key: str, payload: bytes, meta: Dict[str, Any]) -> None:
+        shard = self.root / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.payload_path(key), payload)
+        _atomic_write(self.sidecar_path(key),
+                      json.dumps(meta, sort_keys=True).encode())
+
+    def delete(self, key: str) -> None:
+        for path in (self.payload_path(key), self.sidecar_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def touch(self, key: str) -> None:
+        """Record an access (for LRU-style pruning). No-op by default."""
+
+    # -- index ----------------------------------------------------------------
+
+    def entries(self) -> Iterable[Tuple[str, Dict[str, Any]]]:
+        """Every ``(key, meta)`` in the index, sorted by key."""
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind ``{count, bytes}``."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for _key, meta in self.entries():
+            kind = meta.get("kind", "?")
+            entry = summary.setdefault(kind, {"count": 0, "bytes": 0})
+            entry["count"] += 1
+            entry["bytes"] += int(meta.get("size", 0) or 0)
+        return summary
+
+    def prune(self, cutoff: Optional[float],
+              kind_set: Optional[set]) -> List[str]:
+        """Delete artifacts older than ``cutoff`` / of ``kind_set``.
+
+        Returns the deleted keys so the store can evict its memory layer.
+        """
+        removed = []
+        for key, meta in list(self.entries()):
+            if kind_set is not None and meta.get("kind") not in kind_set:
+                continue
+            if cutoff is not None and \
+                    float(meta.get("created", 0) or 0) > cutoff:
+                continue
+            self.delete(key)
+            removed.append(key)
+        return removed
+
+    def clear(self) -> int:
+        """Drop every artifact; returns artifacts removed."""
+        removed = 0
+        for key, _meta in list(self.entries()):
+            self.delete(key)
+            removed += 1
+        # Payloads whose sidecar was already lost.
+        for orphan in list(self.root.glob("??/*.pkl")):
+            try:
+                orphan.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+    def dedup(self) -> Dict[str, int]:
+        """Hard-link payloads with identical bytes.
+
+        Distinct keys can address identical payloads (e.g. two configs
+        that happen to produce the same plan). Linking them reclaims the
+        duplicate bytes without touching any key or sidecar — reads are
+        unaffected. Returns ``{groups, linked, bytes_saved}``.
+        """
+        by_sha: Dict[str, List[Tuple[str, int]]] = {}
+        for key, meta in self.entries():
+            sha = meta.get("sha")
+            if not sha:
+                # Pre-manifest sidecars carry no payload digest.
+                try:
+                    sha = hashlib.sha256(
+                        self.payload_path(key).read_bytes()).hexdigest()
+                except OSError:
+                    continue
+            by_sha.setdefault(sha, []).append(
+                (key, int(meta.get("size", 0) or 0)))
+        report = {"groups": 0, "linked": 0, "bytes_saved": 0}
+        for _sha, members in sorted(by_sha.items()):
+            if len(members) < 2:
+                continue
+            canon = self.payload_path(members[0][0])
+            try:
+                canon_stat = os.stat(canon)
+            except OSError:
+                continue
+            group_linked = 0
+            for key, size in members[1:]:
+                dup = self.payload_path(key)
+                try:
+                    dup_stat = os.stat(dup)
+                except OSError:
+                    continue
+                if (dup_stat.st_dev, dup_stat.st_ino) == \
+                        (canon_stat.st_dev, canon_stat.st_ino):
+                    continue
+                tmp = dup.parent / f".lnk-{key}"
+                try:
+                    os.link(canon, tmp)
+                    os.replace(tmp, dup)
+                except OSError:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    continue
+                group_linked += 1
+                report["linked"] += 1
+                report["bytes_saved"] += size or dup_stat.st_size
+            if group_linked:
+                report["groups"] += 1
+        return report
+
+    def close(self) -> None:
+        """Release backend resources (db handles). No-op by default."""
+
+
+class DirBackend(ArtifactBackend):
+    """The historical flat-directory backend: the sidecars *are* the index.
+
+    Every maintenance query walks ``<root>/??/*.json`` — perfectly fine
+    for thousands of artifacts, O(walk) at millions, which is what the
+    SQLite manifest backend exists to fix.
+    """
+
+    name = "dir"
+
+    def entries(self) -> Iterable[Tuple[str, Dict[str, Any]]]:
+        return iter_sidecars(self.root)
+
+
+def make_backend(spec: Union[str, ArtifactBackend, None],
+                 root: Union[str, os.PathLike]) -> ArtifactBackend:
+    """Resolve a backend spec (name, instance, or ``None``) for ``root``."""
+    if isinstance(spec, ArtifactBackend):
+        return spec
+    name = resolve_store_backend(spec)
+    if name == "dir":
+        return DirBackend(root)
+    if name == "sqlite":
+        from repro.dist.sqlite_store import SqliteManifestBackend
+        return SqliteManifestBackend(root)
+    raise ValueError(f"unknown store backend: {name!r} "
+                     f"(expected 'dir' or 'sqlite')")
+
+
 class ArtifactStore:
     """Two-layer (memory + optional disk) content-addressed cache.
 
     ``root=None`` gives a memory-only store with the exact semantics of
     the old in-``Runner`` memo dicts. With a ``root``, artifacts also
     persist to disk and are shared with any process pointed at the same
-    directory.
+    directory. ``backend`` selects the disk index: ``"dir"`` (default),
+    ``"sqlite"``, or a ready :class:`ArtifactBackend` instance.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
-                 salt: Optional[str] = None):
-        self.root = Path(root).expanduser() if root else None
+                 salt: Optional[str] = None,
+                 backend: Union[str, ArtifactBackend, None] = None):
+        if isinstance(backend, ArtifactBackend):
+            self.backend: Optional[ArtifactBackend] = backend
+        elif root is not None:
+            self.backend = make_backend(backend, root)
+        else:
+            self.backend = None
+        self.root = self.backend.root if self.backend is not None else None
         self.salt = salt if salt is not None else code_version()
         self._memory: Dict[str, Any] = {}
         self.stats = StoreStats()
@@ -161,12 +397,14 @@ class ArtifactStore:
         #: ``stats.corrupt_dropped`` — long-lived processes (the serve
         #: daemon) hook this to count and log recoveries as they happen.
         self.on_corrupt: Optional[Callable[[str, Exception], None]] = None
-        if self.root is not None:
-            self.root.mkdir(parents=True, exist_ok=True)
 
     @property
     def persistent(self) -> bool:
-        return self.root is not None
+        return self.backend is not None
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name if self.backend is not None else "memory"
 
     # -- keys -----------------------------------------------------------------
 
@@ -181,45 +419,47 @@ class ArtifactStore:
         return hashlib.sha256(blob).hexdigest()
 
     def _payload_path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
+        return self.backend.payload_path(key)
 
     def _sidecar_path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.backend.sidecar_path(key)
 
     # -- lookup / insert ------------------------------------------------------
+
+    def _drop_corrupt(self, key: str, error: Exception) -> None:
+        self.stats.corrupt_dropped += 1
+        self.backend.delete(key)
+        if self.on_corrupt is not None:
+            self.on_corrupt(key, error)
 
     def get(self, key: str, kind: str = "?") -> Any:
         """The stored value, or :data:`MISS`.
 
-        A disk payload that fails to unpickle (torn write from a killed
-        process, version skew, bit rot) is deleted and reported as a
-        miss: corruption degrades to recomputation, never to an error.
+        A disk payload that fails to read or unpickle (torn write from a
+        killed process, version skew, bit rot) is deleted and reported as
+        a miss: corruption degrades to recomputation, never to an error.
         """
         if key in self._memory:
             self.stats.memory_hits += 1
             self.stats.record(kind, hit=True)
             return self._memory[key]
-        if self.root is not None:
-            path = self._payload_path(key)
+        if self.backend is not None:
             try:
-                with open(path, "rb") as handle:
-                    value = pickle.load(handle)
-            except FileNotFoundError:
-                pass
+                payload = self.backend.read(key)
             except Exception as error:
-                self.stats.corrupt_dropped += 1
-                for stale in (path, self._sidecar_path(key)):
-                    try:
-                        stale.unlink()
-                    except OSError:
-                        pass
-                if self.on_corrupt is not None:
-                    self.on_corrupt(key, error)
-            else:
-                self._memory[key] = value
-                self.stats.disk_hits += 1
-                self.stats.record(kind, hit=True)
-                return value
+                payload = None
+                self._drop_corrupt(key, error)
+            if payload is not None:
+                try:
+                    value = pickle.loads(payload)
+                except Exception as error:
+                    self._drop_corrupt(key, error)
+                else:
+                    self._memory[key] = value
+                    self.stats.disk_hits += 1
+                    self.stats.record(kind, hit=True)
+                    self.backend.touch(key)
+                    return value
         self.stats.misses += 1
         self.stats.record(kind, hit=False)
         return MISS
@@ -238,34 +478,17 @@ class ArtifactStore:
         """Publish an artifact (memory always; disk atomically if enabled)."""
         self._memory[key] = value
         self.stats.puts += 1
-        if self.root is None:
+        if self.backend is None:
             return
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        shard = self.root / key[:2]
-        shard.mkdir(parents=True, exist_ok=True)
-        self._atomic_write(self._payload_path(key), payload)
-        sidecar = json.dumps({
+        self.backend.write(key, payload, {
             "kind": kind,
             "params": params or {},
             "created": time.time(),
             "size": len(payload),
-        }, sort_keys=True).encode()
-        self._atomic_write(self._sidecar_path(key), sidecar)
-
-    @staticmethod
-    def _atomic_write(path: Path, data: bytes) -> None:
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                        prefix=".tmp-", suffix=".part")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+            "sha": hashlib.sha256(payload).hexdigest(),
+            "salt": self.salt,
+        })
 
     def get_or_compute(self, kind: str, params: Dict[str, Any],
                        compute: Callable[[], Any]) -> Any:
@@ -287,64 +510,59 @@ class ArtifactStore:
             telemetry.instant("cache-hit", "store", {"kind": kind})
         return value
 
+    def contains(self, key: str) -> bool:
+        """Durable-output probe: memory hit or a disk payload on record.
+
+        Unlike :meth:`get`, never unpickles (and so never pays for or
+        validates the payload) — this is the cheap existence test the
+        warm-path pruner and resume machinery use.
+        """
+        if key in self._memory:
+            return True
+        if self.backend is None:
+            return False
+        return self.backend.payload_path(key).exists()
+
     # -- maintenance ----------------------------------------------------------
 
     def _sidecars(self) -> Iterable[Tuple[str, Dict[str, Any]]]:
-        if self.root is None:
+        if self.backend is None:
             return
-        for sidecar in sorted(self.root.glob("??/*.json")):
-            try:
-                meta = json.loads(sidecar.read_text())
-            except (OSError, ValueError):
-                meta = {}
-            yield sidecar.stem, meta
+        yield from self.backend.entries()
 
     def disk_summary(self) -> Dict[str, Dict[str, int]]:
-        """Per-kind ``{count, bytes}`` from the sidecar index."""
-        summary: Dict[str, Dict[str, int]] = {}
-        for _key, meta in self._sidecars():
-            kind = meta.get("kind", "?")
-            entry = summary.setdefault(kind, {"count": 0, "bytes": 0})
-            entry["count"] += 1
-            entry["bytes"] += int(meta.get("size", 0))
-        return summary
+        """Per-kind ``{count, bytes}`` from the backend index."""
+        if self.backend is None:
+            return {}
+        return self.backend.summary()
 
     def _delete(self, key: str) -> None:
-        for path in (self._payload_path(key), self._sidecar_path(key)):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        if self.backend is not None:
+            self.backend.delete(key)
         self._memory.pop(key, None)
 
     def clear(self) -> int:
         """Drop every artifact (memory and disk); returns artifacts removed."""
         removed = len(self._memory)
         self._memory.clear()
-        if self.root is not None:
-            removed = 0
-            for key, _meta in list(self._sidecars()):
-                self._delete(key)
-                removed += 1
-            # Payloads whose sidecar was already lost.
-            for orphan in list(self.root.glob("??/*.pkl")):
-                orphan.unlink()
-                removed += 1
+        if self.backend is not None:
+            removed = self.backend.clear()
         return removed
 
     def prune(self, max_age: Optional[float] = None,
               kinds: Optional[Iterable[str]] = None) -> int:
         """Delete disk artifacts older than ``max_age`` seconds / by kind."""
-        if self.root is None:
+        if self.backend is None:
             return 0
         kind_set = set(kinds) if kinds is not None else None
         cutoff = time.time() - max_age if max_age is not None else None
-        removed = 0
-        for key, meta in list(self._sidecars()):
-            if kind_set is not None and meta.get("kind") not in kind_set:
-                continue
-            if cutoff is not None and meta.get("created", 0) > cutoff:
-                continue
-            self._delete(key)
-            removed += 1
-        return removed
+        removed = self.backend.prune(cutoff, kind_set)
+        for key in removed:
+            self._memory.pop(key, None)
+        return len(removed)
+
+    def dedup(self) -> Dict[str, int]:
+        """Hard-link identical payloads; see :meth:`ArtifactBackend.dedup`."""
+        if self.backend is None:
+            return {"groups": 0, "linked": 0, "bytes_saved": 0}
+        return self.backend.dedup()

@@ -37,18 +37,22 @@ def runner_params(runner) -> Dict[str, Any]:
         "max_insts": runner.max_insts,
         "cache_dir": str(runner.store.root) if runner.store.persistent
         else None,
+        "store_backend": runner.store.backend_name
+        if runner.store.persistent else None,
     }
 
 
 def _runner(spec: Dict[str, Any]):
     from ..harness.runner import Runner
     key = (spec["budget"], spec["max_mg_size"], spec["warm_caches"],
-           spec["max_insts"], spec["cache_dir"])
+           spec["max_insts"], spec["cache_dir"],
+           spec.get("store_backend"))
     if key not in _RUNNERS:
         _RUNNERS[key] = Runner(
             budget=spec["budget"], max_mg_size=spec["max_mg_size"],
             warm_caches=spec["warm_caches"], max_insts=spec["max_insts"],
-            store=ArtifactStore(spec["cache_dir"]))
+            store=ArtifactStore(spec["cache_dir"],
+                                backend=spec.get("store_backend")))
     runner = _RUNNERS[key]
     _seed_shared_traces(runner, spec)
     return runner
@@ -226,13 +230,20 @@ def _limit_sites(runner, bench: str, input_name: str, count: int):
 
 
 def run_subset(spec: Dict[str, Any]) -> Dict[str, Any]:
-    """Evaluate one limit-study subset mask (Figure 8 scatter point)."""
-    from ..analysis.limit_study import _evaluate_subset
+    """Evaluate one limit-study subset mask (Figure 8 scatter point).
+
+    Memoized through the store under a ``subset`` artifact (the full
+    parameter set, via :meth:`Runner.subset_params`) — which is what
+    makes a killed limit study resumable: completed subset points are
+    durable, so ``repro resume`` schedules only the missing masks.
+    """
+    from ..analysis.limit_study import evaluate_subset_cached
     runner = _runner(spec)
     sites = _limit_sites(runner, spec["bench"], spec["input"],
                          spec["n_candidates"])
-    point = _evaluate_subset(runner, spec["bench"], spec["input"],
-                             _config(spec["config"]), sites, spec["mask"],
-                             spec["baseline_ipc"])
+    point = evaluate_subset_cached(runner, spec["bench"], spec["input"],
+                                   _config(spec["config"]),
+                                   spec["n_candidates"], spec["mask"],
+                                   spec["baseline_ipc"], sites=sites)
     return {"mask": point.mask, "coverage": point.coverage,
             "relative_ipc": point.relative_ipc}

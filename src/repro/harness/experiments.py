@@ -401,6 +401,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir/$REPRO_CACHE_DIR; "
                              "memory-only memoization")
+    parser.add_argument("--store-backend", default=None,
+                        choices=["dir", "sqlite"],
+                        help="artifact store index backend (default: "
+                             "$REPRO_STORE_BACKEND, else dir)")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="journal DAG completion to PATH so a killed "
+                             "run resumes with `repro resume PATH` "
+                             "(single figure only; see docs/distributed.md)")
+    parser.add_argument("--dispatch", default=None, metavar="SPEC",
+                        help="dispatch backend: 'local' (default) or "
+                             "'workers:HOST:PORT' / 'workers:/path.sock' "
+                             "to coordinate a `repro worker` fleet")
     parser.add_argument("--save-json", default=None, metavar="PATH",
                         help="archive the regenerated curves as JSON "
                              "(see repro.harness.reporting)")
@@ -416,6 +428,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     from ..exec.grid import run_points
 
     cache_dir = resolve_cache_dir(args.cache_dir, args.no_cache)
+    if args.ledger and args.experiment == "all":
+        print("experiments: --ledger needs a single figure (one ledger "
+              "describes one workload)", file=_sys.stderr)
+        return 2
+    if (args.ledger or args.dispatch) and cache_dir is None:
+        print("experiments: --ledger/--dispatch need a persistent store; "
+              "pass --cache-dir or set $REPRO_CACHE_DIR",
+              file=_sys.stderr)
+        return 2
     scratch = None
     if args.jobs > 1 and cache_dir is None:
         # Workers hand artifacts back through the store, so parallel
@@ -427,7 +448,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     benches = _population(args.suites, args.limit,
                           include_synthetic=not args.no_synthetic)
-    runner = Runner(budget=args.budget, store=ArtifactStore(cache_dir),
+    runner = Runner(budget=args.budget,
+                    store=ArtifactStore(cache_dir,
+                                        backend=args.store_backend),
                     jobs=args.jobs)
     telemetry = None
     if args.telemetry:
@@ -444,22 +467,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         for name in names:
             start = time.time()
-            if args.jobs > 1 or args.check:
+            if args.jobs > 1 or args.check or args.ledger or args.dispatch:
                 points = grid_points(name, benches)
                 if points:
                     from ..exec.dag import TaskError
                     on_event = None if args.quiet else ProgressPrinter()
                     if telemetry is not None:
                         on_event = scheduler_telemetry(telemetry, on_event)
+                    ledger = None
+                    if args.ledger:
+                        from ..dist.resume import (
+                            open_ledger, workload_for_points,
+                        )
+                        ledger = open_ledger(
+                            args.ledger, runner,
+                            workload_for_points(points, check=args.check,
+                                                label=name),
+                            extra={"jobs": args.jobs})
+                    dispatch = None
+                    if args.dispatch:
+                        from ..dist.dispatch import make_dispatch
+                        dispatch = make_dispatch(args.dispatch,
+                                                 jobs=args.jobs)
                     try:
                         report = run_points(runner, points, jobs=args.jobs,
                                             on_event=on_event,
                                             check=args.check,
-                                            raise_on_failure=args.check)
+                                            raise_on_failure=args.check,
+                                            ledger=ledger,
+                                            dispatch=dispatch)
                     except TaskError as error:
                         print(f"experiments: check failed: {error}",
                               file=_sys.stderr)
                         return 1
+                    finally:
+                        if ledger is not None:
+                            ledger.close()
                     if not args.quiet:
                         print(report.render(), file=_sys.stderr)
             if telemetry is not None:

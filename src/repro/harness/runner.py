@@ -102,6 +102,23 @@ class Runner:
         #: own work through :mod:`repro.exec` (e.g. the limit study).
         self.jobs = jobs
 
+    @classmethod
+    def from_params(cls, params: Dict, jobs: int = 1) -> "Runner":
+        """Rebuild a runner from :func:`repro.exec.tasks.runner_params`.
+
+        The inverse used by resume (`repro resume` reconstructs the
+        runner a dead run's ledger header describes) and by dispatch
+        workers; both sides share one params vocabulary so a rebuilt
+        runner can never key artifacts differently than the original.
+        """
+        store = ArtifactStore(params.get("cache_dir"),
+                              backend=params.get("store_backend"))
+        return cls(budget=params["budget"],
+                   max_mg_size=params["max_mg_size"],
+                   warm_caches=params["warm_caches"],
+                   max_insts=params["max_insts"],
+                   store=store, jobs=jobs)
+
     # -- benchmark helpers -----------------------------------------------------
 
     def _bench(self, bench) -> Benchmark:
@@ -170,6 +187,18 @@ class Runner:
                 "warm_caches": self.warm_caches,
                 "max_insts": self.max_insts,
                 "label": label}
+
+    def subset_params(self, bench_name: str, input_name: str,
+                      config: MachineConfig, n_candidates: int,
+                      mask: int, baseline_ipc: float) -> Dict:
+        """Store-key params for one limit-study subset evaluation."""
+        return {"bench": bench_name, "input": input_name,
+                "config": _config_params(config),
+                "n_candidates": n_candidates, "mask": mask,
+                "baseline_ipc": baseline_ipc,
+                "budget": self.budget, "max_mg_size": self.max_mg_size,
+                "warm_caches": self.warm_caches,
+                "max_insts": self.max_insts}
 
     def dynamic_params(self, bench_name: str, config: MachineConfig,
                        input_name: str, mode: str,

@@ -72,6 +72,15 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    def __getstate__(self):
+        # Basic-block analysis is derived data; excluding it keeps pickled
+        # programs (and the traces that embed them) canonical regardless of
+        # which analyses ran earlier in the process.
+        state = self.__dict__.copy()
+        state["_blocks"] = None
+        state["_block_of_pc"] = None
+        return state
+
     # -- control-flow structure ---------------------------------------------
 
     def basic_blocks(self) -> List[BasicBlock]:

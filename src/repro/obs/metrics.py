@@ -466,6 +466,12 @@ def collect_server(registry: MetricsRegistry, server) -> None:
     registry.counter("server.store_corruptions",
                      "Corrupt artifacts recovered as misses").inc(
         stats.store_corruptions)
+    registry.counter("server.results_evicted",
+                     "Terminal jobs evicted from the job table").inc(
+        getattr(stats, "results_evicted", 0))
+    registry.counter("server.events_truncated",
+                     "Job events dropped by log truncation").inc(
+        getattr(stats, "events_truncated", 0))
     registry.gauge("server.queue_depth",
                    "Jobs queued, not yet dispatched").set(
         server.queue.depth)
@@ -473,6 +479,37 @@ def collect_server(registry: MetricsRegistry, server) -> None:
                    "Jobs currently running").set(server.queue.active)
     registry.gauge("server.warm_hit_ratio",
                    "Warm hits / completed jobs").set(stats.warm_hit_ratio)
+
+
+def collect_dist(registry: MetricsRegistry, stats) -> None:
+    """Harvest dispatch-backend counters as ``dist.*`` metrics.
+
+    Duck-typed over :class:`~repro.dist.dispatch.DispatchStats` (or any
+    mapping / ``as_dict()`` carrier) so this module never imports the
+    dist package.
+    """
+    doc = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    descriptions = {
+        "submitted": "Tasks handed to the dispatch backend",
+        "completed": "Tasks finished by workers",
+        "failed": "Tasks that raised on a worker",
+        "leases": "Task leases granted to workers",
+        "steals": "Leases stolen from stragglers",
+        "expiries": "Leases expired past their deadline",
+        "reassigned": "Tasks rescheduled after a lost worker",
+        "workers_joined": "Workers that joined the coordinator",
+        "workers_lost": "Workers lost to heartbeat timeout",
+    }
+    extra = doc.pop("extra", None) or {}
+    for name, value in sorted(doc.items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        registry.counter(f"dist.{name}",
+                         descriptions.get(name, f"dispatch {name}")).inc(
+            value)
+    for name, value in sorted(extra.items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            registry.gauge(f"dist.{name}", f"dispatch {name}").set(value)
 
 
 def collect_exec_report(registry: MetricsRegistry, report) -> None:

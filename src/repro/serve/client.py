@@ -143,30 +143,88 @@ class ServeClient:
         """The result document; raises :class:`ServeError` 409 if not done."""
         return (await self._request("GET", f"/jobs/{job_id}/result"))[1]
 
-    async def events(self, job_id: str, start: int = 0
+    async def events(self, job_id: str, start: int = 0,
+                     retries: int = 5, backoff: float = 0.2
                      ) -> AsyncIterator[Dict[str, Any]]:
         """Stream a job's telemetry records until it reaches a terminal
-        state (yields the manifest first, parsed from NDJSON)."""
-        reader, writer = await self._connect()
-        try:
-            head = (f"GET /jobs/{job_id}/events?from={start} HTTP/1.1\r\n"
-                    f"Host: repro-serve\r\nConnection: close\r\n\r\n")
-            writer.write(head.encode("latin-1"))
-            await writer.drain()
-            status, _ = await _read_status_headers(reader)
-            if status >= 400:
-                raw = await reader.read()
-                raise ServeError(status, raw.decode()[:200])
-            async for line in reader:
-                line = line.strip()
-                if line:
-                    yield json.loads(line)
-        finally:
-            writer.close()
+        state (yields the manifest first, parsed from NDJSON).
+
+        Survives dropped connections: the client keeps an absolute event
+        cursor and reconnects with ``?from=cursor``, so a mid-stream
+        disconnect resumes exactly where it left off with no duplicated
+        and no skipped records. The manifest line that opens every
+        server response is yielded only once. An ``events-truncated``
+        marker (the server's log window moved past the cursor) is
+        yielded through and resets the cursor to ``args.next``. The
+        stream ends cleanly only after the job's terminal instant
+        (``done``/``failed``/``cancelled``); an EOF before that is a
+        drop and triggers a reconnect, up to ``retries`` consecutive
+        failures with linear ``backoff``.
+        """
+        cursor = start
+        manifest_sent = False
+        terminal = False
+        failures = 0
+        while True:
             try:
-                await writer.wait_closed()
+                reader, writer = await self._connect()
             except (ConnectionError, OSError):
-                pass
+                failures += 1
+                if failures > retries:
+                    raise
+                await asyncio.sleep(backoff * failures)
+                continue
+            try:
+                head = (f"GET /jobs/{job_id}/events?from={cursor} "
+                        f"HTTP/1.1\r\n"
+                        f"Host: repro-serve\r\nConnection: close\r\n\r\n")
+                writer.write(head.encode("latin-1"))
+                await writer.drain()
+                status, _ = await _read_status_headers(reader)
+                if status >= 400:
+                    raw = await reader.read()
+                    raise ServeError(status, raw.decode()[:200])
+                first = True
+                async for line in reader:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    if first:
+                        first = False   # per-connection manifest line
+                        if not manifest_sent:
+                            manifest_sent = True
+                            yield record
+                        continue
+                    failures = 0        # progress resets the budget
+                    if record.get("name") == "events-truncated" \
+                            and record.get("cat") == "serve":
+                        args = record.get("args") or {}
+                        cursor = int(args.get("next", cursor))
+                        yield record
+                        continue
+                    cursor += 1
+                    if record.get("cat") == "job" and record.get(
+                            "name") in ("done", "failed", "cancelled"):
+                        terminal = True
+                    yield record
+            except (ConnectionError, OSError,
+                    asyncio.IncompleteReadError, TimeoutError):
+                pass    # dropped mid-stream; reconnect below
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            if terminal:
+                return
+            failures += 1
+            if failures > retries:
+                raise ConnectionError(
+                    f"job {job_id} event stream dropped at event "
+                    f"{cursor} and reconnect failed {retries} times")
+            await asyncio.sleep(backoff * failures)
 
     async def wait(self, job_id: str, poll: float = 0.05,
                    timeout: float = 600.0) -> Dict[str, Any]:

@@ -25,16 +25,39 @@ from typing import Any, AsyncIterator, Dict, List, Optional
 
 
 class JobEventLog:
-    """An append-only, streamable telemetry log for one job."""
+    """An append-only, streamable telemetry log for one job.
+
+    ``max_events`` bounds the retained window: when an append would
+    exceed it, the oldest events are dropped and the window's base
+    offset advances, so a pathological job (a million-node DAG, a chatty
+    fuzz run) cannot grow the server without bound. Indexing stays
+    **absolute** — ``stream(from_index)`` keeps meaning the same event
+    before and after truncation, which is what lets a disconnected
+    client resume with ``?from=N``. A resume below the window's base
+    yields one ``events-truncated`` marker (``args.next`` = the first
+    index still retained) before the surviving events.
+    """
 
     def __init__(self, manifest: Dict[str, Any],
-                 loop: Optional[asyncio.AbstractEventLoop] = None):
+                 loop: Optional[asyncio.AbstractEventLoop] = None,
+                 max_events: Optional[int] = None):
         self.manifest = manifest
         self.events: List[Dict[str, Any]] = []
         self.closed = False
+        self.max_events = max_events
+        self.truncated = 0        # total events dropped from the front
+        self._base = 0            # absolute index of events[0]
         self._epoch = time.perf_counter()
         self._loop = loop
         self._waiters: List[asyncio.Event] = []
+        #: Optional callback fired with the drop count on each
+        #: truncation (the server aggregates ``events_truncated``).
+        self.on_truncate = None
+
+    @property
+    def end(self) -> int:
+        """One past the absolute index of the newest event."""
+        return self._base + len(self.events)
 
     def _now_us(self) -> int:
         return int((time.perf_counter() - self._epoch) * 1e6)
@@ -57,6 +80,14 @@ class JobEventLog:
 
     def append(self, record: Dict[str, Any]) -> None:
         self.events.append(record)
+        if self.max_events is not None \
+                and len(self.events) > self.max_events:
+            drop = len(self.events) - self.max_events
+            del self.events[:drop]
+            self._base += drop
+            self.truncated += drop
+            if self.on_truncate is not None:
+                self.on_truncate(drop)
         self._wake()
 
     def instant(self, name: str, cat: str,
@@ -104,25 +135,41 @@ class JobEventLog:
         # Runs on the event loop; `_notify` does too (appends from
         # threads are marshaled through call_soon_threadsafe), so the
         # check-register-await sequence cannot lose a wakeup.
-        while len(self.events) <= seen and not self.closed:
+        while self.end <= seen and not self.closed:
             waiter = asyncio.Event()
             self._waiters.append(waiter)
             await waiter.wait()
 
+    def _truncation_marker(self, index: int) -> Dict[str, Any]:
+        return {"name": "events-truncated", "cat": "serve", "ph": "i",
+                "ts": self._now_us(), "pid": 0, "tid": 0,
+                "args": {"dropped": self._base - index,
+                         "next": self._base}}
+
     async def stream(self, start: int = 0) -> AsyncIterator[str]:
         """Yield JSONL lines: the manifest, then events from ``start``.
 
-        Replays history first, then follows live appends until the log
-        is closed (the job reached a terminal state).
+        ``start`` is an absolute event index. Replays retained history
+        first, then follows live appends until the log is closed (the
+        job reached a terminal state). Indices that truncation has
+        already dropped are acknowledged with one ``events-truncated``
+        marker line rather than silently skipped.
         """
         yield json.dumps(self.manifest, sort_keys=True, default=str)
         index = start
         while True:
-            while index < len(self.events):
-                yield json.dumps(self.events[index], sort_keys=True,
-                                 default=str)
+            while index < self.end:
+                # Re-checked per event: truncation can advance the base
+                # while this generator is suspended mid-yield.
+                if index < self._base:
+                    yield json.dumps(self._truncation_marker(index),
+                                     sort_keys=True)
+                    index = self._base
+                    continue
+                yield json.dumps(self.events[index - self._base],
+                                 sort_keys=True, default=str)
                 index += 1
-            if self.closed and index >= len(self.events):
+            if self.closed and index >= self.end:
                 return
             await self._wait(index)
 

@@ -78,6 +78,10 @@ class ServerConfig:
     budget: int = 512                     # runner defaults
     max_mg_size: int = 4
     max_insts: int = 2_000_000
+    max_results: int = 256                # completed jobs kept (LRU)
+    result_ttl: float = 3600.0            # seconds before eviction
+    max_job_events: int = 10_000          # per-job event-log window
+    dispatch: Optional[str] = None        # e.g. "workers:host:port"
     quiet: bool = False
 
     def __post_init__(self):
@@ -107,6 +111,8 @@ class ServeStats:
     nodes_scheduled: int = 0
     nodes_pruned: int = 0
     store_corruptions: int = 0
+    results_evicted: int = 0
+    events_truncated: int = 0
     first_event_us: List[int] = field(default_factory=list)
 
     @property
@@ -124,7 +130,9 @@ class ServeStats:
                 "warm_hit_ratio": self.warm_hit_ratio,
                 "nodes_scheduled": self.nodes_scheduled,
                 "nodes_pruned": self.nodes_pruned,
-                "store_corruptions": self.store_corruptions}
+                "store_corruptions": self.store_corruptions,
+                "results_evicted": self.results_evicted,
+                "events_truncated": self.events_truncated}
 
 
 class NodeRegistry:
@@ -178,6 +186,7 @@ class ServeApp:
         self._runners: Dict[Tuple, Runner] = {}
         self._nodes = NodeRegistry()
         self._shm_registry = None
+        self._coordinator = None     # shared dist.remote.SocketCoordinator
         self._pool: Optional[ProcessPoolExecutor] = None
         self._running: set = set()
         self._kick = asyncio.Event()
@@ -215,7 +224,29 @@ class ServeApp:
                 max_insts=max_insts, store=self.store)
         return self._runners[key]
 
+    def _dispatch_backend(self, jobs: int):
+        """One coordinator shared by every job; one backend per run.
+
+        Backend handles are nonce-namespaced, so concurrent jobs lease
+        through the same worker fleet without id collisions. The
+        coordinator outlives individual jobs and is stopped with the
+        app.
+        """
+        if self._coordinator is None:
+            from ..dist.remote import SocketCoordinator
+            spec = self.config.dispatch
+            address = spec[len("workers:"):] \
+                if spec.startswith("workers:") else spec
+            self._coordinator = SocketCoordinator(address)
+            self._coordinator.start()
+            self._log(f"dispatch coordinator listening on {address}")
+        from ..dist.remote import SocketDispatchBackend
+        return SocketDispatchBackend(self._coordinator, jobs=jobs)
+
     def _scheduler(self, jobs: int, on_event) -> Scheduler:
+        if self.config.dispatch:
+            return Scheduler(jobs=jobs, on_event=on_event,
+                             dispatch=self._dispatch_backend(jobs))
         pool = None
         if jobs > 1 and self.config.pool_workers > 0:
             if self._pool is None:
@@ -234,6 +265,10 @@ class ServeApp:
     def _shm_for(self, runner: Runner, points, jobs: int) -> Dict:
         """Publish (and memoize across jobs) shared-memory trace segments."""
         if jobs <= 1 or not runner.store.persistent:
+            return {}
+        if self.config.dispatch:
+            # Remote workers cannot attach this process's segments;
+            # they rehydrate traces through the shared store instead.
             return {}
         if self._shm_registry is None:
             from ..exec.shm import ShmRegistry
@@ -297,6 +332,8 @@ class ServeApp:
             await asyncio.gather(self._dispatcher, return_exceptions=True)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._coordinator is not None:
+            self._coordinator.stop()
         if self._shm_registry is not None:
             self._shm_registry.release_all()
         self.queue.close()
@@ -307,8 +344,40 @@ class ServeApp:
     def _attach_log(self, job: Job) -> None:
         job.events = JobEventLog(
             dict(self._manifest_base, label=f"job/{job.id}"),
-            loop=self._loop)
+            loop=self._loop, max_events=self.config.max_job_events)
+        job.events.on_truncate = self._on_truncate
         job.cancel_requested = threading.Event()
+
+    def _on_truncate(self, dropped: int) -> None:
+        self.stats.events_truncated += dropped
+
+    def _evict_results(self) -> None:
+        """Bound the job table: TTL-expire and LRU-cap terminal jobs.
+
+        Queued and running jobs are never evicted. The journal already
+        carries each evicted job's terminal record, so a restart does
+        not resurrect it; clients asking about an evicted id get a 404,
+        same as an id that never existed.
+        """
+        terminal = [job for job in self.queue.jobs.values()
+                    if job.state in (JobState.DONE, JobState.FAILED,
+                                     JobState.CANCELLED)
+                    and job.finished is not None]
+        terminal.sort(key=lambda job: job.finished)
+        now = time.time()
+        evict = [job for job in terminal
+                 if now - job.finished > self.config.result_ttl]
+        keep = len(terminal) - len(evict)
+        if keep > self.config.max_results:
+            fresh = [job for job in terminal if job not in evict]
+            evict.extend(fresh[:keep - self.config.max_results])
+        for job in evict:
+            del self.queue.jobs[job.id]
+            self.stats.results_evicted += 1
+        if evict:
+            self._log(f"evicted {len(evict)} finished job record(s) "
+                      f"(max_results={self.config.max_results}, "
+                      f"ttl={self.config.result_ttl:.0f}s)")
 
     def submit(self, client: str, kind: str, spec: Dict[str, Any],
                priority: str = "normal") -> Job:
@@ -341,6 +410,7 @@ class ServeApp:
 
     def _job_finished(self, task) -> None:
         self._running.discard(task)
+        self._evict_results()
         self._kick.set()
 
     async def _run_job(self, job: Job) -> None:
@@ -444,11 +514,16 @@ class ServeApp:
     # -- metrics ---------------------------------------------------------------
 
     def metrics_registry(self):
-        from ..obs.metrics import (MetricsRegistry, collect_server,
-                                   collect_store)
+        from ..obs.metrics import (MetricsRegistry, collect_dist,
+                                   collect_server, collect_store)
         registry = MetricsRegistry()
         collect_server(registry, self)
         collect_store(registry, self.store)
+        if self._coordinator is not None:
+            collect_dist(registry, self._coordinator.stats)
+            registry.gauge("dist.workers",
+                           "Workers currently connected").set(
+                self._coordinator.worker_count())
         return registry
 
     def stats_doc(self) -> Dict[str, Any]:
@@ -461,6 +536,10 @@ class ServeApp:
                     "store": {"hits": self.store.stats.hits,
                               "misses": self.store.stats.misses,
                               "hit_rate": self.store.stats.hit_rate}})
+        if self._coordinator is not None:
+            dist = self._coordinator.stats.as_dict()
+            dist["workers"] = self._coordinator.worker_count()
+            doc["dispatch"] = dist
         return doc
 
     # -- HTTP ------------------------------------------------------------------

@@ -68,6 +68,10 @@ def task_artifact(runner, task: Task) -> Optional[Tuple[str, Dict]]:
             config_by_name(spec.get("profile_config") or "reduced"),
             spec.get("profile_input") or spec["input"],
             spec.get("global_slack", False), None)
+    if stage == "subset":
+        return "subset", runner.subset_params(
+            spec["bench"], spec["input"], config_by_name(spec["config"]),
+            spec["n_candidates"], spec["mask"], spec["baseline_ipc"])
     return None
 
 

@@ -1,0 +1,144 @@
+"""Backend parity: the dir walk and the SQLite manifest must be two
+indexes over one store, never two stores.
+
+Every test writes through :class:`ArtifactStore` so keys, pickling, and
+sidecar content go through the production path, then checks that both
+backends answer maintenance queries identically and that the blob
+layout stays byte-identical (a store directory must remain readable by
+either backend and by older checkouts).
+"""
+
+import json
+
+import pytest
+
+from repro.dist.sqlite_store import (
+    MANIFEST_NAME, SqliteManifestBackend, compare_backends,
+)
+from repro.exec.store import (
+    ArtifactStore, DirBackend, iter_sidecars, make_backend,
+)
+
+SALT = "t" * 16
+
+
+def _fill(store, n=6):
+    for i in range(n):
+        kind = "trace" if i % 2 else "plan"
+        store.put(store.key(kind, {"i": i}), {"value": i}, kind, {"i": i})
+
+
+class TestParity:
+    def test_same_artifacts_through_both_backends(self, tmp_path):
+        dir_store = ArtifactStore(tmp_path / "a", salt=SALT, backend="dir")
+        sql_store = ArtifactStore(tmp_path / "b", salt=SALT,
+                                  backend="sqlite")
+        _fill(dir_store)
+        _fill(sql_store)
+        # Identical keys (content addressing is backend-independent)...
+        dir_keys = sorted(k for k, _ in dir_store.backend.entries())
+        sql_keys = sorted(k for k, _ in sql_store.backend.entries())
+        assert dir_keys == sql_keys
+        # ...identical payload bytes and sidecar JSON (modulo `created`).
+        for key in dir_keys:
+            assert dir_store.backend.read(key) == sql_store.backend.read(key)
+            a = json.loads(dir_store.backend.sidecar_path(key).read_text())
+            b = json.loads(sql_store.backend.sidecar_path(key).read_text())
+            a.pop("created"), b.pop("created")
+            assert a == b
+
+    def test_summary_and_stats_agree(self, tmp_path):
+        store = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        _fill(store)
+        dir_view = DirBackend(tmp_path)
+        assert dir_view.summary() == store.backend.summary()
+
+    def test_prune_decisions_agree(self, tmp_path):
+        store = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        _fill(store)
+        # Kind-filtered prune through the manifest: the dir view of the
+        # same directory must see exactly the same survivors.
+        removed = store.prune(kinds=["trace"])
+        assert removed == 3
+        dir_view = DirBackend(tmp_path)
+        assert sorted(k for k, _ in dir_view.entries()) == \
+            sorted(k for k, _ in store.backend.entries())
+        assert set(dir_view.summary()) == {"plan"}
+
+    def test_cross_backend_read(self, tmp_path):
+        """A store written by one backend is fully readable by the other."""
+        writer = ArtifactStore(tmp_path, salt=SALT, backend="dir")
+        _fill(writer)
+        reader = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        for i in range(6):
+            kind = "trace" if i % 2 else "plan"
+            assert reader.get(reader.key(kind, {"i": i}), kind) == \
+                {"value": i}
+        assert reader.stats.misses == 0
+
+
+class TestMigration:
+    def test_lazy_reindex_on_open(self, tmp_path):
+        """Opening a dir-backend store with sqlite migrates automatically."""
+        writer = ArtifactStore(tmp_path, salt=SALT, backend="dir")
+        _fill(writer)
+        backend = SqliteManifestBackend(tmp_path)
+        assert (tmp_path / MANIFEST_NAME).exists()
+        assert sorted(k for k, _ in backend.entries()) == \
+            sorted(k for k, _ in iter_sidecars(tmp_path))
+        backend.close()
+
+    def test_forced_reindex_repairs_out_of_band_deletes(self, tmp_path):
+        store = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        _fill(store)
+        victim = next(iter(sorted(k for k, _ in store.backend.entries())))
+        # Delete behind the manifest's back, then rebuild.
+        store.backend.payload_path(victim).unlink()
+        store.backend.sidecar_path(victim).unlink()
+        rows = store.backend.reindex(force=True)
+        assert rows == 5
+        assert victim not in {k for k, _ in store.backend.entries()}
+
+    def test_manifest_is_derived_state(self, tmp_path):
+        store = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        _fill(store)
+        store.backend.close()
+        (tmp_path / MANIFEST_NAME).unlink()
+        reopened = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        assert reopened.backend.summary() == DirBackend(tmp_path).summary()
+
+
+class TestResolution:
+    def test_make_backend_names(self, tmp_path):
+        assert make_backend("dir", tmp_path).name == "dir"
+        sql = make_backend("sqlite", tmp_path)
+        assert sql.name == "sqlite"
+        sql.close()
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_backend("redis", tmp_path)
+
+    def test_store_backend_name_property(self, tmp_path):
+        assert ArtifactStore().backend_name == "memory"
+        assert ArtifactStore(tmp_path, backend="dir").backend_name == "dir"
+
+
+class TestCompare:
+    def test_compare_backends_agree_and_time(self, tmp_path):
+        store = ArtifactStore(tmp_path, salt=SALT, backend="dir")
+        _fill(store, n=10)
+        doc = compare_backends(tmp_path)
+        assert doc["artifacts"] == 10
+        assert doc["dir_stats_s"] > 0
+        assert doc["sqlite_stats_s"] > 0
+        assert set(doc["summary"]) == {"trace", "plan"}
+
+    def test_compare_backends_refuses_disagreement(self, tmp_path):
+        store = ArtifactStore(tmp_path, salt=SALT, backend="sqlite")
+        _fill(store)
+        store.backend.close()
+        # New sidecar the manifest has never seen, and no lazy reindex
+        # (the manifest is non-empty): the backends now disagree.
+        extra = ArtifactStore(tmp_path, salt="u" * 16, backend="dir")
+        extra.put(extra.key("plan", {"x": 1}), {"v": 1}, "plan", {"x": 1})
+        with pytest.raises(RuntimeError, match="disagreement"):
+            compare_backends(tmp_path)

@@ -1,0 +1,178 @@
+"""Serve hardening: bounded job table, bounded event logs, and client
+stream auto-resume across dropped connections."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.events import JobEventLog
+from repro.serve.server import ServeApp, ServerConfig
+
+BASELINE_SPEC = {"points": [{"kind": "baseline", "bench": "crc32",
+                             "config": "reduced", "input": "train"}]}
+
+
+def serve(state_dir, body, **overrides):
+    async def _main():
+        overrides.setdefault("quiet", True)
+        app = ServeApp(ServerConfig(state_dir=state_dir, **overrides))
+        await app.start()
+        try:
+            return await body(app, ServeClient(app.config.address,
+                                               client_id="test"))
+        finally:
+            await app.stop()
+    return asyncio.run(_main())
+
+
+class TestEventLogTruncation:
+    def test_window_drops_front_and_keeps_absolute_indexing(self):
+        log = JobEventLog({"label": "x"}, max_events=5)
+        for i in range(12):
+            log.instant(f"e{i}", "test")
+        assert len(log.events) == 5
+        assert log.truncated == 7
+        assert log.end == 12
+        assert [e["name"] for e in log.events] == \
+            [f"e{i}" for i in range(7, 12)]
+
+    def test_on_truncate_reports_drop_counts(self):
+        drops = []
+        log = JobEventLog({"label": "x"}, max_events=2)
+        log.on_truncate = drops.append
+        for i in range(5):
+            log.instant(f"e{i}", "test")
+        assert sum(drops) == 3
+
+    def test_stream_below_base_yields_one_marker(self):
+        log = JobEventLog({"label": "x"}, max_events=3)
+        for i in range(10):
+            log.instant(f"e{i}", "test")
+        log.close()
+
+        async def collect():
+            import json
+            return [json.loads(line) async for line in log.stream(0)]
+
+        records = asyncio.run(collect())
+        assert records[0] == {"label": "x"}         # manifest
+        marker = records[1]
+        assert marker["name"] == "events-truncated"
+        assert marker["args"] == {"dropped": 7, "next": 7}
+        assert [r["name"] for r in records[2:]] == \
+            [f"e{i}" for i in range(7, 10)]
+
+    def test_unbounded_by_default(self):
+        log = JobEventLog({"label": "x"})
+        for i in range(100):
+            log.instant(f"e{i}", "test")
+        assert len(log.events) == 100
+        assert log.truncated == 0
+
+
+class TestJobTableBounds:
+    def test_lru_eviction_beyond_max_results(self, tmp_path):
+        async def body(app, client):
+            first = await client.submit("fuzz", {"budget": 0.1})
+            await client.wait(first["id"], timeout=120)
+            second = await client.submit("fuzz", {"budget": 0.1})
+            await client.wait(second["id"], timeout=120)
+            # max_results=1: finishing the second evicts the first.
+            assert app.stats.results_evicted >= 1
+            with pytest.raises(ServeError) as exc:
+                await client.status(first["id"])
+            assert exc.value.status == 404
+            # The newest terminal job is still queryable.
+            doc = await client.status(second["id"])
+            assert doc["state"] == "done"
+            stats = await client.stats()
+            assert stats["results_evicted"] >= 1
+        serve(tmp_path, body, max_results=1)
+
+    def test_ttl_expiry_evicts_even_under_the_cap(self, tmp_path):
+        async def body(app, client):
+            first = await client.submit("fuzz", {"budget": 0.1})
+            await client.wait(first["id"], timeout=120)
+            await asyncio.sleep(0.25)
+            second = await client.submit("fuzz", {"budget": 0.1})
+            await client.wait(second["id"], timeout=120)
+            with pytest.raises(ServeError) as exc:
+                await client.status(first["id"])
+            assert exc.value.status == 404
+        serve(tmp_path, body, max_results=64, result_ttl=0.2)
+
+    def test_truncation_counter_and_marker_end_to_end(self, tmp_path):
+        async def body(app, client):
+            summary = await client.submit("experiment", BASELINE_SPEC)
+            await client.wait(summary["id"], timeout=240)
+            records = [r async for r in client.events(summary["id"])]
+            names = [r.get("name") for r in records]
+            assert "events-truncated" in names
+            assert app.stats.events_truncated > 0
+            doc = await client.metrics("json")
+            metric_names = {m["name"] for m in doc["metrics"]}
+            assert {"server.events_truncated",
+                    "server.results_evicted"} <= metric_names
+        serve(tmp_path, body, max_job_events=3)
+
+
+class _FlakyClient(ServeClient):
+    """Exposes the live stream connection so a test can cut it."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.last_writer = None
+        self.connections = 0
+
+    async def _connect(self):
+        reader, writer = await super()._connect()
+        self.last_writer = writer
+        self.connections += 1
+        return reader, writer
+
+
+class TestClientAutoResume:
+    def test_stream_survives_a_mid_read_connection_kill(self, tmp_path):
+        """Regression for satellite (b): kill the events connection
+        mid-stream; the client must reconnect with its cursor and the
+        reassembled stream must equal an unbroken replay — no gaps, no
+        duplicates, one manifest."""
+        async def body(app, client):
+            # A 2s blocker holds the single job slot, so the target job
+            # is still queued when the connection is cut: its terminal
+            # events cannot possibly arrive before the reconnect.
+            blocker = await client.submit("fuzz", {"budget": 2.0})
+            target = await client.submit("fuzz", {"budget": 0.2})
+            flaky = _FlakyClient(app.config.address, client_id="test")
+            records, cut = [], False
+            async for record in flaky.events(target["id"]):
+                records.append(record)
+                if len(records) == 2 and not cut:
+                    cut = True
+                    # Abort the transport under the suspended reader —
+                    # the same failure as a dropped network link.
+                    flaky.last_writer.transport.abort()
+            assert cut
+            assert flaky.connections >= 2      # it really reconnected
+            replay = [r async for r in client.events(target["id"])]
+            assert records == replay
+            await client.wait(blocker["id"], timeout=120)
+        serve(tmp_path, body, job_slots=1)
+
+    def test_exhausted_retries_raise(self, tmp_path):
+        async def body(app, client):
+            summary = await client.submit("fuzz", {"budget": 0.1})
+            await client.wait(summary["id"], timeout=120)
+            address = app.config.address
+            return summary["id"], address
+
+        job_id, address = serve(tmp_path, body)
+
+        async def dead_server():
+            client = ServeClient(address, client_id="test")
+            with pytest.raises((ConnectionError, OSError)):
+                async for _record in client.events(job_id, retries=1,
+                                                   backoff=0.01):
+                    pass
+        asyncio.run(dead_server())
