@@ -307,6 +307,27 @@ def _cmd_bench(args) -> int:
         DEFAULT_BENCHMARKS, DEFAULT_SELECTORS, QUICK_BENCHMARKS,
         QUICK_SELECTORS, check_against, load_report, run_bench, write_report,
     )
+    if args.batch:
+        from .harness.bench import (
+            check_batch_report, run_batch_bench, write_batch_report,
+        )
+        benchmarks = list(args.benchmarks or
+                          (QUICK_BENCHMARKS if args.quick
+                           else DEFAULT_BENCHMARKS))
+        label = "batch" if args.label == "local" else args.label
+        report = run_batch_bench(
+            benchmarks, threads=args.batch_threads, label=label,
+            log=lambda line: print(line, file=sys.stderr))
+        print(report.render())
+        path = write_batch_report(report, args.out)
+        print(f"wrote {path}")
+        failures = check_batch_report(report,
+                                      min_speedup=args.min_speedup)
+        if failures:
+            for failure in failures:
+                print(f"bench: FAIL {failure}", file=sys.stderr)
+            return 1
+        return 0
     if args.quick:
         benchmarks = list(args.benchmarks or QUICK_BENCHMARKS)
         selectors = list(args.selectors or QUICK_SELECTORS)
@@ -532,7 +553,8 @@ def _cmd_serve(args) -> int:
         max_queued=args.max_queued, max_running=args.max_running,
         budget=args.budget, quiet=args.quiet,
         max_results=args.max_results, result_ttl=args.result_ttl,
-        max_job_events=args.max_job_events, dispatch=args.dispatch)
+        max_job_events=args.max_job_events, dispatch=args.dispatch,
+        batch_threads=args.batch_threads)
     return asyncio.run(serve_forever(config))
 
 
@@ -733,6 +755,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--telemetry", default=None, metavar="PATH",
                          help="write run telemetry JSONL to PATH "
                               "(bench spans + runner phases)")
+    p_bench.add_argument("--batch", action="store_true",
+                         help="benchmark batched native dispatch against "
+                              "per-point process dispatch; writes "
+                              "BENCH_batch.json")
+    p_bench.add_argument("--batch-threads", type=int, default=0,
+                         help="C threads for --batch (default: auto)")
+    p_bench.add_argument("--min-speedup", type=float, default=3.0,
+                         help="--batch gate: batched dispatch must beat "
+                              "per-point by this factor (default 3.0)")
     _add_cache_flags(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)
 
@@ -847,6 +878,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--dispatch", default=None, metavar="SPEC",
                          help="run DAGs on a worker fleet: workers:HOST"
                               ":PORT (workers join with 'repro worker')")
+    p_serve.add_argument("--batch-threads", type=int, default=0,
+                         help="batched native dispatch for single-process "
+                              "jobs: each wave of timing points runs as "
+                              "one C call over N threads (0 = off)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_submit = sub.add_parser(

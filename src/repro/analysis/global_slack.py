@@ -24,21 +24,32 @@ instead of the local profile to get the paper's "global" strawman.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..isa.program import Program
 from ..minigraph.slack import SLACK_CAP, ProfileEntry, SlackCollector, \
     SlackProfile
+from ..pipeline.ckern import (
+    TAP_CONSUME as _TAP_CONSUME,
+    TAP_FLAG_GLOBAL,
+    TAP_ISSUE as _TAP_ISSUE,
+    TAP_REDIRECT as _TAP_REDIRECT,
+    TAP_VALUE as _TAP_VALUE,
+)
 
 
 class GlobalSlackCollector(SlackCollector):
     """Like :class:`SlackCollector`, but the profile's ``slack`` field
     holds *global* slack (capped at :data:`SLACK_CAP` for comparability)."""
 
-    #: Global slack propagates along full consumer chains, which the
-    #: packed event tap does not record — this collector still needs the
-    #: Python reference loop's in-order callbacks.
-    supports_ckern_tap = False
+    #: Global slack propagates along full consumer chains; the packed
+    #: event tap records them (CONSUME carries the consumer's record
+    #: index, and TAP_FLAG_GLOBAL opts into per-singleton TAP_VALUE
+    #: records with the value-ready/complete times the backward DP
+    #: needs), so these runs ride the compiled kernel too.
+    supports_ckern_tap = True
+    #: Extra record families this collector needs the kernel to emit.
+    ckern_tap_flags = TAP_FLAG_GLOBAL
 
     def __init__(self, program: Program, config_name: str = "",
                  input_name: str = "default"):
@@ -47,6 +58,10 @@ class GlobalSlackCollector(SlackCollector):
         # producer uop id -> list of (consumer uop, consume cycle)
         self._consumers: Dict[int, List[Tuple[object, int]]] = {}
         self._redirected: set = set()
+        # Decoded kernel-tap state (set by ingest_ckern_tap); when
+        # present, global_profile() rebuilds from it instead of the
+        # in-loop callback state above.
+        self._tap_global: Optional[tuple] = None
 
     # -- core callbacks (extend the local collector's) ----------------------
 
@@ -61,6 +76,111 @@ class GlobalSlackCollector(SlackCollector):
         super().on_redirect(uop, resolve_cycle)
         self._redirected.add(id(uop))
 
+    # -- post-hoc decode of the compiled kernel's event tap -----------------
+
+    def ingest_ckern_tap(self, packed, events, n_words: int,
+                         n_committed: int) -> None:
+        """Rebuild local *and* global state from the packed event log.
+
+        The base decode rebuilds the local-slack accumulators. The
+        second pass here replays dynamic-instance identity — an ISSUE
+        event bumps its record's generation counter, exactly as a
+        refetched ``Uop`` gets a fresh ``id()`` — and collects what the
+        in-loop callbacks would have kept:
+
+        * CONSUME ``(producer ix, a = cycle - ready, b = consumer ix)``
+          appends ``(consumer instance, sample)`` to the producer's
+          *current* instance, the live uop at consume time. A sample
+          recorded against an instance that is later squashed and
+          re-issued is orphaned, just like the stale ``id()`` key. The
+          two-level ready the kernel baked into ``a`` equals the DP's
+          three-level ``_value_ready`` for every sampled producer: a
+          consumed value is either a register value or a store forward.
+        * REDIRECT marks the current instance mispredicted.
+        * TAP_VALUE (one per singleton issue) carries the three-level
+          value-ready time and the completion cycle; the last record
+          per ix belongs to the committed instance.
+        """
+        super().ingest_ckern_tap(packed, events, n_words, n_committed)
+        n = packed.n
+        gen = [0] * n
+        consumers: Dict[Tuple[int, int], list] = {}
+        redirected = set()
+        value_ready = [0] * n
+        complete = [0] * n
+        consume, issue = _TAP_CONSUME, _TAP_ISSUE
+        redirect, value = _TAP_REDIRECT, _TAP_VALUE
+        i = 0
+        while i < n_words:
+            w0 = events[i]
+            tag = w0 & 15
+            ix = w0 >> 4
+            if tag == consume:
+                b = events[i + 2]
+                consumers.setdefault((ix, gen[ix]), []).append(
+                    (b, gen[b], events[i + 1]))
+            elif tag == issue:
+                gen[ix] += 1
+            elif tag == value:
+                value_ready[ix] = events[i + 1]
+                complete[ix] = events[i + 2]
+            elif tag == redirect:
+                redirected.add((ix, gen[ix]))
+            i += 3
+        self._tap_global = (packed, gen, consumers, redirected,
+                            value_ready, complete, n_committed)
+
+    def _global_profile_from_tap(self) -> SlackProfile:
+        """The backward DP over decoded tap state — statement for
+        statement the in-loop :meth:`global_profile`, with ``(ix, gen)``
+        instance keys standing in for uop identities (same float-op
+        order, so the result is bit-identical)."""
+        (packed, gen, consumers, redirected, value_ready, complete,
+         n_committed) = self._tap_global
+        kinds = packed.kind
+        pcs = packed.pc
+        # Commits retire in trace order: the committed instances are the
+        # last-issued instances of the first n_committed records, and
+        # on_commit only ever saw singletons.
+        committed = [ix for ix in range(n_committed) if not kinds[ix]]
+        if not committed:
+            return SlackProfile(self.program.name, self.config_name,
+                                self.input_name, {})
+        end_time = max(complete[ix] for ix in committed)
+        cap_f = float(SLACK_CAP)
+        global_slack: Dict[Tuple[int, int], float] = {}
+        # Consumers are always younger: process youngest-first.
+        for ix in reversed(committed):
+            inst = (ix, gen[ix])
+            if inst in redirected:
+                global_slack[inst] = 0.0
+                continue
+            samples = consumers.get(inst)
+            if not samples:
+                g = float(end_time - value_ready[ix])
+            else:
+                g = min(sample + global_slack.get((cix, cgen), cap_f)
+                        for cix, cgen, sample in samples)
+            global_slack[inst] = max(0.0, g)
+
+        local = self.profile()
+        sums: Dict[int, float] = {}
+        mins: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for ix in committed:
+            g = min(global_slack[(ix, gen[ix])], cap_f)
+            pc = pcs[ix]
+            sums[pc] = sums.get(pc, 0.0) + g
+            mins[pc] = min(mins.get(pc, cap_f), g)
+            counts[pc] = counts.get(pc, 0) + 1
+        entries: Dict[int, ProfileEntry] = {}
+        for pc, entry in local.entries.items():
+            entries[pc] = ProfileEntry(
+                pc, entry.count, entry.rel_issue, entry.src_ready,
+                entry.out_ready, sums[pc] / counts[pc], int(mins[pc]))
+        return SlackProfile(self.program.name, self.config_name,
+                            self.input_name, entries)
+
     # -- global slack -------------------------------------------------------
 
     def _value_ready(self, uop) -> int:
@@ -73,6 +193,8 @@ class GlobalSlackCollector(SlackCollector):
 
     def global_profile(self) -> SlackProfile:
         """Backward-DP global slack, aggregated per static instruction."""
+        if self._tap_global is not None:
+            return self._global_profile_from_tap()
         self.on_finish()
         if not self._committed:
             return SlackProfile(self.program.name, self.config_name,

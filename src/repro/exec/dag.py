@@ -134,12 +134,22 @@ class Scheduler:
                  backoff: float = 0.1, timeout: Optional[float] = None,
                  on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
                  pool: Optional[ProcessPoolExecutor] = None,
-                 dispatch: Optional[DispatchBackend] = None):
+                 dispatch: Optional[DispatchBackend] = None,
+                 threads: int = 0):
         self.jobs = max(1, int(jobs))
         self.retries = retries
         self.backoff = backoff
         self.timeout = timeout
         self.on_event = on_event
+        #: Batched native dispatch (``--jobs threads:N``). When set (and
+        #: ``jobs == 1``), each wave of ready timing nodes is packed into
+        #: one ``repro_run_batch`` call that fans the points over N C
+        #: threads — in-process, so no persistent store or pickling is
+        #: needed, and results are bit-identical to serial execution
+        #: (see :mod:`repro.exec.batch`). Non-batchable nodes and any
+        #: point the kernel cannot finish run through the ordinary
+        #: serial path with the same retry policy.
+        self.threads = max(0, int(threads))
         #: Optional externally-owned process pool. When set, parallel
         #: runs submit into it instead of spawning a private pool —
         #: ``jobs`` still caps *this* scheduler's in-flight tasks, so
@@ -214,7 +224,9 @@ class Scheduler:
 
         report = ExecReport()
         start = time.perf_counter()
-        if self.jobs == 1:
+        if self.jobs == 1 and self.threads:
+            self._run_batched(table, order, report)
+        elif self.jobs == 1:
             self._run_serial(table, order, report)
         else:
             self._run_parallel(table, order, report)
@@ -282,6 +294,51 @@ class Scheduler:
                 self._skip_for_deps(task, report, table)
                 continue
             self._run_one_serial(task, table, report)
+
+    def _run_batched(self, table: Dict[str, Task], order: List[str],
+                     report: ExecReport) -> None:
+        """Wave-at-a-time execution with one native dispatch per wave.
+
+        Each pass collects every ready task; the batchable ones (timing
+        runs on the compiled kernel) go through a single
+        ``repro_run_batch`` call over ``self.threads`` C threads, the
+        rest — and any point the kernel could not finish — run through
+        :meth:`_run_one_serial` so failures keep the exact serial retry
+        and error-reporting behavior.
+        """
+        from .batch import is_batchable, run_batch_wave
+        pending: List[str] = list(order)
+        while pending:
+            ready: List[str] = []
+            blocked: List[str] = []
+            for tid in pending:
+                task = table[tid]
+                if any(dep in report.failures for dep in task.deps):
+                    self._skip_for_deps(task, report, table)
+                elif self._deps_ok(task, report):
+                    ready.append(tid)
+                else:
+                    blocked.append(tid)
+            if not ready:
+                if len(blocked) == len(pending):
+                    # No skips, no ready work: unreachable for an acyclic
+                    # graph, but never spin — finish serially.
+                    self._run_serial(table, order, report, only=blocked)
+                    return
+                pending = blocked
+                continue
+            wave = [table[tid] for tid in ready if is_batchable(table[tid])]
+            done = run_batch_wave(wave, self.threads) if len(wave) > 1 \
+                else {}
+            for tid in ready:
+                task = table[tid]
+                if tid in done:
+                    result, duration = done[tid]
+                    self._record(task, result, duration, report)
+                    self._emit("done", task, self._state(table, report))
+                else:
+                    self._run_one_serial(task, table, report)
+            pending = blocked
 
     def _run_parallel(self, table: Dict[str, Task], order: List[str],
                       report: ExecReport) -> None:

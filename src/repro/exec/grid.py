@@ -28,6 +28,27 @@ from .dag import ExecReport, Scheduler, Task
 Spec = Tuple[Tuple[str, Any], ...]
 
 
+def parse_jobs(spec) -> Tuple[int, int]:
+    """``--jobs`` value → ``(jobs, threads)``.
+
+    ``"4"`` (or ``4``) is the classic process fan-out: ``(4, 0)``.
+    ``"threads:8"`` selects batched native dispatch — ``(1, 8)``: the
+    scheduler stays serial and in-process, but each wave of ready
+    timing nodes becomes one ``repro_run_batch`` call over 8 C threads
+    (see :mod:`repro.exec.batch`). Bare ``"threads"`` uses one thread
+    per CPU.
+    """
+    if isinstance(spec, int):
+        return max(1, spec), 0
+    text = str(spec).strip()
+    if text == "threads":
+        import os
+        return 1, max(1, os.cpu_count() or 1)
+    if text.startswith("threads:"):
+        return 1, max(1, int(text.split(":", 1)[1]))
+    return max(1, int(text)), 0
+
+
 def _freeze(spec: Optional[Dict[str, Any]]) -> Spec:
     return tuple(sorted((spec or {}).items(),
                         key=lambda item: item[0]))
@@ -293,7 +314,8 @@ def run_points(runner, points: Sequence[Point], jobs: int,
                check: bool = False,
                ledger=None,
                dispatch=None,
-               tasks: Optional[List[Task]] = None) -> ExecReport:
+               tasks: Optional[List[Task]] = None,
+               threads: int = 0) -> ExecReport:
     """Prewarm the runner's store by executing the point DAG in parallel.
 
     Requires a persistent store when ``jobs > 1`` — worker processes can
@@ -315,7 +337,15 @@ def run_points(runner, points: Sequence[Point], jobs: int,
     workers. Remote dispatch skips shm publishing — a worker on another
     host cannot attach this process's segments — and rehydrates traces
     through the shared store instead.
+
+    ``threads`` (from ``--jobs threads:N``, see :func:`parse_jobs`)
+    selects batched native dispatch instead of process fan-out: the
+    whole run stays in this process (no persistent store, no shm, no
+    pickling) and each scheduler wave of ready timing nodes becomes one
+    ``repro_run_batch`` call over N C threads.
     """
+    if threads > 0:
+        jobs = 1
     if jobs > 1 and not runner.store.persistent:
         raise ValueError(
             "parallel execution needs a persistent store: construct the "
@@ -332,7 +362,8 @@ def run_points(runner, points: Sequence[Point], jobs: int,
         on_event = ledger.sink(on_event)
     try:
         scheduler = Scheduler(jobs=jobs, retries=retries, timeout=timeout,
-                              on_event=on_event, dispatch=dispatch)
+                              on_event=on_event, dispatch=dispatch,
+                              threads=threads)
         if tasks is None:
             tasks = build_tasks(points, runner, check=check,
                                 shm_traces=shm_traces)

@@ -111,6 +111,33 @@ def selector_from_spec(spec: Dict[str, Any]):
     raise ValueError(f"unknown selector spec {spec!r}")
 
 
+# -- result summaries ----------------------------------------------------------
+#
+# The small dicts tasks return over the result pipe. Shared with the
+# batched native dispatcher (:mod:`repro.exec.batch`), which publishes
+# artifacts directly and must hand the scheduler summaries that are
+# indistinguishable from a task function's.
+
+def baseline_summary(stats) -> Dict[str, Any]:
+    """Summary shape of :func:`run_baseline`."""
+    return {"ipc": stats.ipc}
+
+
+def profile_summary(profile) -> Dict[str, Any]:
+    """Summary shape of :func:`run_profile`."""
+    return {"entries": len(profile)}
+
+
+def timing_summary(run) -> Dict[str, Any]:
+    """Summary shape of :func:`run_timing` for selector/dynamic points."""
+    return {"ipc": run.ipc, "coverage": run.coverage}
+
+
+def timing_baseline_summary(stats) -> Dict[str, Any]:
+    """Summary shape of :func:`run_timing` for ``baseline`` grid points."""
+    return {"ipc": stats.ipc, "coverage": 0.0}
+
+
 # -- pipeline-stage tasks ------------------------------------------------------
 
 def run_trace(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -129,7 +156,7 @@ def run_baseline(spec: Dict[str, Any]) -> Dict[str, Any]:
     """Singleton timing run on the named machine configuration."""
     stats = _runner(spec).baseline(spec["bench"], _config(spec["config"]),
                                    spec["input"])
-    return {"ipc": stats.ipc}
+    return baseline_summary(stats)
 
 
 def run_profile(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -137,7 +164,7 @@ def run_profile(spec: Dict[str, Any]) -> Dict[str, Any]:
     profile = _runner(spec).slack_profile(
         spec["bench"], _config(spec["config"]), spec["input"],
         global_slack=spec.get("global_slack", False))
-    return {"entries": len(profile)}
+    return profile_summary(profile)
 
 
 def run_plan(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -164,7 +191,7 @@ def run_timing(spec: Dict[str, Any]) -> Dict[str, Any]:
     elif spec["point_kind"] == "baseline":
         stats = runner.baseline(spec["bench"], _config(spec["config"]),
                                 spec["input"])
-        return {"ipc": stats.ipc, "coverage": 0.0}
+        return timing_baseline_summary(stats)
     else:
         run = runner.run_selector(
             spec["bench"], selector_from_spec(spec["selector"]),
@@ -173,7 +200,7 @@ def run_timing(spec: Dict[str, Any]) -> Dict[str, Any]:
             if spec.get("profile_config") else None,
             profile_input=spec.get("profile_input"),
             global_slack=spec.get("global_slack", False))
-    return {"ipc": run.ipc, "coverage": run.coverage}
+    return timing_summary(run)
 
 
 class CheckFailed(RuntimeError):

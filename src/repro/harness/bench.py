@@ -270,6 +270,207 @@ def load_report(path) -> BenchReport:
     return report
 
 
+# -- batched-dispatch bench ---------------------------------------------------
+#
+# ``repro bench --batch`` measures what the batched native dispatcher
+# buys over the pre-existing per-point process dispatch: the same
+# benchmark x config matrix is run once as one-task-per-point through a
+# ProcessPoolExecutor (spec pickling, worker-side trace rehydration,
+# result round-trip — the real ``--jobs N`` cost per timing point) and
+# once as a single ``repro_run_batch`` call over the same number of C
+# threads. Both sides simulate identical work (asserted on committed
+# instruction counts), so aggregate KIPS is directly comparable and the
+# ratio is pure dispatch overhead. CI gates the committed
+# ``BENCH_batch.json`` with :func:`check_batch_report`.
+
+BATCH_SCHEMA_VERSION = 1
+
+#: Both record-stream shapes the batch path serves: plain singleton
+#: timing runs, and tap-observed profiling runs (SlackCollector riding
+#: the kernel's event tap).
+BATCH_MODES = ("unobserved", "observed")
+
+
+@dataclass
+class BatchBenchMode:
+    """One mode's per-point-vs-batched comparison."""
+
+    mode: str
+    points: int
+    instructions: int
+    perpoint_wall_s: float
+    batch_wall_s: float
+    perpoint_kips: float
+    batch_kips: float
+    speedup: float
+
+
+@dataclass
+class BatchBenchReport:
+    """Serialized to ``BENCH_batch.json``."""
+
+    label: str = "batch"
+    schema: int = BATCH_SCHEMA_VERSION
+    created: str = ""
+    python: str = ""
+    platform: str = ""
+    threads: int = 0
+    modes: List[BatchBenchMode] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        lines = [f"{'mode':<12s} {'points':>6s} {'perpoint':>10s} "
+                 f"{'batched':>10s} {'speedup':>8s}   (KIPS, "
+                 f"{self.threads} threads)"]
+        for m in self.modes:
+            lines.append(f"{m.mode:<12s} {m.points:>6d} "
+                         f"{m.perpoint_kips:>10.1f} {m.batch_kips:>10.1f} "
+                         f"{m.speedup:>7.1f}x")
+        return "\n".join(lines)
+
+
+#: Per-worker runner cache (mirrors ``repro.exec.tasks._RUNNERS``): the
+#: per-point baseline gets the same intra-worker memoization the real
+#: process path enjoys, so the comparison is not rigged against it.
+_DISPATCH_RUNNERS: Dict[str, Runner] = {}
+
+
+def _dispatch_point(spec: Dict) -> int:
+    """One per-point dispatch unit: rebuild state, run, return insts."""
+    cache_dir = spec["cache_dir"]
+    runner = _DISPATCH_RUNNERS.get(cache_dir)
+    if runner is None:
+        from ..exec.store import ArtifactStore
+        runner = Runner(store=ArtifactStore(cache_dir))
+        _DISPATCH_RUNNERS[cache_dir] = runner
+    config = config_by_name(spec["config"])
+    records = _prepare_point(runner, spec["bench"], spec["selector"])
+    core = _make_core(runner, spec["bench"], spec["selector"], records,
+                      config)
+    return core.run().original_committed
+
+
+def run_batch_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                    threads: int = 0,
+                    label: str = "batch",
+                    log: Optional[Callable[[str], None]] = None
+                    ) -> BatchBenchReport:
+    """Per-point process dispatch vs one batched native call."""
+    import os
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+
+    from ..pipeline import ckern
+    if not ckern.available():
+        raise RuntimeError("batch bench needs the compiled kernel "
+                           "(C compiler available, REPRO_PURE_PY unset)")
+    if threads <= 0:
+        threads = max(1, min(8, (os.cpu_count() or 2) - 1))
+    report = BatchBenchReport(
+        label=label,
+        created=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        python=platform.python_version(),
+        platform=f"{platform.system()}-{platform.machine()}",
+        threads=threads)
+    configs = ("reduced", "full")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        from ..exec.store import ArtifactStore
+        runner = Runner(store=ArtifactStore(scratch))
+        for bench in benchmarks:
+            runner.trace(bench)  # shared persistent prewarm (both sides)
+        for mode in BATCH_MODES:
+            selector = "none" if mode == "unobserved" else "observed"
+            specs = [{"cache_dir": scratch, "bench": bench,
+                      "config": config, "selector": selector}
+                     for bench in benchmarks for config in configs]
+
+            start = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=threads) as pool:
+                perpoint_insts = sum(pool.map(_dispatch_point, specs))
+            perpoint_wall = time.perf_counter() - start
+
+            cores = [_make_core(runner, spec["bench"], spec["selector"],
+                                _prepare_point(runner, spec["bench"],
+                                               spec["selector"]),
+                                config_by_name(spec["config"]))
+                     for spec in specs]
+            entries = [core.kernel_batch_entry(200_000_000)
+                       for core in cores]
+            start = time.perf_counter()
+            results = ckern.run_batch(entries, threads)
+            batch_wall = time.perf_counter() - start
+            batch_insts = 0
+            for core, point in zip(cores, results):
+                stats = core.apply_kernel_result(*point)
+                if stats is None:
+                    raise RuntimeError("batched point fell back mid-bench")
+                batch_insts += stats.original_committed
+            if batch_insts != perpoint_insts:
+                raise RuntimeError(
+                    f"{mode}: batched work diverged from per-point "
+                    f"({batch_insts} != {perpoint_insts} instructions)")
+
+            entry = BatchBenchMode(
+                mode=mode, points=len(specs), instructions=batch_insts,
+                perpoint_wall_s=perpoint_wall, batch_wall_s=batch_wall,
+                perpoint_kips=perpoint_insts / perpoint_wall / 1e3
+                if perpoint_wall else 0.0,
+                batch_kips=batch_insts / batch_wall / 1e3
+                if batch_wall else 0.0,
+                speedup=perpoint_wall / batch_wall if batch_wall else 0.0)
+            report.modes.append(entry)
+            if log is not None:
+                log(f"[bench] batch/{mode}: {entry.batch_kips:.1f} KIPS "
+                    f"batched vs {entry.perpoint_kips:.1f} per-point "
+                    f"({entry.speedup:.1f}x, {len(specs)} points)")
+    return report
+
+
+def write_batch_report(report: BatchBenchReport,
+                       out_dir: Path = Path(".")) -> Path:
+    """Write ``BENCH_<label>.json`` for a batch report."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report.label}.json"
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_batch_report(path) -> BatchBenchReport:
+    """Load a batch report back from JSON."""
+    with open(path) as handle:
+        data = json.load(handle)
+    modes = [BatchBenchMode(**m) for m in data.pop("modes", [])]
+    known = set(BatchBenchReport.__dataclass_fields__)
+    report = BatchBenchReport(
+        **{k: v for k, v in data.items() if k in known})
+    report.modes = modes
+    return report
+
+
+def check_batch_report(report: BatchBenchReport,
+                       min_speedup: float = 3.0) -> List[str]:
+    """Gate: batched dispatch must beat per-point by ``min_speedup``.
+
+    Applied to both modes — the tap-observed batch pays event-buffer
+    allocation and post-hoc decode, and must still clear the bar.
+    """
+    failures: List[str] = []
+    if not report.modes:
+        return ["batch report has no modes"]
+    for mode in report.modes:
+        if mode.speedup < min_speedup:
+            failures.append(
+                f"{mode.mode}: batched dispatch only {mode.speedup:.2f}x "
+                f"per-point (gate {min_speedup:.1f}x, "
+                f"{mode.batch_kips:.1f} vs {mode.perpoint_kips:.1f} KIPS)")
+    return failures
+
+
 def check_against(current: BenchReport, baseline: BenchReport,
                   tolerance: float = 0.20) -> List[str]:
     """Regression-gate ``current`` against a committed ``baseline``.

@@ -384,9 +384,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="draw terminal S-curve plots per group")
     parser.add_argument("--budget", type=int, default=512,
                         help="MGT template budget")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=str, default="1",
                         help="worker processes for the experiment grid "
-                             "(1 = serial in-process)")
+                             "(1 = serial in-process), or 'threads:N' for "
+                             "batched native dispatch: each wave of ready "
+                             "timing points runs as one C call over N "
+                             "threads (in-process, no persistent store "
+                             "needed; see docs/performance.md)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the scheduler progress stream on "
                              "stderr (telemetry, if enabled, still "
@@ -425,8 +429,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     import sys as _sys
 
     from ..exec import ArtifactStore, ProgressPrinter, resolve_cache_dir
-    from ..exec.grid import run_points
+    from ..exec.grid import parse_jobs, run_points
 
+    try:
+        jobs, threads = parse_jobs(args.jobs)
+    except ValueError:
+        print(f"experiments: bad --jobs value {args.jobs!r} "
+              "(expected N or threads:N)", file=_sys.stderr)
+        return 2
     cache_dir = resolve_cache_dir(args.cache_dir, args.no_cache)
     if args.ledger and args.experiment == "all":
         print("experiments: --ledger needs a single figure (one ledger "
@@ -438,7 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=_sys.stderr)
         return 2
     scratch = None
-    if args.jobs > 1 and cache_dir is None:
+    if jobs > 1 and cache_dir is None:
         # Workers hand artifacts back through the store, so parallel
         # execution needs a disk layer even when the user asked for no
         # persistent cache; use a run-scoped scratch directory.
@@ -451,7 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner = Runner(budget=args.budget,
                     store=ArtifactStore(cache_dir,
                                         backend=args.store_backend),
-                    jobs=args.jobs)
+                    jobs=jobs)
     telemetry = None
     if args.telemetry:
         from ..obs.telemetry import (attach_store_telemetry, run_manifest,
@@ -467,7 +477,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         for name in names:
             start = time.time()
-            if args.jobs > 1 or args.check or args.ledger or args.dispatch:
+            if jobs > 1 or threads or args.check or args.ledger \
+                    or args.dispatch:
                 points = grid_points(name, benches)
                 if points:
                     from ..exec.dag import TaskError
@@ -483,19 +494,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                             args.ledger, runner,
                             workload_for_points(points, check=args.check,
                                                 label=name),
-                            extra={"jobs": args.jobs})
+                            extra={"jobs": jobs})
                     dispatch = None
                     if args.dispatch:
                         from ..dist.dispatch import make_dispatch
                         dispatch = make_dispatch(args.dispatch,
-                                                 jobs=args.jobs)
+                                                 jobs=jobs)
                     try:
-                        report = run_points(runner, points, jobs=args.jobs,
+                        report = run_points(runner, points, jobs=jobs,
                                             on_event=on_event,
                                             check=args.check,
                                             raise_on_failure=args.check,
                                             ledger=ledger,
-                                            dispatch=dispatch)
+                                            dispatch=dispatch,
+                                            threads=threads)
                     except TaskError as error:
                         print(f"experiments: check failed: {error}",
                               file=_sys.stderr)

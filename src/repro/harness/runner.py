@@ -238,6 +238,82 @@ class Runner:
 
     # -- timing runs --------------------------------------------------------------
 
+    # -- prepared (core, finalize) pairs ---------------------------------------
+    #
+    # Each ``*_prepared`` helper materializes every upstream artifact,
+    # constructs the timing core *without running it*, and returns a
+    # ``finalize(stats)`` closure that turns a finished run's stats into
+    # the store artifact. The serial computes below are thin wrappers
+    # (``finalize(core.run())``), and the batched executor
+    # (:mod:`repro.exec.batch`) drives the same cores through one native
+    # ``repro_run_batch`` call — the two paths cannot disagree on how a
+    # point is set up or summarized because there is only one setup path.
+
+    def baseline_prepared(self, bench, config: MachineConfig,
+                          input_name: str = DEFAULT_INPUT):
+        """``(core, finalize)`` for one singleton timing run."""
+        bench = self._bench(bench)
+        trace = self.trace(bench, input_name)
+        core = OoOCore(config, trace.packed(), warm_caches=self.warm_caches)
+
+        def finalize(stats: RunStats) -> RunStats:
+            stats.program_name = bench.name
+            return stats
+
+        return core, finalize
+
+    def profile_prepared(self, bench, config: MachineConfig,
+                         input_name: str = DEFAULT_INPUT,
+                         global_slack: bool = False):
+        """``(core, finalize)`` for one slack-profiling run."""
+        bench = self._bench(bench)
+        trace = self.trace(bench, input_name)
+        if global_slack:
+            from ..analysis.global_slack import GlobalSlackCollector
+            collector = GlobalSlackCollector(
+                bench.program(input_name), config_name=config.name,
+                input_name=input_name)
+        else:
+            collector = SlackCollector(bench.program(input_name),
+                                       config_name=config.name,
+                                       input_name=input_name)
+        core = OoOCore(config, trace.packed(), collector=collector,
+                       warm_caches=self.warm_caches)
+
+        def finalize(stats: RunStats) -> SlackProfile:
+            stats.program_name = bench.name
+            return collector.global_profile() if global_slack \
+                else collector.profile()
+
+        return core, finalize
+
+    def selector_prepared(self, bench, selector: Selector,
+                          config: MachineConfig,
+                          input_name: str = DEFAULT_INPUT,
+                          profile_config: Optional[MachineConfig] = None,
+                          profile_input: Optional[str] = None,
+                          global_slack: bool = False,
+                          label: Optional[str] = None,
+                          policy: Optional[MiniGraphPolicy] = None):
+        """``(core, finalize)`` for one selector timing run (plan, trace
+        fold, and core construction — everything but the cycle loop)."""
+        bench = self._bench(bench)
+        plan = self.plan(bench, selector, input_name=input_name,
+                         profile_config=profile_config,
+                         profile_input=profile_input,
+                         global_slack=global_slack)
+        trace = self.trace(bench, input_name)
+        records = fold_trace(trace, plan)
+        core = OoOCore(config, records, policy=policy,
+                       warm_caches=self.warm_caches)
+
+        def finalize(stats: RunStats) -> SelectorRun:
+            stats.program_name = bench.name
+            return SelectorRun(bench.name, label or selector.name,
+                               config.name, stats, plan)
+
+        return core, finalize
+
     def baseline(self, bench, config: MachineConfig,
                  input_name: str = DEFAULT_INPUT) -> RunStats:
         """Singleton (no mini-graphs) timing run."""
@@ -245,12 +321,9 @@ class Runner:
         params = self.baseline_params(bench.name, config, input_name)
 
         def compute() -> RunStats:
-            trace = self.trace(bench, input_name)
-            core = OoOCore(config, trace.packed(),
-                           warm_caches=self.warm_caches)
-            stats = core.run()
-            stats.program_name = bench.name
-            return stats
+            core, finalize = self.baseline_prepared(bench, config,
+                                                    input_name)
+            return finalize(core.run())
 
         return self.store.get_or_compute("baseline", params, compute)
 
@@ -268,22 +341,9 @@ class Runner:
                                      global_slack)
 
         def compute() -> SlackProfile:
-            trace = self.trace(bench, input_name)
-            if global_slack:
-                from ..analysis.global_slack import GlobalSlackCollector
-                collector = GlobalSlackCollector(
-                    bench.program(input_name), config_name=config.name,
-                    input_name=input_name)
-            else:
-                collector = SlackCollector(bench.program(input_name),
-                                           config_name=config.name,
-                                           input_name=input_name)
-            core = OoOCore(config, trace.packed(), collector=collector,
-                           warm_caches=self.warm_caches)
-            stats = core.run()
-            stats.program_name = bench.name
-            return collector.global_profile() if global_slack \
-                else collector.profile()
+            core, finalize = self.profile_prepared(bench, config, input_name,
+                                                   global_slack=global_slack)
+            return finalize(core.run())
 
         return self.store.get_or_compute("profile", params, compute)
 
@@ -371,18 +431,11 @@ class Runner:
     def _run_selector(self, bench, selector, config, input_name,
                       profile_config, profile_input, policy, global_slack,
                       label) -> SelectorRun:
-        plan = self.plan(bench, selector, input_name=input_name,
-                         profile_config=profile_config,
-                         profile_input=profile_input,
-                         global_slack=global_slack)
-        trace = self.trace(bench, input_name)
-        records = fold_trace(trace, plan)
-        core = OoOCore(config, records, policy=policy,
-                       warm_caches=self.warm_caches)
-        stats = core.run()
-        stats.program_name = bench.name
-        return SelectorRun(bench.name, label or selector.name, config.name,
-                           stats, plan)
+        core, finalize = self.selector_prepared(
+            bench, selector, config, input_name=input_name,
+            profile_config=profile_config, profile_input=profile_input,
+            global_slack=global_slack, label=label, policy=policy)
+        return finalize(core.run())
 
     def run_slack_dynamic(self, bench, config: MachineConfig,
                           mode: str = "full",

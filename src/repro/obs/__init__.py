@@ -26,9 +26,9 @@ from .attribution import (  # noqa: F401
 )
 from .metrics import (  # noqa: F401
     METRICS_SCHEMA, Counter, Gauge, Histogram, MetricsError,
-    MetricsRegistry, collect_activity, collect_branch, collect_core,
-    collect_exec_report, collect_hierarchy, collect_run, collect_store,
-    collect_storesets, run_registry, validate_metrics,
+    MetricsRegistry, collect_activity, collect_branch, collect_ckern,
+    collect_core, collect_exec_report, collect_hierarchy, collect_run,
+    collect_store, collect_storesets, run_registry, validate_metrics,
 )
 from .telemetry import (  # noqa: F401
     TELEMETRY_SCHEMA, TelemetryError, TelemetryWriter,

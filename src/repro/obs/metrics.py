@@ -413,6 +413,35 @@ def collect_core(registry: MetricsRegistry, core) -> None:
     collect_storesets(registry, core.storesets)
 
 
+def collect_ckern(registry: MetricsRegistry, counters=None) -> None:
+    """Harvest the compiled kernel's process-wide dispatch counters.
+
+    ``ckern.counters`` tracks batched native dispatch (how many
+    ``repro_run_batch`` calls ran, how many points they covered, how
+    many points fell back to per-point execution) and the previously
+    silent event-tap overflow retries. Pass a mapping to harvest a
+    snapshot; the default reads the live module counters.
+    """
+    if counters is None:
+        from ..pipeline import ckern
+        counters = ckern.counters
+    registry.counter("ckern.batch_dispatches",
+                     "Batched native kernel calls").inc(
+        counters.get("batch_dispatches", 0))
+    registry.counter("ckern.batch_points",
+                     "Timing points run through batched dispatch").inc(
+        counters.get("batch_points", 0))
+    registry.counter("ckern.batch_fallbacks",
+                     "Batched points rerun through the per-point "
+                     "path").inc(counters.get("batch_fallbacks", 0))
+    registry.gauge("ckern.batch_threads",
+                   "C threads used by the last batched dispatch").set(
+        counters.get("batch_threads_last", 0))
+    registry.counter("ckern.tap_overflow_retries",
+                     "Event-tap buffers regrown 4x after overflow").inc(
+        counters.get("tap_overflow_retries", 0))
+
+
 def collect_store(registry: MetricsRegistry, store) -> None:
     """Harvest :class:`~repro.exec.store.ArtifactStore` lookup stats."""
     stats = store.stats
@@ -547,4 +576,5 @@ def run_registry(stats=None, core=None, store=None,
         collect_store(registry, store)
     if exec_report is not None:
         collect_exec_report(registry, exec_report)
+    collect_ckern(registry)
     return registry

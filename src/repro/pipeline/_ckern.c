@@ -108,10 +108,16 @@ enum {
  * pure addition: no simulated state depends on it, and with a NULL
  * buffer every emission site compiles down to an untaken branch. */
 #define TAP_ISSUE 1     /* a = issue cycle, b = out_actual_ready (raw) */
-#define TAP_CONSUME 2   /* ix = producer; a = cycle - ready (slack sample) */
+#define TAP_CONSUME 2   /* ix = producer; a = cycle - ready; b = consumer ix */
 #define TAP_REDIRECT 3  /* a = resolve_cycle */
 #define TAP_HANDLE 4    /* a = serialized | sial<<1, b = last - first_ready */
 #define TAP_CDELAY 5    /* ix = serialized producer handle */
+#define TAP_VALUE 6     /* singleton issue (tap_flags & TAPF_GLOBAL only):
+                           a = value-ready (reg value, else store resolve,
+                           else complete), b = complete_cycle */
+
+/* tap_flags bits (repro_run_tap / BatchPoint.tap_flags). */
+#define TAPF_GLOBAL 1   /* emit TAP_VALUE records for the global-slack DP */
 
 /* Python's collector treats out_actual_ready >= 1<<50 as "no register
  * value" (a store) and falls back to the store resolve cycle. */
@@ -223,6 +229,7 @@ typedef struct {
      * to the Python observer loop; the simulation itself is unaffected. */
     int64_t *tap;
     int64_t tap_cap, tap_len;
+    int64_t tap_flags;
     int tap_on, tap_ovf;
 
     int64_t cycle;
@@ -666,7 +673,8 @@ static int64_t load_latency(Sim *S, int64_t uix, int64_t addr, int64_t when,
         u->forwarded_from = st->age;
         S->out[OUT_STORE_FORWARDS]++;
         if (S->tap_on)
-            tap3(S, (st->ix << 4) | TAP_CONSUME, when - tap_ready_of(st), 0);
+            tap3(S, (st->ix << 4) | TAP_CONSUME, when - tap_ready_of(st),
+                 u->ix);
         return S->cfg[CFG_FORWARD_LATENCY];
     }
     return load_latency_mem(S, addr, pc);
@@ -983,7 +991,7 @@ static int execute_handle(Sim *S, int64_t uix, int64_t pipe) {
     for (int32_t i = 0; i < u->nprod; i++) {
         Uop *p = &S->pool[u->prod[i]];
         if (S->tap_on)
-            tap3(S, (p->ix << 4) | TAP_CONSUME, cycle - tap_ready_of(p), 0);
+            tap3(S, (p->ix << 4) | TAP_CONSUME, cycle - tap_ready_of(p), ix);
         if (p->out_actual_ready > na) {
             na = p->out_actual_ready;
             last = p;
@@ -1134,11 +1142,21 @@ static int issue_stage(Sim *S, int *worked) {
                 }
             }
             if (tap_at >= 0) S->tap[tap_at + 2] = u->out_actual_ready;
+            if (S->tap_on && (S->tap_flags & TAPF_GLOBAL)) {
+                /* Global-slack DP input: the committed instance's
+                 * 3-level value-ready time and completion time
+                 * (GlobalSlackCollector._value_ready / end_time). All
+                 * three fields are final at issue for singletons. */
+                int64_t vr = u->out_actual_ready;
+                if (vr >= BIGT) vr = u->store_resolve_cycle;
+                if (vr >= BIGT) vr = u->complete_cycle;
+                tap3(S, (ix << 4) | TAP_VALUE, vr, u->complete_cycle);
+            }
             if (S->tap_on) {
                 for (int32_t p = 0; p < u->nprod; p++) {
                     Uop *pr = &S->pool[u->prod[p]];
                     tap3(S, (pr->ix << 4) | TAP_CONSUME,
-                         cycle - tap_ready_of(pr), 0);
+                         cycle - tap_ready_of(pr), ix);
                 }
             }
             /* consumer-delay detection (inline _notify_consumption) */
@@ -1259,7 +1277,7 @@ static int check_violation(Sim *S, int64_t six) {
         return -1;
     if (S->tap_on)
         tap3(S, (st->ix << 4) | TAP_CONSUME,
-             S->cycle - tap_ready_of(st), 0);
+             S->cycle - tap_ready_of(st), S->pool[victim].ix);
     flush_restart(S, &S->pool[victim]);
     return 0;
 }
@@ -1453,7 +1471,8 @@ static void sim_free(Sim *S) {
 
 static int64_t run_core(const int64_t *cfg, const CTrace *T, int64_t *out,
                         int64_t max_cycles, int64_t *tap_buf,
-                        int64_t tap_cap, int64_t *tap_meta) {
+                        int64_t tap_cap, int64_t *tap_meta,
+                        int64_t tap_flags) {
     Sim sim;
     Sim *S = &sim;
     memset(S, 0, sizeof(Sim));
@@ -1462,6 +1481,7 @@ static int64_t run_core(const int64_t *cfg, const CTrace *T, int64_t *out,
     S->out = out;
     S->tap = tap_buf;
     S->tap_cap = tap_cap;
+    S->tap_flags = tap_flags;
     S->tap_on = tap_buf != NULL && tap_cap > 0;
     memset(out, 0, OUT_COUNT * 8);
 
@@ -1644,17 +1664,107 @@ static int64_t run_core(const int64_t *cfg, const CTrace *T, int64_t *out,
 
 int64_t repro_run(const int64_t *cfg, const CTrace *T, int64_t *out,
                   int64_t max_cycles) {
-    return run_core(cfg, T, out, max_cycles, NULL, 0, NULL);
+    return run_core(cfg, T, out, max_cycles, NULL, 0, NULL, 0);
 }
 
 /* Same simulation with the event tap armed. ``tap_meta[0]`` receives the
  * number of int64 words written, ``tap_meta[1]`` the overflow flag; on
  * overflow the log is truncated but the simulated results are still
- * exact (emission just stops). */
+ * exact (emission just stops). ``tap_flags`` selects optional record
+ * families (TAPF_GLOBAL -> TAP_VALUE). */
 int64_t repro_run_tap(const int64_t *cfg, const CTrace *T, int64_t *out,
                       int64_t max_cycles, int64_t *tap_buf,
-                      int64_t tap_cap, int64_t *tap_meta) {
-    return run_core(cfg, T, out, max_cycles, tap_buf, tap_cap, tap_meta);
+                      int64_t tap_cap, int64_t *tap_meta,
+                      int64_t tap_flags) {
+    return run_core(cfg, T, out, max_cycles, tap_buf, tap_cap, tap_meta,
+                    tap_flags);
+}
+
+/* ------------------------------------------------------------------ */
+/* batched dispatch: N independent points per native call              */
+/* ------------------------------------------------------------------ */
+
+/* One (config, trace, result, tap) descriptor. ``run_core`` is fully
+ * self-contained (it allocates and frees its own Sim, touches no
+ * globals, and reads the CTrace columns read-only), so points are
+ * embarrassingly parallel: one marshalled trace may be shared by many
+ * points, and ctypes releases the GIL for the whole call. Mirrors
+ * ckern._CBatchPoint field for field. */
+typedef struct {
+    const int64_t *cfg;
+    const CTrace *trace;
+    int64_t *out;
+    int64_t max_cycles;
+    int64_t *tap;
+    int64_t tap_cap;
+    int64_t tap_flags;
+    int64_t status;      /* out: RC_* for this point */
+    int64_t tap_len;     /* out: valid tap words */
+    int64_t tap_ovf;     /* out: tap overflow flag */
+} BatchPoint;
+
+typedef struct {
+    BatchPoint *pts;
+    int64_t n;
+    volatile int64_t next;  /* atomic work cursor */
+} BatchQueue;
+
+static void batch_drain(BatchQueue *q) {
+    for (;;) {
+        int64_t i = __sync_fetch_and_add(&q->next, 1);
+        if (i >= q->n) break;
+        BatchPoint *p = &q->pts[i];
+        int64_t meta[2] = {0, 0};
+        p->status = run_core(p->cfg, p->trace, p->out, p->max_cycles,
+                             p->tap, p->tap_cap, meta, p->tap_flags);
+        p->tap_len = meta[0];
+        p->tap_ovf = meta[1];
+    }
+}
+
+#ifdef REPRO_THREADS
+#include <pthread.h>
+
+#define BATCH_MAX_THREADS 64
+
+static void *batch_worker(void *arg) {
+    batch_drain((BatchQueue *)arg);
+    return NULL;
+}
+#endif
+
+/* Run every point; each gets its own status/tap metadata so a bad point
+ * (budget, deadlock, tap overflow, allocation failure) degrades only
+ * itself. Returns the number of worker threads actually used (>= 1):
+ * builds without pthread support, thread-creation failure, and
+ * ``threads <= 1`` all degrade to the serial in-call loop. */
+int64_t repro_run_batch(BatchPoint *pts, int64_t n, int64_t threads) {
+    BatchQueue q;
+    q.pts = pts;
+    q.n = n;
+    q.next = 0;
+    if (n <= 0) return 1;
+#ifdef REPRO_THREADS
+    if (threads > n) threads = n;
+    if (threads > BATCH_MAX_THREADS) threads = BATCH_MAX_THREADS;
+    if (threads > 1) {
+        pthread_t tids[BATCH_MAX_THREADS];
+        int64_t spawned = 0;
+        for (int64_t t = 0; t < threads - 1; t++) {
+            if (pthread_create(&tids[spawned], NULL, batch_worker, &q))
+                break;
+            spawned++;
+        }
+        batch_drain(&q);
+        for (int64_t t = 0; t < spawned; t++)
+            pthread_join(tids[t], NULL);
+        return spawned + 1;
+    }
+#else
+    (void)threads;
+#endif
+    batch_drain(&q);
+    return 1;
 }
 
 /* First pass of the slack-profile decode: fold the O(events) log into

@@ -37,7 +37,8 @@ import shutil
 import subprocess
 import tempfile
 from array import array
-from typing import Optional
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _SOURCE = os.path.join(_HERE, "_ckern.c")
@@ -92,12 +93,18 @@ RC_NOMEM = 3
 # Each event is three int64 words: ``(ix << 4) | tag, a, b``. See
 # docs/performance.md for the full record catalogue.
 TAP_ISSUE = 1      # a = issue cycle, b = out_actual_ready (raw, BIG if none)
-TAP_CONSUME = 2    # ix = producer; a = consumer cycle - producer ready
+TAP_CONSUME = 2    # ix = producer; a = cycle - ready, b = consumer ix
 TAP_REDIRECT = 3   # a = resolve cycle
 TAP_HANDLE = 4     # a = serialized | sial << 1, b = last - first_ready
 TAP_CDELAY = 5     # ix = serialized producer handle
+TAP_VALUE = 6      # singleton issue; a = value-ready, b = complete cycle
 TAP_WORDS = 3      # int64 words per event
 TAP_BIG = 1 << 60  # the kernel's "unset" sentinel for out_actual_ready
+
+# tap_flags bits (must match TAPF_* in _ckern.c). Opt-in record families
+# beyond the base catalogue; each costs buffer capacity, so observers
+# advertise what they need via ``ckern_tap_flags``.
+TAP_FLAG_GLOBAL = 1  # TAP_VALUE records for the global-slack backward DP
 
 # The kernel bounds per-uop producer fan-in; traces beyond it (none in
 # practice: ISA ops have <= 3 sources, handles a handful of external
@@ -127,6 +134,35 @@ class _CTrace(ctypes.Structure):
         ("site_consumer_ix", _I64P),
         ("n_handles", ctypes.c_int64), ("n_sites", ctypes.c_int64),
     ]
+
+
+class _CBatchPoint(ctypes.Structure):
+    """Mirror of the BatchPoint struct in ``_ckern.c``."""
+
+    _fields_ = [
+        ("cfg", _I64P),
+        ("trace", ctypes.POINTER(_CTrace)),
+        ("out", _I64P),
+        ("max_cycles", ctypes.c_int64),
+        ("tap", _I64P),
+        ("tap_cap", ctypes.c_int64),
+        ("tap_flags", ctypes.c_int64),
+        ("status", ctypes.c_int64),
+        ("tap_len", ctypes.c_int64),
+        ("tap_ovf", ctypes.c_int64),
+    ]
+
+
+# Dispatch/fallback tallies for the batched path, harvested post-hoc by
+# ``repro.obs.metrics.collect_ckern`` (pure counters: reading or
+# exporting them never changes behaviour).
+counters = {
+    "batch_dispatches": 0,     # repro_run_batch native calls
+    "batch_points": 0,         # points submitted across all batches
+    "batch_fallbacks": 0,      # points degraded to the Python loop
+    "batch_threads_last": 0,   # threads used by the most recent batch
+    "tap_overflow_retries": 0,  # single-point 4x event-buffer retries
+}
 
 
 # ---------------------------------------------------------------------
@@ -171,9 +207,18 @@ def _build() -> Optional[str]:
             os.makedirs(cache_dir, exist_ok=True)
             fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
             os.close(fd)
-            cmd = [compiler, "-O2", "-fPIC", "-shared", "-o", tmp, _SOURCE]
-            proc = subprocess.run(cmd, capture_output=True, timeout=120)
-            if proc.returncode != 0:
+            # Prefer the threaded build (repro_run_batch fans out over a
+            # pthread pool); toolchains without pthreads still get the
+            # full kernel with an in-call serial batch loop.
+            built = False
+            for extra in (["-pthread", "-DREPRO_THREADS=1"], []):
+                cmd = [compiler, "-O2", "-fPIC", "-shared", *extra,
+                       "-o", tmp, _SOURCE]
+                proc = subprocess.run(cmd, capture_output=True, timeout=120)
+                if proc.returncode == 0:
+                    built = True
+                    break
+            if not built:
                 os.unlink(tmp)
                 return None
             os.replace(tmp, lib_path)  # atomic: concurrent builds race safely
@@ -199,7 +244,10 @@ def _load():
         lib.repro_run_tap.restype = ctypes.c_int64
         lib.repro_run_tap.argtypes = [_I64P, ctypes.POINTER(_CTrace), _I64P,
                                       ctypes.c_int64, _I64P, ctypes.c_int64,
-                                      _I64P]
+                                      _I64P, ctypes.c_int64]
+        lib.repro_run_batch.restype = ctypes.c_int64
+        lib.repro_run_batch.argtypes = [ctypes.POINTER(_CBatchPoint),
+                                        ctypes.c_int64, ctypes.c_int64]
         lib.repro_tap_fold.restype = None
         lib.repro_tap_fold.argtypes = [_I64P, ctypes.c_int64, _I64P, _I64P,
                                        _I64P]
@@ -327,6 +375,31 @@ def marshal(packed) -> Optional[MarshalledTrace]:
     return MarshalledTrace(struct, keepalive)
 
 
+# Marshalled-trace arena reuse: a batch (and repeat runs over the same
+# PackedTrace, e.g. a selector sweep on one program) shares one flat
+# column view instead of re-marshalling per point. Keyed by trace
+# identity — the strong reference makes the id stable for the lifetime
+# of the entry — and bounded so long multi-program campaigns cannot pin
+# every trace they ever touched.
+_marshal_cache: dict = {}
+_MARSHAL_CACHE_MAX = 8
+
+
+def marshal_shared(packed) -> Optional[MarshalledTrace]:
+    """Memoizing :func:`marshal`; safe because the kernel reads the
+    columns strictly read-only (points in one batch share the arena)."""
+    key = id(packed)
+    hit = _marshal_cache.get(key)
+    if hit is not None and hit[0] is packed:
+        return hit[1]
+    mtrace = marshal(packed)
+    if mtrace is not None:
+        if len(_marshal_cache) >= _MARSHAL_CACHE_MAX:
+            _marshal_cache.clear()
+        _marshal_cache[key] = (packed, mtrace)
+    return mtrace
+
+
 def pack_config(config, warm_caches: bool) -> array:
     """The flat int64 config block consumed by the kernel."""
     from ..isa import opcodes as oc
@@ -382,6 +455,18 @@ def pack_config(config, warm_caches: bool) -> array:
     return cfg
 
 
+@lru_cache(maxsize=64)
+def pack_config_cached(config, warm_caches: bool) -> array:
+    """Memoized :func:`pack_config` (MachineConfig is frozen/hashable).
+
+    The returned block is shared: the kernel treats it as ``const`` and
+    callers must never mutate it. Every timing point re-packed the same
+    handful of named configs before; a batch now packs each distinct
+    ``(config, warm)`` once.
+    """
+    return pack_config(config, warm_caches)
+
+
 def run(cfg: array, mtrace: MarshalledTrace, max_cycles: int):
     """Invoke the kernel. Returns ``(rc, out)``; out is the counter block.
 
@@ -412,14 +497,15 @@ def tap_capacity(packed) -> int:
 
 
 def run_tap(cfg: array, mtrace: MarshalledTrace, max_cycles: int,
-            tap_words: int):
+            tap_words: int, tap_flags: int = 0):
     """Invoke the kernel with the event tap armed.
 
     Returns ``(rc, out, events, n_words, overflowed)``. ``events`` is an
     ``array('q')`` whose first ``n_words`` entries are valid packed
     events; on overflow the log is truncated (the counters are still
     exact) and the caller either retries with a larger buffer or falls
-    back to the Python observer loop.
+    back to the Python observer loop. ``tap_flags`` selects opt-in
+    record families (:data:`TAP_FLAG_GLOBAL` adds TAP_VALUE records).
     """
     lib = _load()
     if lib is None:
@@ -435,9 +521,72 @@ def run_tap(cfg: array, mtrace: MarshalledTrace, max_cycles: int,
         ctypes.cast(cfg_buf, _I64P), ctypes.byref(mtrace.struct),
         ctypes.cast(out_buf, _I64P), max_cycles,
         ctypes.cast(tap_buf, _I64P), tap_words,
-        ctypes.cast(meta_buf, _I64P))
+        ctypes.cast(meta_buf, _I64P), tap_flags)
     del tap_buf, meta_buf  # release from_buffer exports before returning
     return rc, out, events, meta[0], bool(meta[1])
+
+
+#: One batch descriptor: ``(cfg, mtrace, max_cycles, tap_words,
+#: tap_flags)`` — ``tap_words == 0`` runs the point unobserved.
+BatchEntry = Tuple[array, MarshalledTrace, int, int, int]
+
+
+def run_batch(entries: Sequence[BatchEntry], threads: int
+              ) -> Optional[List[tuple]]:
+    """Run N points in one native, GIL-released call.
+
+    Each entry is ``(cfg, mtrace, max_cycles, tap_words, tap_flags)``;
+    marshalled traces and packed configs may (and should) be shared
+    between entries — the kernel reads both strictly read-only. Returns
+    a per-point list of ``(rc, out, events, n_words, overflowed)`` in
+    entry order, exactly what :func:`run` / :func:`run_tap` would have
+    returned point by point, or None when the library is unavailable
+    (caller falls back to per-point dispatch). Failures are per-point:
+    one point's budget/deadlock/overflow never poisons its batchmates.
+    """
+    if not available():
+        return None
+    lib = _load()
+    n = len(entries)
+    if n == 0:
+        return []
+    pts = (_CBatchPoint * n)()
+    keepalive = []
+    cells = []
+    for i, (cfg, mtrace, max_cycles, tap_words, tap_flags) in \
+            enumerate(entries):
+        out = array("q", [0] * OUT_COUNT)
+        cfg_buf, cfg_owner = _col(cfg, ctypes.c_int64)
+        out_buf = (ctypes.c_int64 * OUT_COUNT).from_buffer(out)
+        p = pts[i]
+        p.cfg = ctypes.cast(cfg_buf, _I64P)
+        p.trace = ctypes.pointer(mtrace.struct)
+        p.out = ctypes.cast(out_buf, _I64P)
+        p.max_cycles = max_cycles
+        if tap_words > 0:
+            events = array("q", bytes(8 * tap_words))
+            tap_buf = (ctypes.c_int64 * tap_words).from_buffer(events)
+            p.tap = ctypes.cast(tap_buf, _I64P)
+            p.tap_cap = tap_words
+        else:
+            events = None
+            tap_buf = None
+            p.tap = None
+            p.tap_cap = 0
+        p.tap_flags = tap_flags
+        keepalive.append((cfg_buf, cfg_owner, out_buf, tap_buf, mtrace))
+        cells.append((out, events))
+    used = lib.repro_run_batch(pts, n, max(1, threads))
+    counters["batch_dispatches"] += 1
+    counters["batch_points"] += n
+    counters["batch_threads_last"] = int(used)
+    results = []
+    for i, (out, events) in enumerate(cells):
+        p = pts[i]
+        results.append((int(p.status), out, events, int(p.tap_len),
+                        bool(p.tap_ovf)))
+    del keepalive, pts  # release from_buffer exports before returning
+    return results
 
 
 def tap_fold(events: array, n_words: int, cells: array,

@@ -272,11 +272,16 @@ class OoOCore:
         # buffer overflowing its retry).
         self._ctrace = None
         self._want_tap = False
+        self._tap_flags = 0
         if policy is None and tracer is None and packed.n \
                 and self._tap_capable(collector) \
                 and self._tap_capable(attribution) and ckern.available():
-            self._ctrace = ckern.marshal(packed)
+            self._ctrace = ckern.marshal_shared(packed)
             self._want_tap = collector is not None or attribution is not None
+            # Observers advertise opt-in event families (e.g. TAP_VALUE
+            # for the global-slack DP) beyond the base catalogue.
+            self._tap_flags = (getattr(collector, "ckern_tap_flags", 0) |
+                               getattr(attribution, "ckern_tap_flags", 0))
 
     @staticmethod
     def _tap_capable(observer) -> bool:
@@ -1161,6 +1166,44 @@ class OoOCore:
                 horizon = t
         return horizon
 
+    def _tap_words(self) -> int:
+        """Initial event-buffer capacity for this run's tap families."""
+        cap = ckern.tap_capacity(self.records)
+        if self._tap_flags & ckern.TAP_FLAG_GLOBAL:
+            # One TAP_VALUE record per committed singleton issue.
+            cap += self.records.n * ckern.TAP_WORDS
+        return cap
+
+    def kernel_batch_entry(self, max_cycles: int):
+        """This run as a ``ckern.run_batch`` descriptor; None when the
+        compiled path is unavailable (caller keeps per-point dispatch).
+
+        The marshalled trace and packed config are shared, memoized
+        objects — many points in one batch (a selector sweep over one
+        program, a config sweep on one machine) reference the same
+        arena, and the kernel reads both strictly read-only.
+        """
+        if self._ctrace is None:
+            return None
+        cfg = ckern.pack_config_cached(self.config, self._warm_caches)
+        tap_words = self._tap_words() if self._want_tap else 0
+        return (cfg, self._ctrace, max_cycles, tap_words, self._tap_flags)
+
+    def apply_kernel_result(self, rc, out, events, n_words,
+                            overflowed) -> Optional[RunStats]:
+        """Copy back one batched point's kernel result.
+
+        Returns the completed :class:`RunStats`; None means the caller
+        must rerun the point through the ordinary per-point path — tap
+        overflow (which that path retries at 4x before degrading to the
+        Python loop), allocation failure, or a simulated deadlock (which
+        that path reports by raising exactly as the Python loop would).
+        """
+        ck = ckern
+        if overflowed or out is None or rc != ck.RC_OK:
+            return None
+        return self._apply_kernel_result(rc, out, events, n_words)
+
     def _run_compiled(self, max_cycles: int) -> Optional[RunStats]:
         """Run via the C kernel; None means fall back to the Python loop.
 
@@ -1172,23 +1215,32 @@ class OoOCore:
         path ran.
         """
         ck = ckern
-        cfg = ck.pack_config(self.config, self._warm_caches)
+        cfg = ck.pack_config_cached(self.config, self._warm_caches)
         events = n_words = None
         if self._want_tap:
             # Opt-in event tap: one retry at 4x capacity (squash storms
             # can exceed the static estimate), then Python fallback.
-            cap = ck.tap_capacity(self.records)
+            cap = self._tap_words()
             rc, out, events, n_words, overflow = ck.run_tap(
-                cfg, self._ctrace, max_cycles, cap)
+                cfg, self._ctrace, max_cycles, cap, self._tap_flags)
             if overflow:
+                ck.counters["tap_overflow_retries"] += 1
                 rc, out, events, n_words, overflow = ck.run_tap(
-                    cfg, self._ctrace, max_cycles, 4 * cap)
+                    cfg, self._ctrace, max_cycles, 4 * cap, self._tap_flags)
             if overflow:
                 return None
         else:
             rc, out = ck.run(cfg, self._ctrace, max_cycles)
         if rc == ck.RC_NOMEM or out is None:
             return None
+        return self._apply_kernel_result(rc, out, events, n_words)
+
+    def _apply_kernel_result(self, rc, out, events,
+                             n_words) -> Optional[RunStats]:
+        """Copy every externally visible counter out of one kernel run
+        (shared by the per-point and batched paths; raises on simulated
+        deadlocks exactly as the Python loop does mid-run)."""
+        ck = ckern
         stats = self.stats
         stats.cycles_skipped = out[ck.OUT_CYCLES_SKIPPED]
         stats.original_committed = out[ck.OUT_ORIGINAL_COMMITTED]

@@ -82,6 +82,8 @@ class ServerConfig:
     result_ttl: float = 3600.0            # seconds before eviction
     max_job_events: int = 10_000          # per-job event-log window
     dispatch: Optional[str] = None        # e.g. "workers:host:port"
+    batch_threads: int = 0                # batched native dispatch for
+                                          # jobs that ask for 1 process
     quiet: bool = False
 
     def __post_init__(self):
@@ -247,6 +249,13 @@ class ServeApp:
         if self.config.dispatch:
             return Scheduler(jobs=jobs, on_event=on_event,
                              dispatch=self._dispatch_backend(jobs))
+        if jobs <= 1 and self.config.batch_threads > 0:
+            # Batched native dispatch: the job stays in-process (the
+            # warm path's store probes and memory layer keep working)
+            # while each wave of timing points runs as one C call over
+            # ``batch_threads`` threads.
+            return Scheduler(jobs=1, on_event=on_event,
+                             threads=self.config.batch_threads)
         pool = None
         if jobs > 1 and self.config.pool_workers > 0:
             if self._pool is None:

@@ -142,14 +142,44 @@ def test_tap_capable_observers_keep_the_kernel(sum_loop, sum_trace):
     assert len(collector.profile()) > 0
 
 
-def test_tap_incapable_observers_stay_on_python_path(sum_loop, sum_trace):
-    """Observers without ``supports_ckern_tap`` still force the reference
-    loop (GlobalSlackCollector needs per-cycle callbacks)."""
+@needs_kernel
+def test_global_slack_collector_keeps_the_kernel(sum_loop, sum_trace):
+    """GlobalSlackCollector is tap-capable: it opts into TAP_VALUE
+    records via ckern_tap_flags and decodes the log post-hoc (parity in
+    tests/pipeline/test_event_tap.py)."""
     from repro.analysis.global_slack import GlobalSlackCollector
+    from repro.pipeline import ckern
     collector = GlobalSlackCollector(sum_loop, config_name="reduced",
                                      input_name="train")
     core = OoOCore(reduced_config(), sum_trace.packed(),
                    collector=collector)
+    assert core._ctrace is not None and core._want_tap
+    assert core._tap_flags & ckern.TAP_FLAG_GLOBAL
+    stats = core.run()
+    assert stats.original_committed > 0
+    assert len(collector.global_profile()) > 0
+
+
+def test_tap_incapable_observers_stay_on_python_path(sum_loop, sum_trace):
+    """Observers without ``supports_ckern_tap`` still force the reference
+    loop."""
+    class _PythonOnlyObserver:
+        supports_ckern_tap = False
+
+        def on_consume(self, producer, consumer, cycle):
+            pass
+
+        def on_redirect(self, uop, resolve_cycle):
+            pass
+
+        def on_commit(self, uop):
+            pass
+
+        def on_finish(self):
+            pass
+
+    core = OoOCore(reduced_config(), sum_trace.packed(),
+                   collector=_PythonOnlyObserver())
     assert core._ctrace is None
 
 

@@ -111,6 +111,39 @@ def test_attribution_bit_identical(runner, bench, selector, config_name):
     assert results[0][1] > 0  # handles actually issued
 
 
+def _run_global_profile(runner, bench, force_python):
+    from repro.analysis.global_slack import GlobalSlackCollector
+    b = runner._bench(bench)
+    config = config_by_name(PROFILE_CONFIG)
+    trace = runner.trace(bench)
+    collector = GlobalSlackCollector(b.program("train"),
+                                     config_name=config.name,
+                                     input_name="train")
+    core = OoOCore(config, trace.packed(), collector=collector,
+                   warm_caches=True)
+    if force_python:
+        core._ctrace = None
+        core._want_tap = False
+    stats = core.run()
+    return core, collector.global_profile(), stats
+
+
+@needs_kernel
+@pytest.mark.parametrize("bench", WORKLOADS)
+def test_global_slack_profile_bit_identical(runner, bench):
+    """The TAP_VALUE + consumer-ix decode reproduces the in-loop global
+    backward DP field for field (floats included: same op order)."""
+    core_c, prof_c, stats_c = _run_global_profile(runner, bench,
+                                                  force_python=False)
+    assert core_c._ctrace is not None and core_c._want_tap
+    assert core_c._tap_flags & ckern.TAP_FLAG_GLOBAL
+    core_p, prof_p, stats_p = _run_global_profile(runner, bench,
+                                                  force_python=True)
+    assert _stats_key(stats_c) == _stats_key(stats_p)
+    assert _profile_entries(prof_c) == _profile_entries(prof_p)
+    assert len(prof_c) > 0
+
+
 @needs_kernel
 def test_both_observers_share_one_tap_run(runner):
     """Slack + attribution can decode the same event log from one run."""
