@@ -34,7 +34,8 @@ from .harness.runner import Runner
 from .isa.interp import ExecutionLimitExceeded, MemoryFault
 from .isa.validate import ValidationError
 from .minigraph.selectors import (
-    SlackProfileSelector, StructAll, StructBounded, StructNone,
+    ReadPortAwareSelector, SlackProfileSelector, StructAll, StructBounded,
+    StructNone,
 )
 from .pipeline.config import config_by_name
 from .workloads.suite import all_benchmarks, benchmark
@@ -44,6 +45,7 @@ SELECTORS = {
     "struct-none": StructNone,
     "struct-bounded": StructBounded,
     "slack-profile": SlackProfileSelector,
+    "read-port": ReadPortAwareSelector,
 }
 
 
@@ -459,6 +461,58 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .exec.grid import parse_jobs
+    from .tune import SearchSpace, run_tune
+    from .tune.ledger import TuneLedgerError
+    from .tune.report import tune_doc, write_doc, write_plot
+    if args.resume and not args.ledger:
+        raise ValueError("--resume needs --ledger")
+    if args.space:
+        space = SearchSpace.from_file(args.space)
+    else:
+        space = SearchSpace.from_cli(
+            args.selectors or ["struct-all", "read-port"],
+            args.configs or ["full", "reduced"],
+            benchmarks=args.benchmarks or None,
+            input_name=args.input)
+    jobs, threads = parse_jobs(args.jobs)
+    log = None if args.quiet \
+        else (lambda line: print(line, file=sys.stderr))
+    try:
+        result = run_tune(
+            space, strategy=args.strategy, trials=args.trials,
+            seed=args.seed, store=_store_for(args), budget=args.budget,
+            jobs=jobs, threads=threads, max_insts=args.max_insts,
+            halving_eta=args.halving_eta,
+            halving_min_insts=args.halving_min_insts,
+            ledger_path=args.ledger, resume=args.resume, log=log)
+    except TuneLedgerError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.out:
+        doc = tune_doc(space, result.evals, result.frontier,
+                       stats=result.stats.as_dict())
+        print(f"wrote {write_doc(args.out, doc)}")
+    if args.metrics:
+        import json as _json
+        from pathlib import Path
+
+        from .obs.metrics import MetricsRegistry, collect_tune
+        registry = MetricsRegistry()
+        collect_tune(registry, result.stats)
+        Path(args.metrics).write_text(
+            _json.dumps(registry.to_json(), indent=2) + "\n")
+        print(f"wrote {len(registry)} metrics to {args.metrics}")
+    if args.plot:
+        try:
+            print(f"wrote {write_plot(args.plot, result.evals, result.frontier)}")
+        except ValueError as error:
+            print(f"repro: plot skipped: {error}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache_dir = resolve_cache_dir(args.cache_dir)
     if cache_dir is None:
@@ -810,6 +864,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "documented schema and summarize it")
     p_tele.add_argument("file", help="path to a --telemetry output file")
     p_tele.set_defaults(fn=_cmd_telemetry)
+
+    p_tune = sub.add_parser(
+        "tune", help="design-space autotuner: search selector families x "
+                     "machine configs, report Pareto frontiers "
+                     "(see docs/tuning.md)")
+    p_tune.add_argument("--space", default=None, metavar="FILE",
+                        help="search-space spec file (.json, or .toml on "
+                             "Python >= 3.11)")
+    p_tune.add_argument("--selectors", nargs="*", metavar="KIND",
+                        help="selector families when no --space file "
+                             "(default grids apply; default: struct-all "
+                             "read-port)")
+    p_tune.add_argument("--configs", nargs="*", metavar="SPEC",
+                        help="config specs: names or base@knob=value,... "
+                             "(default: full reduced)")
+    p_tune.add_argument("--benchmarks", nargs="*")
+    p_tune.add_argument("--input", default="train")
+    p_tune.add_argument("--strategy", default="grid",
+                        choices=["grid", "random", "halving"])
+    p_tune.add_argument("--trials", type=int, default=None,
+                        help="trial cap (the random sample size; an "
+                             "optional truncation for grid/halving)")
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="random-strategy sampling seed")
+    p_tune.add_argument("--jobs", default="1",
+                        help="N processes or threads:N batched native "
+                             "dispatch (as in repro experiments)")
+    p_tune.add_argument("--budget", type=int, default=512,
+                        help="MGT entries per plan")
+    p_tune.add_argument("--max-insts", type=int, default=2_000_000,
+                        help="full-evaluation trace length")
+    p_tune.add_argument("--halving-eta", type=int, default=2,
+                        help="successive-halving promotion factor")
+    p_tune.add_argument("--halving-min-insts", type=int, default=50_000,
+                        help="shortest successive-halving rung")
+    p_tune.add_argument("--ledger", default=None, metavar="FILE",
+                        help="JSONL tuning ledger (enables --resume)")
+    p_tune.add_argument("--resume", action="store_true",
+                        help="skip trials already journaled in --ledger")
+    p_tune.add_argument("--out", default=None, metavar="FILE",
+                        help="write the benchmarks/-style JSON artifact")
+    p_tune.add_argument("--plot", default=None, metavar="PNG",
+                        help="coverage-vs-IPC scatter (needs matplotlib)")
+    p_tune.add_argument("--metrics", default=None, metavar="FILE",
+                        help="export tune.* metrics as JSON")
+    p_tune.add_argument("--quiet", action="store_true",
+                        help="suppress progress on stderr")
+    _add_cache_flags(p_tune)
+    p_tune.set_defaults(fn=_cmd_tune)
 
     p_cache = sub.add_parser("cache",
                              help="artifact store maintenance")

@@ -5,8 +5,8 @@ and *every* selector, the selected plan passes the static invariant
 linter and the transformed trace is architecturally indistinguishable
 from the original program (differential lockstep). The fuzzer samples
 that space — randomized mix parameters into
-:func:`repro.workloads.generator.synth_program`, all five selectors per
-program — until a time or program budget runs out.
+:func:`repro.workloads.generator.synth_program`, every default selector
+per program — until a time or program budget runs out.
 
 Reproducibility is exact: a program is a pure function of its
 :class:`FuzzSpec`, and every spec is derived deterministically from one
@@ -35,8 +35,8 @@ from ..isa.program import Program
 from ..minigraph.candidates import enumerate_candidates
 from ..minigraph.selection import MiniGraphPlan
 from ..minigraph.selectors import (
-    Selector, SlackDynamicSelector, SlackProfileSelector, StructAll,
-    StructBounded, StructNone, make_plan,
+    ReadPortAwareSelector, Selector, SlackDynamicSelector,
+    SlackProfileSelector, StructAll, StructBounded, StructNone, make_plan,
 )
 from ..workloads.generator import PROFILES, synth_program
 from .lint import PlanIssue, lint_plan
@@ -48,9 +48,10 @@ _SPEC_STRIDE = 1_000_003  # campaign seed -> per-program spec seeds
 
 
 def default_selectors() -> List[Selector]:
-    """The five selectors of the paper, fuzzed by default."""
+    """The five paper selectors plus the searchable read-port family."""
     return [StructAll(), StructNone(), StructBounded(),
-            SlackProfileSelector(), SlackDynamicSelector()]
+            SlackProfileSelector(), SlackDynamicSelector(),
+            ReadPortAwareSelector()]
 
 
 @dataclass(frozen=True)

@@ -37,21 +37,62 @@ def parse_jobs(spec) -> Tuple[int, int]:
     timing nodes becomes one ``repro_run_batch`` call over 8 C threads
     (see :mod:`repro.exec.batch`). Bare ``"threads"`` uses one thread
     per CPU.
+
+    Zero, negative, and malformed values raise :class:`ValueError` with
+    a message the CLIs print verbatim as their one-line error.
     """
-    if isinstance(spec, int):
-        return max(1, spec), 0
+    def _positive(text: str, what: str) -> int:
+        try:
+            count = int(text)
+        except ValueError:
+            raise ValueError(
+                f"bad --jobs value {str(spec)!r}: {what} {text!r} is not "
+                f"an integer (expected N, threads, or threads:N)") from None
+        if count < 1:
+            raise ValueError(f"bad --jobs value {str(spec)!r}: "
+                             f"{what} must be >= 1")
+        return count
+
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        if spec < 1:
+            raise ValueError(f"bad --jobs value {spec!r}: "
+                             "job count must be >= 1")
+        return spec, 0
     text = str(spec).strip()
     if text == "threads":
         import os
         return 1, max(1, os.cpu_count() or 1)
     if text.startswith("threads:"):
-        return 1, max(1, int(text.split(":", 1)[1]))
-    return max(1, int(text)), 0
+        return 1, _positive(text.split(":", 1)[1], "thread count")
+    return _positive(text, "job count"), 0
 
 
 def _freeze(spec: Optional[Dict[str, Any]]) -> Spec:
     return tuple(sorted((spec or {}).items(),
                         key=lambda item: item[0]))
+
+
+def _sel_tag(selector: Dict[str, Any]) -> str:
+    """Task-id fragment for a selector spec: readable *and* injective.
+
+    :func:`build_tasks` deduplicates by task id, so two selectors that
+    differ in any hyperparameter must map to distinct tags — otherwise
+    one of their plan/check/timing nodes is silently dropped. The kind
+    (plus variant, where present) keeps ids readable; a short digest of
+    the full canonical spec covers every other knob (``unprofiled_ok``,
+    the read-port hyperparameters, ``fixed-set`` site lists, ...).
+    """
+    import hashlib
+    import json
+    tag = selector["kind"] if "variant" not in selector \
+        else f"{selector['kind']}-{selector['variant']}"
+    extras = {key: value for key, value in selector.items()
+              if key not in ("kind", "variant")}
+    if not extras:
+        return tag
+    canonical = json.dumps(selector, sort_keys=True,
+                           separators=(",", ":")).encode()
+    return f"{tag}-{hashlib.sha1(canonical).hexdigest()[:8]}"
 
 
 def _thaw(spec: Spec) -> Dict[str, Any]:
@@ -196,10 +237,8 @@ def build_tasks(points: Sequence[Point], runner,
                     profile_input=point.profile_input,
                     global_slack=point.global_slack,
                     **shm_for(point.bench, point.input_name, profile_input))
-        sel_tag = selector["kind"] if "variant" not in selector \
-            else f"{selector['kind']}-{selector['variant']}"
         return add(Task(
-            id=f"plan/{point.bench}/{point.input_name}/{sel_tag}"
+            id=f"plan/{point.bench}/{point.input_name}/{_sel_tag(selector)}"
                f"/{profile_config}/{profile_input}/{point.global_slack}",
             fn=task_fns.run_plan, args=(spec,), deps=tuple(deps),
             stage="plan"))
@@ -213,10 +252,8 @@ def build_tasks(points: Sequence[Point], runner,
                     profile_input=point.profile_input,
                     global_slack=point.global_slack,
                     **shm_for(point.bench, point.input_name, profile_input))
-        sel_tag = selector["kind"] if "variant" not in selector \
-            else f"{selector['kind']}-{selector['variant']}"
         return add(Task(
-            id=f"check/{point.bench}/{point.input_name}/{sel_tag}"
+            id=f"check/{point.bench}/{point.input_name}/{_sel_tag(selector)}"
                f"/{profile_config}/{profile_input}/{point.global_slack}",
             fn=task_fns.run_check, args=(spec,),
             deps=(plan_task(point),
@@ -269,10 +306,8 @@ def build_tasks(points: Sequence[Point], runner,
                     global_slack=point.global_slack,
                     **shm_for(point.bench, point.input_name,
                               point.profile_input or point.input_name))
-        sel_tag = selector["kind"] if "variant" not in selector \
-            else f"{selector['kind']}-{selector['variant']}"
         add(Task(id=f"timing/{point.bench}/{point.input_name}"
-                    f"/{point.config}/{sel_tag}"
+                    f"/{point.config}/{_sel_tag(selector)}"
                     f"/{point.profile_config}/{point.profile_input}"
                     f"/{point.global_slack}",
                  fn=task_fns.run_timing, args=(spec,), deps=deps,

@@ -92,23 +92,15 @@ def _config(name: str):
 
 
 def selector_from_spec(spec: Dict[str, Any]):
-    """Inverse of :meth:`repro.minigraph.selectors.Selector.spec`."""
+    """Inverse of :meth:`repro.minigraph.selectors.Selector.spec`.
+
+    Delegates to the family registry in
+    :mod:`repro.minigraph.selectors`, so any registered family — paper
+    selectors and searchable ones alike — round-trips across worker
+    processes.
+    """
     from ..minigraph import selectors
-    kind = spec["kind"]
-    simple = {"struct-all": selectors.StructAll,
-              "struct-none": selectors.StructNone,
-              "struct-bounded": selectors.StructBounded,
-              "slack-dynamic": selectors.SlackDynamicSelector}
-    if kind in simple:
-        return simple[kind]()
-    if kind == "slack-profile":
-        return selectors.SlackProfileSelector(
-            variant=spec.get("variant", "full"),
-            unprofiled_ok=spec.get("unprofiled_ok", True),
-            measured_latencies=spec.get("measured_latencies", False))
-    if kind == "fixed-set":
-        return selectors.FixedSetSelector(set(spec["allowed"]))
-    raise ValueError(f"unknown selector spec {spec!r}")
+    return selectors.selector_from_spec(spec)
 
 
 # -- result summaries ----------------------------------------------------------

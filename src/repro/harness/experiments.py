@@ -433,9 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         jobs, threads = parse_jobs(args.jobs)
-    except ValueError:
-        print(f"experiments: bad --jobs value {args.jobs!r} "
-              "(expected N or threads:N)", file=_sys.stderr)
+    except ValueError as error:
+        print(f"experiments: {error}", file=_sys.stderr)
         return 2
     cache_dir = resolve_cache_dir(args.cache_dir, args.no_cache)
     if args.ledger and args.experiment == "all":

@@ -541,6 +541,38 @@ def collect_dist(registry: MetricsRegistry, stats) -> None:
             registry.gauge(f"dist.{name}", f"dispatch {name}").set(value)
 
 
+def collect_tune(registry: MetricsRegistry, stats) -> None:
+    """Harvest autotuner counters as ``tune.*`` metrics.
+
+    Duck-typed over :class:`~repro.tune.tuner.TuneStats` (or any
+    mapping / ``as_dict()`` carrier) so this module never imports the
+    tune package.
+    """
+    doc = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    gauges = {
+        "frontier_size": "Pareto-frontier size of the final rung",
+        "dominated": "Dominated trials pruned from the frontier",
+    }
+    descriptions = {
+        "space_trials": "Trials enumerated by the search space",
+        "planned_trials": "Trials selected by the strategy",
+        "evaluations": "(trial, rung) evaluations executed",
+        "resumed": "(trial, rung) evaluations replayed from the ledger",
+        "rungs": "Trace-length rungs scheduled",
+        "store_hits": "Artifact-store hits during the search",
+        "store_misses": "Artifact-store misses during the search",
+    }
+    for name, value in sorted(doc.items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if name in gauges:
+            registry.gauge(f"tune.{name}", gauges[name]).set(value)
+        else:
+            registry.counter(f"tune.{name}",
+                             descriptions.get(name, f"tune {name}")).inc(
+                value)
+
+
 def collect_exec_report(registry: MetricsRegistry, report) -> None:
     """Harvest a scheduler :class:`~repro.exec.dag.ExecReport`."""
     registry.counter("exec.tasks_done",

@@ -156,9 +156,68 @@ NAMED_CONFIGS = {
 }
 
 
-def config_by_name(name: str) -> MachineConfig:
-    """Look up one of the named paper configurations."""
+#: Scalar knobs an override spec may set (``name@knob=value,...``).
+#: Cache geometries are deliberately excluded: they are structured
+#: objects with power-of-two constraints, not flat scalars.
+_OVERRIDE_FIELDS = {
+    f.name: f.type for f in MachineConfig.__dataclass_fields__.values()
+    if f.name != "name" and f.type in ("int", "bool", int, bool)
+}
+
+
+def _coerce_override(name: str, text: str):
+    """Parse one ``knob=value`` right-hand side to the field's type."""
+    kind = _OVERRIDE_FIELDS[name]
+    if kind in ("bool", bool):
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"bad value {text!r} for boolean knob {name!r}")
     try:
-        return NAMED_CONFIGS[name]()
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            f"bad value {text!r} for integer knob {name!r}") from None
+
+
+def config_by_name(name: str) -> MachineConfig:
+    """Resolve a configuration spec string to a :class:`MachineConfig`.
+
+    Accepts the named paper configurations (``full``, ``reduced``, ...)
+    and *override specs* of the form ``base@knob=value,knob=value`` —
+    e.g. ``reduced@width=2,phys_regs=100`` — applying scalar overrides
+    to a named base via :meth:`MachineConfig.scaled`. The resulting
+    config's ``name`` is the full spec string, so override configs
+    survive any round-trip that serializes configs by name (grid
+    points, worker processes, ledgers) and never alias a named config
+    in store keys.
+
+    The autotuner (:mod:`repro.tune`) leans on this to search
+    MachineConfig knobs without inventing a second wire format.
+    """
+    base_name, sep, overrides_text = name.partition("@")
+    try:
+        base = NAMED_CONFIGS[base_name]()
     except KeyError:
-        raise ValueError(f"unknown machine configuration {name!r}") from None
+        raise ValueError(
+            f"unknown machine configuration {base_name!r}") from None
+    if not sep:
+        return base
+    overrides = {}
+    for item in overrides_text.split(","):
+        knob, eq, text = item.partition("=")
+        knob = knob.strip()
+        if not eq or not knob:
+            raise ValueError(
+                f"bad config override {item!r} in {name!r} "
+                "(expected knob=value)")
+        if knob not in _OVERRIDE_FIELDS:
+            raise ValueError(
+                f"unknown config knob {knob!r} in {name!r} (choose from "
+                f"{', '.join(sorted(_OVERRIDE_FIELDS))})")
+        overrides[knob] = _coerce_override(knob, text)
+    if not overrides:
+        raise ValueError(f"empty config override list in {name!r}")
+    return base.scaled(name=name, **overrides)

@@ -1,0 +1,114 @@
+"""Tuning reports: frontier tables, PNG scatter, committed artifacts.
+
+Three renderings of one result:
+
+* :func:`render_table` — the terminal report: every final-rung trial
+  with its objectives, frontier members marked ``*`` and listed first.
+* :func:`tune_doc` / :func:`write_doc` — the ``benchmarks/``-style JSON
+  artifact (schema-versioned, diffable, committed for the seed space).
+* :func:`write_plot` — optional coverage-vs-IPC PNG via
+  :func:`repro.harness.plot.save_scatter_png` (matplotlib-gated, like
+  every other plot in the harness; text tables need no dependency).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .evaluate import TrialEval
+from .pareto import OBJECTIVES, crowding_order
+from .space import SearchSpace
+
+TUNE_SCHEMA_VERSION = 1
+
+
+def render_table(evals: Sequence[TrialEval],
+                 frontier: Sequence[TrialEval]) -> str:
+    """Fixed-width report: frontier first (marked ``*``), then the rest."""
+    front_ids = {entry.trial_id for entry in frontier}
+    ordered = crowding_order(frontier) + [
+        entry for entry in sorted(evals, key=lambda e: (-e.ipc_norm,
+                                                        e.trial_id))
+        if entry.trial_id not in front_ids]
+    name_w = max([len(e.display_name) for e in ordered] + [8])
+    conf_w = max([len(e.config) for e in ordered] + [6])
+    lines = [f"{'':2s}{'selector':<{name_w}s}  {'config':<{conf_w}s}  "
+             f"{'coverage':>8s}  {'ipc_norm':>8s}  {'rd_ports':>8s}"]
+    for entry in ordered:
+        mark = "* " if entry.trial_id in front_ids else "  "
+        lines.append(f"{mark}{entry.display_name:<{name_w}s}  "
+                     f"{entry.config:<{conf_w}s}  "
+                     f"{entry.coverage:>8.3f}  {entry.ipc_norm:>8.3f}  "
+                     f"{entry.read_ports:>8.3f}")
+    lines.append(f"frontier: {len(frontier)} of {len(evals)} trials "
+                 "(* = Pareto-optimal; coverage/ipc_norm max, "
+                 "rd_ports min)")
+    return "\n".join(lines)
+
+
+def tune_doc(space: SearchSpace, evals: Sequence[TrialEval],
+             frontier: Sequence[TrialEval],
+             stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The schema-versioned JSON document for a finished search."""
+    front_ids = {entry.trial_id for entry in frontier}
+    return {
+        "schema_version": TUNE_SCHEMA_VERSION,
+        "space": space.to_doc(),
+        "space_digest": space.digest(),
+        "objectives": [list(pair) for pair in OBJECTIVES],
+        "trials": [dict(entry.to_doc(),
+                        frontier=entry.trial_id in front_ids)
+                   for entry in sorted(evals,
+                                       key=lambda e: e.trial_id)],
+        "frontier": [entry.trial_id
+                     for entry in crowding_order(frontier)],
+        "stats": dict(stats or {}),
+    }
+
+
+def write_doc(path, doc: Dict[str, Any]) -> str:
+    """Write the artifact with a trailing newline (diff-friendly)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def load_doc(path) -> Dict[str, Any]:
+    """Read an artifact back, checking the schema version."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema_version") != TUNE_SCHEMA_VERSION:
+        raise ValueError(
+            f"tune artifact {path} has schema "
+            f"{doc.get('schema_version')!r}, expected "
+            f"{TUNE_SCHEMA_VERSION}")
+    return doc
+
+
+def write_plot(path, evals: Sequence[TrialEval],
+               frontier: Sequence[TrialEval]) -> str:
+    """Coverage-vs-relative-IPC scatter; frontier points labelled.
+
+    Raises ``ValueError`` when matplotlib is absent — callers surface
+    it as the CLI's one-line error, and the text table still printed.
+    """
+    from ..harness.plot import save_scatter_png
+    front_ids = {entry.trial_id for entry in frontier}
+    cloud = [(entry.coverage, entry.ipc_norm) for entry in evals
+             if entry.trial_id not in front_ids]
+    highlights = {f"{entry.display_name} @ {entry.config}":
+                  (entry.coverage, entry.ipc_norm)
+                  for entry in crowding_order(frontier)}
+    return str(save_scatter_png(
+        cloud, path, highlights=highlights,
+        title="tune: coverage vs relative IPC (frontier labelled)",
+        xlabel="dynamic coverage", ylabel="IPC / baseline IPC"))
+
+
+def summarize(evals: Sequence[TrialEval]) -> List[str]:
+    """One-line-per-trial progress summaries for logs."""
+    return [f"{entry.display_name} @ {entry.config}: "
+            f"cov {entry.coverage:.3f}, ipc {entry.ipc_norm:.3f}, "
+            f"ports {entry.read_ports:.3f}" for entry in evals]

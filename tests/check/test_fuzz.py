@@ -49,7 +49,8 @@ def test_run_fuzz_clean_campaign():
     assert report.ok
     assert report.programs == 6
     assert report.checks == 6 * len(default_selectors())
-    assert len(report.selectors) == 5
+    assert len(report.selectors) == len(default_selectors())
+    assert "read-port" in report.selectors
     assert "no divergences" in report.render()
 
 

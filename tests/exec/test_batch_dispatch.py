@@ -27,10 +27,24 @@ def test_parse_jobs():
     assert parse_jobs("4") == (4, 0)
     assert parse_jobs("1") == (1, 0)
     assert parse_jobs("threads:8") == (1, 8)
+    assert parse_jobs(" threads:8 ") == (1, 8)
     jobs, threads = parse_jobs("threads")
     assert jobs == 1 and threads >= 1
     with pytest.raises(ValueError):
         parse_jobs("sixteen")
+
+
+@pytest.mark.parametrize("bad", [
+    "threads:0", "threads:-2", "threads:", "threads:eight",
+    "threads:2.5", "0", "-1", "-3", "", "2.5", "jobs:4", 0, -4,
+])
+def test_parse_jobs_rejects_bad_values(bad):
+    """Zero, negative, and malformed specs raise a clean one-liner."""
+    with pytest.raises(ValueError) as excinfo:
+        parse_jobs(bad)
+    message = str(excinfo.value)
+    assert "--jobs" in message
+    assert "\n" not in message
 
 
 def _points():

@@ -119,7 +119,8 @@ def test_fuzz_smoke(capsys):
     assert main(["fuzz", "--budget", "3s", "--seed", "0"]) == 0
     out = capsys.readouterr().out
     assert "no divergences" in out
-    assert "5 selectors" in out
+    assert "6 selectors" in out
+    assert "read-port" in out
 
 
 def test_fuzz_bounded_by_programs(capsys):

@@ -1,4 +1,4 @@
-"""The five selectors: pool semantics and relative aggressiveness."""
+"""The selectors: pool semantics, aggressiveness, hyperparameter protocol."""
 
 import pytest
 
@@ -6,7 +6,10 @@ from repro.minigraph import (
     SerializationClass, SlackDynamicSelector, SlackProfileSelector,
     StructAll, StructBounded, StructNone, make_plan,
 )
-from repro.minigraph.selectors import FixedSetSelector
+from repro.minigraph.selectors import (
+    SELECTOR_FAMILIES, FixedSetSelector, ReadPortAwareSelector,
+    selector_from_spec,
+)
 from repro.minigraph.slack import SlackCollector
 from repro.minigraph.templates import build_templates
 from repro.minigraph import enumerate_candidates
@@ -122,3 +125,112 @@ def test_selector_names():
     assert SlackProfileSelector("delay").name == "slack-profile-delay"
     assert SlackProfileSelector("sial").name == "slack-profile-sial"
     assert SlackDynamicSelector().name == "slack-dynamic"
+    assert ReadPortAwareSelector().name == "read-port"
+
+
+# -- hyperparameter protocol --------------------------------------------------
+
+def _protocol_instances():
+    """One instance per registered family, plus hyperparameter variants."""
+    return [
+        StructAll(), StructNone(), StructBounded(),
+        SlackProfileSelector(),
+        SlackProfileSelector("delay", unprofiled_ok=False),
+        SlackProfileSelector("sial", measured_latencies=True),
+        SlackDynamicSelector(),
+        FixedSetSelector({4, 1, 9}),
+        ReadPortAwareSelector(),
+        ReadPortAwareSelector(port_budget=0, pressure_weight=3.0),
+        ReadPortAwareSelector(port_budget=1, pressure_weight=0.5),
+    ]
+
+
+def test_every_family_is_registered():
+    kinds = {type(sel).kind for sel in _protocol_instances()}
+    assert kinds <= set(SELECTOR_FAMILIES)
+    for kind, cls in SELECTOR_FAMILIES.items():
+        assert cls.kind == kind
+
+
+def test_spec_is_kind_plus_params():
+    for sel in _protocol_instances():
+        assert sel.spec() == {"kind": type(sel).kind, **sel.params()}
+
+
+def test_params_round_trip_specs():
+    for sel in _protocol_instances():
+        rebuilt = type(sel).from_params(sel.params())
+        assert rebuilt.spec() == sel.spec()
+        assert rebuilt.display_name == sel.display_name
+        assert selector_from_spec(sel.spec()).spec() == sel.spec()
+
+
+def test_params_round_trip_bit_identical_plans(branchy_loop, branchy_trace):
+    """from_params(s.params()) selects exactly the plan ``s`` selects."""
+    freq = branchy_trace.dynamic_count_of()
+    profile = _profile(branchy_loop, branchy_trace)
+    for sel in _protocol_instances():
+        if isinstance(sel, FixedSetSelector):
+            continue   # site ids are program-specific; covered above
+        rebuilt = type(sel).from_params(sel.params())
+        kwargs = {"profile": profile} if sel.needs_profile else {}
+        original = make_plan(branchy_loop, freq, sel, **kwargs)
+        again = make_plan(branchy_loop, freq, rebuilt, **kwargs)
+        assert [(s.start, s.end, s.template.id) for s in original.sites] \
+            == [(s.start, s.end, s.template.id) for s in again.sites]
+
+
+def test_selector_from_spec_rejects_unknown():
+    with pytest.raises(ValueError):
+        selector_from_spec({"kind": "psychic"})
+    with pytest.raises(ValueError):
+        selector_from_spec({})
+
+
+# -- read-port-aware selector -------------------------------------------------
+
+def test_read_port_rejects_bad_hyperparameters():
+    with pytest.raises(ValueError):
+        ReadPortAwareSelector(port_budget=-1)
+    with pytest.raises(ValueError):
+        ReadPortAwareSelector(pressure_weight=-0.5)
+
+
+def test_read_port_pool_is_subset_of_struct_all(branchy_loop,
+                                                branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    all_ids = {s.id for s in StructAll().build_pool(sites, None)}
+    for budget in (0, 1, 2, 3):
+        for weight in (0.0, 1.0, 3.0):
+            sel = ReadPortAwareSelector(budget, weight)
+            assert {s.id for s in sel.build_pool(sites, None)} <= all_ids
+
+
+def test_read_port_budget_monotone(branchy_loop, branchy_trace):
+    """A larger port budget never shrinks the pool."""
+    sites = _sites(branchy_loop, branchy_trace)
+    pools = [{s.id for s in
+              ReadPortAwareSelector(b, 1.0).build_pool(sites, None)}
+             for b in (0, 1, 2, 3)]
+    for smaller, larger in zip(pools, pools[1:]):
+        assert smaller <= larger
+
+
+def test_read_port_serializing_sites_respect_budget(branchy_loop,
+                                                    branchy_trace):
+    sites = _sites(branchy_loop, branchy_trace)
+    sel = ReadPortAwareSelector(port_budget=1)
+    for site in sel.build_pool(sites, None):
+        if site.candidate.serialization is not SerializationClass.NONE:
+            assert site.candidate.serialization is \
+                SerializationClass.BOUNDED
+            assert len(site.candidate.ext_inputs) <= 1
+
+
+def test_read_port_max_weight_drops_over_budget_sites(branchy_loop,
+                                                      branchy_trace):
+    """At pressure_weight >= MAX_EXT_INPUTS every over-budget site goes."""
+    sites = _sites(branchy_loop, branchy_trace)
+    sel = ReadPortAwareSelector(port_budget=0, pressure_weight=3.0)
+    for site in sel.build_pool(sites, None):
+        assert len(site.candidate.ext_inputs) == 0

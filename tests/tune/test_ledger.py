@@ -1,0 +1,112 @@
+"""Tuning ledger: journal round-trip, torn tails, mismatch refusal."""
+
+import json
+
+import pytest
+
+from repro.tune.evaluate import TrialEval
+from repro.tune.ledger import TUNE_LEDGER_VERSION, TuneLedger, TuneLedgerError
+
+RUNNER = {"budget": 512, "max_insts": 200_000}
+
+
+def _entry(trial_id, rung=200_000, ipc_norm=1.05):
+    return TrialEval(
+        trial_id=trial_id, selector={"kind": "struct-all"},
+        display_name="struct-all", config="reduced", rung=rung,
+        coverage=0.42, ipc_norm=ipc_norm, read_ports=1.25,
+        per_bench=[{"bench": "crc32", "ipc_norm": ipc_norm}])
+
+
+def test_create_record_resume_round_trip(tmp_path):
+    path = tmp_path / "tune.jsonl"
+    with TuneLedger.create(path, "s" * 16, "salt", RUNNER) as ledger:
+        ledger.record(_entry("aaaa", rung=50_000))
+        ledger.record(_entry("aaaa"))
+        ledger.record(_entry("bbbb", ipc_norm=0.98))
+    reopened, completed = TuneLedger.resume(path, "s" * 16, "salt", RUNNER)
+    reopened.close()
+    assert set(completed) == {("aaaa", 50_000), ("aaaa", 200_000),
+                              ("bbbb", 200_000)}
+    got = completed[("bbbb", 200_000)]
+    assert got == _entry("bbbb", ipc_norm=0.98)
+
+
+def test_resume_appends_rather_than_truncates(tmp_path):
+    path = tmp_path / "tune.jsonl"
+    TuneLedger.create(path, "d1", "salt", RUNNER).close()
+    ledger, completed = TuneLedger.open(path, "d1", "salt", RUNNER,
+                                        resume=True)
+    assert completed == {}
+    ledger.record(_entry("aaaa"))
+    ledger.close()
+    _, completed = TuneLedger.resume(path, "d1", "salt", RUNNER)
+    assert ("aaaa", 200_000) in completed
+
+
+def test_open_without_resume_starts_fresh(tmp_path):
+    path = tmp_path / "tune.jsonl"
+    with TuneLedger.create(path, "d1", "salt", RUNNER) as ledger:
+        ledger.record(_entry("aaaa"))
+    ledger, completed = TuneLedger.open(path, "d1", "salt", RUNNER,
+                                        resume=False)
+    ledger.close()
+    assert completed == {}
+    _, completed = TuneLedger.resume(path, "d1", "salt", RUNNER)
+    assert completed == {}              # file was truncated
+
+
+def test_torn_tail_is_ignored(tmp_path):
+    """A SIGKILL mid-write leaves a half line; replay drops it."""
+    path = tmp_path / "tune.jsonl"
+    with TuneLedger.create(path, "d1", "salt", RUNNER) as ledger:
+        ledger.record(_entry("aaaa"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "trial", "trial": "bb')   # torn
+    _, completed = TuneLedger.resume(path, "d1", "salt", RUNNER)
+    assert set(completed) == {("aaaa", 200_000)}
+
+
+def test_duplicate_records_last_wins(tmp_path):
+    path = tmp_path / "tune.jsonl"
+    with TuneLedger.create(path, "d1", "salt", RUNNER) as ledger:
+        ledger.record(_entry("aaaa", ipc_norm=1.00))
+        ledger.record(_entry("aaaa", ipc_norm=1.10))
+    _, completed = TuneLedger.resume(path, "d1", "salt", RUNNER)
+    assert completed[("aaaa", 200_000)].ipc_norm == 1.10
+
+
+@pytest.mark.parametrize("field,other", [
+    ("space", "f" * 16),
+    ("salt", "other-salt"),
+    ("runner", {"budget": 512, "max_insts": 50_000}),
+])
+def test_mismatched_header_is_refused(tmp_path, field, other):
+    path = tmp_path / "tune.jsonl"
+    TuneLedger.create(path, "d1", "salt", RUNNER).close()
+    ours = {"space": "d1", "salt": "salt", "runner": RUNNER, field: other}
+    with pytest.raises(TuneLedgerError) as excinfo:
+        TuneLedger.resume(path, ours["space"], ours["salt"],
+                          ours["runner"])
+    assert field in str(excinfo.value)
+
+
+def test_version_skew_is_refused(tmp_path):
+    path = tmp_path / "tune.jsonl"
+    header = {"type": "tune", "version": TUNE_LEDGER_VERSION + 1,
+              "space": "d1", "salt": "salt", "runner": RUNNER}
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(TuneLedgerError):
+        TuneLedger.resume(path, "d1", "salt", RUNNER)
+
+
+def test_headerless_file_is_refused(tmp_path):
+    path = tmp_path / "tune.jsonl"
+    path.write_text('{"type": "trial"}\n')
+    with pytest.raises(TuneLedgerError):
+        TuneLedger.resume(path, "d1", "salt", RUNNER)
+
+
+def test_missing_file_is_refused(tmp_path):
+    with pytest.raises(TuneLedgerError):
+        TuneLedger.resume(tmp_path / "nope.jsonl", "d1", "salt", RUNNER)

@@ -1,0 +1,79 @@
+"""Pareto reduction properties: the frontier has no dominated point."""
+
+import random
+
+from repro.tune.pareto import (
+    OBJECTIVES, crowding_order, dominates, pareto_front,
+)
+
+
+def _entry(coverage, ipc_norm, read_ports):
+    return {"coverage": coverage, "ipc_norm": ipc_norm,
+            "read_ports": read_ports}
+
+
+def test_dominates_is_strict():
+    a = _entry(0.5, 1.10, 1.0)
+    b = _entry(0.4, 1.05, 1.5)
+    assert dominates(a, b)
+    assert not dominates(b, a)
+    assert not dominates(a, a)          # equal vectors never dominate
+    # Trade-off: better coverage vs. better port demand — incomparable.
+    c = _entry(0.6, 1.00, 2.0)
+    d = _entry(0.3, 1.00, 0.5)
+    assert not dominates(c, d) and not dominates(d, c)
+
+
+def test_min_sense_objective_orientation():
+    """read_ports is minimized: fewer ports dominates, more never does."""
+    lean = _entry(0.5, 1.0, 0.5)
+    hungry = _entry(0.5, 1.0, 2.5)
+    assert dominates(lean, hungry)
+    assert not dominates(hungry, lean)
+
+
+def test_frontier_has_no_dominated_point_property():
+    """Seeded random clouds: frontier members dominate-free, every
+    dominated entry loses to some frontier member (transitivity)."""
+    rng = random.Random(1234)
+    for _round in range(25):
+        entries = [_entry(round(rng.uniform(0, 1), 2),
+                          round(rng.uniform(0.8, 1.3), 2),
+                          round(rng.uniform(0, 3), 2))
+                   for _ in range(rng.randrange(1, 40))]
+        frontier, dominated = pareto_front(entries, OBJECTIVES)
+        assert len(frontier) + len(dominated) == len(entries)
+        assert frontier                      # never empty for non-empty input
+        for entry in frontier:
+            assert not any(dominates(other, entry)
+                           for other in entries)
+        for entry in dominated:
+            assert any(dominates(member, entry) for member in frontier)
+
+
+def test_identical_vectors_all_stay_on_frontier():
+    twin_a = _entry(0.5, 1.1, 1.0)
+    twin_b = _entry(0.5, 1.1, 1.0)
+    loser = _entry(0.4, 1.0, 2.0)
+    frontier, dominated = pareto_front([twin_a, twin_b, loser])
+    assert frontier == [twin_a, twin_b]
+    assert dominated == [loser]
+
+
+def test_frontier_is_input_order_independent():
+    rng = random.Random(7)
+    entries = [_entry(rng.uniform(0, 1), rng.uniform(0.9, 1.2),
+                      rng.uniform(0, 3)) for _ in range(20)]
+    shuffled = entries[:]
+    rng.shuffle(shuffled)
+    front_a, _ = pareto_front(entries)
+    front_b, _ = pareto_front(shuffled)
+    key = lambda e: (e["coverage"], e["ipc_norm"], e["read_ports"])
+    assert sorted(map(key, front_a)) == sorted(map(key, front_b))
+
+
+def test_crowding_order_sorts_by_ipc_first():
+    entries = [_entry(0.9, 1.00, 0.1), _entry(0.2, 1.20, 2.0),
+               _entry(0.5, 1.10, 1.0)]
+    ordered = crowding_order(entries)
+    assert [e["ipc_norm"] for e in ordered] == [1.20, 1.10, 1.00]

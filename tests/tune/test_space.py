@@ -1,0 +1,130 @@
+"""Search-space parsing, expansion, and determinism."""
+
+import json
+
+import pytest
+
+from repro.tune.space import (
+    DEFAULT_SELECTOR_GRIDS, SearchSpace, Trial,
+)
+
+DOC = {
+    "benchmarks": ["crc32", "dijkstra"],
+    "input": "train",
+    "selectors": [
+        {"kind": "struct-all"},
+        {"kind": "read-port", "port_budget": [0, 2],
+         "pressure_weight": [1.0, 3.0]},
+    ],
+    "configs": ["full", "reduced"],
+}
+
+
+def test_expansion_counts():
+    space = SearchSpace.from_doc(DOC)
+    # (1 struct-all + 2*2 read-port) selectors × 2 configs
+    assert len(space.enumerate()) == 10
+
+
+def test_enumeration_is_deterministic():
+    a = SearchSpace.from_doc(DOC).enumerate()
+    b = SearchSpace.from_doc(json.loads(json.dumps(DOC))).enumerate()
+    assert [t.trial_id for t in a] == [t.trial_id for t in b]
+
+
+def test_digest_pins_the_space():
+    assert SearchSpace.from_doc(DOC).digest() \
+        == SearchSpace.from_doc(DOC).digest()
+    other = dict(DOC, configs=["full"])
+    assert SearchSpace.from_doc(other).digest() \
+        != SearchSpace.from_doc(DOC).digest()
+
+
+def test_trial_ids_are_content_addressed():
+    trial = Trial(selector=(("kind", "struct-all"),), config="reduced")
+    again = Trial(selector=(("kind", "struct-all"),), config="reduced")
+    assert trial.trial_id == again.trial_id
+    assert trial.trial_id != Trial(selector=(("kind", "struct-all"),),
+                                   config="full").trial_id
+
+
+def test_duplicate_trials_deduplicated():
+    doc = dict(DOC, selectors=[{"kind": "struct-all"},
+                               {"kind": "struct-all"}])
+    space = SearchSpace.from_doc(doc)
+    assert len(space.enumerate()) == 2   # one selector × two configs
+
+
+def test_bare_kind_uses_default_grid():
+    space = SearchSpace.from_doc({"selectors": [{"kind": "read-port"}],
+                                  "configs": ["reduced"]})
+    grid = DEFAULT_SELECTOR_GRIDS["read-port"]
+    expected = len(grid["port_budget"]) * len(grid["pressure_weight"])
+    assert len(space.enumerate()) == expected
+
+
+def test_string_selector_entries():
+    space = SearchSpace.from_doc({"selectors": ["struct-all",
+                                                "struct-none"],
+                                  "configs": ["reduced"]})
+    assert len(space.enumerate()) == 2
+
+
+def test_config_grid_expands_override_specs():
+    space = SearchSpace.from_doc({
+        "selectors": [{"kind": "struct-all"}],
+        "config_grid": {"base": "reduced", "width": [2, 3],
+                        "phys_regs": [100]},
+    })
+    assert set(space.configs) == {"reduced@phys_regs=100,width=2",
+                                  "reduced@phys_regs=100,width=3"}
+
+
+def test_from_cli_matches_from_doc():
+    cli = SearchSpace.from_cli(["struct-all"], ["full"],
+                               benchmarks=["crc32"])
+    doc = SearchSpace.from_doc({"selectors": [{"kind": "struct-all"}],
+                                "configs": ["full"],
+                                "benchmarks": ["crc32"]})
+    assert cli.digest() == doc.digest()
+
+
+def test_json_file_round_trip(tmp_path):
+    path = tmp_path / "space.json"
+    path.write_text(json.dumps(DOC))
+    assert SearchSpace.from_file(path).digest() \
+        == SearchSpace.from_doc(DOC).digest()
+
+
+def test_toml_file_round_trip(tmp_path):
+    pytest.importorskip("tomllib")
+    path = tmp_path / "space.toml"
+    path.write_text(
+        'benchmarks = ["crc32", "dijkstra"]\n'
+        'input = "train"\n'
+        'configs = ["full", "reduced"]\n'
+        '[[selectors]]\nkind = "struct-all"\n'
+        '[[selectors]]\nkind = "read-port"\n'
+        'port_budget = [0, 2]\npressure_weight = [1.0, 3.0]\n')
+    assert SearchSpace.from_file(path).digest() \
+        == SearchSpace.from_doc(DOC).digest()
+
+
+@pytest.mark.parametrize("doc", [
+    {"selectors": [{"kind": "psychic"}]},
+    {"selectors": [{"kind": "read-port", "port_budget": [-1]}]},
+    {"configs": ["bogus"]},
+    {"configs": ["reduced@nope=1"]},
+    {"frobnicate": True},
+    [],
+])
+def test_bad_documents_rejected(doc):
+    with pytest.raises(ValueError):
+        SearchSpace.from_doc(doc)
+
+
+def test_bad_json_file_rejected(tmp_path):
+    path = tmp_path / "space.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError):
+        SearchSpace.from_file(path)

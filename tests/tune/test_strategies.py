@@ -1,0 +1,84 @@
+"""Strategy planning: determinism, prefix property, rung schedules."""
+
+import pytest
+
+from repro.tune.space import SearchSpace
+from repro.tune.strategies import (
+    halving_rungs, plan_grid, plan_random, survivors,
+)
+
+SPACE = SearchSpace.from_doc({
+    "selectors": [
+        {"kind": "struct-all"}, {"kind": "struct-none"},
+        {"kind": "read-port", "port_budget": [0, 1, 2]},
+    ],
+    "configs": ["full", "reduced"],
+})
+
+
+def test_grid_is_enumeration_order():
+    trials = SPACE.enumerate()
+    assert plan_grid(trials) == trials
+
+
+def test_random_is_deterministic_in_seed():
+    trials = SPACE.enumerate()
+    assert plan_random(trials, seed=3, n=6) \
+        == plan_random(trials, seed=3, n=6)
+    assert plan_random(trials, seed=3, n=len(trials)) \
+        != plan_random(trials, seed=4, n=len(trials))
+
+
+def test_random_is_incremental_in_n():
+    """A bigger --trials keeps the smaller sample as its prefix."""
+    trials = SPACE.enumerate()
+    small = plan_random(trials, seed=11, n=3)
+    large = plan_random(trials, seed=11, n=8)
+    assert large[:3] == small
+
+
+def test_random_is_order_independent():
+    trials = SPACE.enumerate()
+    assert plan_random(list(reversed(trials)), seed=5, n=4) \
+        == plan_random(trials, seed=5, n=4)
+
+
+def test_random_samples_without_replacement():
+    trials = SPACE.enumerate()
+    plan = plan_random(trials, seed=0, n=len(trials) + 10)
+    assert len(plan) == len(trials)
+    assert len({t.trial_id for t in plan}) == len(plan)
+
+
+def test_random_rejects_nonpositive_n():
+    with pytest.raises(ValueError):
+        plan_random(SPACE.enumerate(), seed=0, n=0)
+
+
+def test_halving_rungs_shape():
+    assert halving_rungs(200_000, eta=2, min_insts=50_000) \
+        == [50_000, 100_000, 200_000]
+    assert halving_rungs(1_000_000, eta=4, min_insts=50_000) \
+        == [62_500, 250_000, 1_000_000]
+    # Budget already at/below the floor: a single full rung.
+    assert halving_rungs(50_000, eta=2, min_insts=50_000) == [50_000]
+
+
+def test_halving_rungs_end_at_full_budget():
+    for eta in (2, 3):
+        rungs = halving_rungs(2_000_000, eta=eta)
+        assert rungs[-1] == 2_000_000
+        assert rungs == sorted(rungs)
+
+
+def test_halving_rejects_small_eta():
+    with pytest.raises(ValueError):
+        halving_rungs(1_000_000, eta=1)
+
+
+def test_survivors_keep_ceil_fraction():
+    trials = SPACE.enumerate()
+    assert len(survivors(trials[:7], eta=2)) == 4
+    assert len(survivors(trials[:6], eta=3)) == 2
+    assert survivors(trials[:1], eta=2) == trials[:1]
+    assert survivors(trials[:5], eta=2) == trials[:3]   # prefix of ranking
