@@ -309,6 +309,27 @@ def _cmd_bench(args) -> int:
         DEFAULT_BENCHMARKS, DEFAULT_SELECTORS, QUICK_BENCHMARKS,
         QUICK_SELECTORS, check_against, load_report, run_bench, write_report,
     )
+    if args.plan:
+        from .harness.bench import (
+            check_plan_report, run_plan_bench, write_plan_report,
+        )
+        benchmarks = list(args.benchmarks or
+                          (QUICK_BENCHMARKS if args.quick
+                           else DEFAULT_BENCHMARKS))
+        label = "plankern" if args.label == "local" else args.label
+        report = run_plan_bench(
+            benchmarks, label=label, repeat=max(3, args.repeat),
+            log=lambda line: print(line, file=sys.stderr))
+        print(report.render())
+        path = write_plan_report(report, args.out)
+        print(f"wrote {path}")
+        failures = check_plan_report(report,
+                                     min_speedup=args.min_speedup)
+        if failures:
+            for failure in failures:
+                print(f"bench: FAIL {failure}", file=sys.stderr)
+            return 1
+        return 0
     if args.batch:
         from .harness.bench import (
             check_batch_report, run_batch_bench, write_batch_report,
@@ -815,9 +836,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "BENCH_batch.json")
     p_bench.add_argument("--batch-threads", type=int, default=0,
                          help="C threads for --batch (default: auto)")
+    p_bench.add_argument("--plan", action="store_true",
+                         help="benchmark native plan construction "
+                              "(profile build, enumeration, scoring) "
+                              "against the pure-Python reference; writes "
+                              "BENCH_plankern.json")
     p_bench.add_argument("--min-speedup", type=float, default=3.0,
-                         help="--batch gate: batched dispatch must beat "
-                              "per-point by this factor (default 3.0)")
+                         help="--batch/--plan gate: the native path must "
+                              "beat the reference by this factor "
+                              "(default 3.0)")
     _add_cache_flags(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from ..isa.program import Program
 from ..minigraph.slack import SLACK_CAP, ProfileEntry, SlackCollector, \
     SlackProfile
+from ..pipeline import ckern as _ckern
 from ..pipeline.ckern import (
     TAP_CONSUME as _TAP_CONSUME,
     TAP_FLAG_GLOBAL,
@@ -62,6 +63,10 @@ class GlobalSlackCollector(SlackCollector):
         # present, global_profile() rebuilds from it instead of the
         # in-loop callback state above.
         self._tap_global: Optional[tuple] = None
+        # Per-pc (n_singletons, sums, mins, counts) from the native
+        # event fold (ckern.global_fold); takes precedence over
+        # _tap_global in global_profile() when set.
+        self._tap_folded: Optional[tuple] = None
 
     # -- core callbacks (extend the local collector's) ----------------------
 
@@ -102,6 +107,15 @@ class GlobalSlackCollector(SlackCollector):
           per ix belongs to the committed instance.
         """
         super().ingest_ckern_tap(packed, events, n_words, n_committed)
+        if _ckern.available():
+            # Preferred path: the decode above plus the backward DP run
+            # as one C call (same float-op order, so the same doubles).
+            folded = _ckern.global_fold(events, n_words, n_committed,
+                                        packed, len(self.program),
+                                        SLACK_CAP)
+            if folded is not None:
+                self._tap_folded = folded
+                return
         n = packed.n
         gen = [0] * n
         consumers: Dict[Tuple[int, int], list] = {}
@@ -191,8 +205,25 @@ class GlobalSlackCollector(SlackCollector):
             ready = uop.complete_cycle
         return ready
 
+    def _global_profile_from_fold(self) -> SlackProfile:
+        """Entries from the native fold's per-pc aggregate columns."""
+        n_singletons, sums, mins, counts = self._tap_folded
+        if n_singletons == 0:
+            return SlackProfile(self.program.name, self.config_name,
+                                self.input_name, {})
+        local = self.profile()
+        entries: Dict[int, ProfileEntry] = {}
+        for pc, entry in local.entries.items():
+            entries[pc] = ProfileEntry(
+                pc, entry.count, entry.rel_issue, entry.src_ready,
+                entry.out_ready, sums[pc] / counts[pc], int(mins[pc]))
+        return SlackProfile(self.program.name, self.config_name,
+                            self.input_name, entries)
+
     def global_profile(self) -> SlackProfile:
         """Backward-DP global slack, aggregated per static instruction."""
+        if self._tap_folded is not None:
+            return self._global_profile_from_fold()
         if self._tap_global is not None:
             return self._global_profile_from_tap()
         self.on_finish()

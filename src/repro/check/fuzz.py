@@ -34,6 +34,7 @@ from ..isa.interp import (
 from ..isa.program import Program
 from ..minigraph.candidates import enumerate_candidates
 from ..minigraph.selection import MiniGraphPlan
+from ..minigraph.templates import build_templates
 from ..minigraph.selectors import (
     ReadPortAwareSelector, Selector, SlackDynamicSelector,
     SlackProfileSelector, StructAll, StructBounded, StructNone, make_plan,
@@ -164,7 +165,13 @@ def check_program(program: Program,
         return CheckFailure("execution", "",
                             f"{type(error).__name__}: {error}")
     freq_counts = trace.dynamic_count_of()
+    # Enumeration and template grouping are selector-independent: hoist
+    # both out of the per-selector loop (folds reassign the per-site
+    # scratch pcs, so sharing sites across sequential plan/fold/check
+    # rounds cannot leak state between selectors).
     candidates = enumerate_candidates(program, max_size=max_size)
+    templates = build_templates(candidates, freq_counts)
+    sites = [site for template in templates for site in template.sites]
     profile = None
     for selector in (selectors if selectors is not None
                      else default_selectors()):
@@ -174,7 +181,8 @@ def check_program(program: Program,
                          profile=profile if selector.needs_profile
                          else None,
                          budget=budget, max_size=max_size,
-                         candidates=candidates, verify=False)
+                         candidates=candidates, verify=False,
+                         sites=sites)
         if plan_hook is not None:
             plan = plan_hook(program, selector, plan)
         report = lockstep_check(program, plan, trace=trace,

@@ -154,7 +154,16 @@ def run_batch_wave(tasks: Sequence, threads: int
     if not ckern.available():
         return results
     prepared: List[_Prepared] = []
-    for task in tasks:
+    # Prepare in (bench, input) order: plan construction behind
+    # selector points reuses per-program state (hoisted template sites,
+    # packed static columns, profile scoring columns) through bounded
+    # caches, so grouping same-program points keeps those caches hot.
+    # Results are keyed by task id, so the order is otherwise free.
+    def _locality(task):
+        spec = task.args[0]
+        return (str(spec.get("bench", "")), str(spec.get("input", "")))
+
+    for task in sorted(tasks, key=_locality):
         try:
             p = _prepare(task)
         except Exception:  # noqa: BLE001 - serial rerun reports it

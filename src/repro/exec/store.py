@@ -43,7 +43,9 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+)
 
 #: Sentinel returned by :meth:`ArtifactStore.get` on a miss, so that
 #: ``None`` remains a storable value.
@@ -78,18 +80,30 @@ def code_version() -> str:
     """
     global _code_version
     if _code_version is None:
-        digest = hashlib.sha256()
-        digest.update(f"layout:{LAYOUT_VERSION}".encode())
         pkg_root = Path(__file__).resolve().parent.parent
-        for package in _SALT_PACKAGES:
-            package_root = pkg_root / package
-            paths = sorted(package_root.glob("*.py")) + \
-                sorted(package_root.glob("*.c"))
-            for path in paths:
-                digest.update(path.name.encode())
-                digest.update(path.read_bytes())
-        _code_version = digest.hexdigest()[:16]
+        _code_version = source_digest(pkg_root)
     return _code_version
+
+
+def source_digest(pkg_root: Path,
+                  packages: Sequence[str] = _SALT_PACKAGES) -> str:
+    """The code-version digest over one source tree (testable directly).
+
+    Walks ``pkg_root/<package>`` for every salt package, folding file
+    names and bytes of every ``*.py`` *and* ``*.c`` source into one
+    SHA-256 — native-kernel edits invalidate cached artifacts exactly
+    like Python edits do.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"layout:{LAYOUT_VERSION}".encode())
+    for package in packages:
+        package_root = Path(pkg_root) / package
+        paths = sorted(package_root.glob("*.py")) + \
+            sorted(package_root.glob("*.c"))
+        for path in paths:
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 @dataclass

@@ -510,3 +510,305 @@ def check_against(current: BenchReport, baseline: BenchReport,
                 f"{floor:.1f} (baseline {baseline.kips:.1f} "
                 f"- {tolerance:.0%})")
     return failures
+
+
+# ---------------------------------------------------------------------
+# Plan-construction bench (``repro bench --plan``)
+# ---------------------------------------------------------------------
+#
+# The plan-kernel counterpart of the batch bench above: instead of the
+# cycle loop, it times the three plan-construction stages the compiled
+# kernel accelerates — post-hoc slack-profile build from the event tap,
+# candidate enumeration, and selector scoring — native against the
+# pure-Python reference (forced in-process via ``REPRO_PURE_PY``; both
+# sides run the same entry points, so the comparison is the real
+# fallback path, not a strawman). Every point asserts bit-identity
+# (pickled profiles, pickled candidate lists, selected pools) before
+# its timings count, so a plan-bench report doubles as a parity check.
+
+PLAN_SCHEMA_VERSION = 1
+
+#: Stages in report order; ``total`` rows aggregate all three.
+PLAN_STAGES = ("profile", "enumerate", "score")
+
+
+@dataclass
+class PlanBenchPoint:
+    """One benchmark's native-vs-Python plan-construction comparison."""
+
+    bench: str
+    n_static: int
+    n_candidates: int
+    tap_words: int
+    profile_py_ms: float
+    profile_native_ms: float
+    enumerate_py_ms: float
+    enumerate_native_ms: float
+    score_py_ms: float
+    score_native_ms: float
+    total_py_ms: float
+    total_native_ms: float
+    speedup: float
+
+
+@dataclass
+class PlanBenchReport:
+    """Serialized to ``BENCH_<label>.json`` (label default ``plankern``)."""
+
+    label: str = "plankern"
+    schema: int = PLAN_SCHEMA_VERSION
+    created: str = ""
+    python: str = ""
+    platform: str = ""
+    config: str = "reduced"
+    repeat: int = 3
+    max_mg_size: int = 4
+    max_ext_inputs: int = 3
+    points: List[PlanBenchPoint] = field(default_factory=list)
+    total_py_ms: float = 0.0
+    total_native_ms: float = 0.0
+    speedup: float = 0.0
+
+    def finalize(self) -> None:
+        self.total_py_ms = sum(p.total_py_ms for p in self.points)
+        self.total_native_ms = sum(p.total_native_ms for p in self.points)
+        self.speedup = (self.total_py_ms / self.total_native_ms
+                        if self.total_native_ms else 0.0)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        lines = [f"{'bench':<10s} {'static':>6s} {'cands':>6s} "
+                 f"{'profile':>9s} {'enum':>9s} {'score':>9s} "
+                 f"{'total':>13s} {'speedup':>8s}   (py/native ms)"]
+        for p in self.points:
+            lines.append(
+                f"{p.bench:<10s} {p.n_static:>6d} {p.n_candidates:>6d} "
+                f"{p.profile_py_ms:>4.1f}/{p.profile_native_ms:<4.2f} "
+                f"{p.enumerate_py_ms:>4.1f}/{p.enumerate_native_ms:<4.2f} "
+                f"{p.score_py_ms:>4.2f}/{p.score_native_ms:<4.2f} "
+                f"{p.total_py_ms:>6.1f}/{p.total_native_ms:<6.2f} "
+                f"{p.speedup:>7.1f}x")
+        lines.append(f"{'total':<10s} {'':>6s} {'':>6s} {'':>9s} {'':>9s} "
+                     f"{'':>9s} {self.total_py_ms:>6.1f}/"
+                     f"{self.total_native_ms:<6.2f} {self.speedup:>7.1f}x")
+        lines.append(f"({self.python}, {self.platform}, "
+                     f"repeat {self.repeat}, keep fastest)")
+        return "\n".join(lines)
+
+
+class _PurePy:
+    """Force the pure-Python reference path inside a ``with`` block.
+
+    ``ckern.available()`` re-reads ``REPRO_PURE_PY`` on every call, so
+    flipping the environment variable in-process is enough to route
+    every plan entry point (profile build, enumeration, scoring, tap
+    fold) through its reference implementation.
+    """
+
+    def __enter__(self):
+        import os
+        self._prior = os.environ.get("REPRO_PURE_PY")
+        os.environ["REPRO_PURE_PY"] = "1"
+        return self
+
+    def __exit__(self, *exc):
+        import os
+        if self._prior is None:
+            del os.environ["REPRO_PURE_PY"]
+        else:
+            os.environ["REPRO_PURE_PY"] = self._prior
+        return False
+
+
+def _best_of(fn: Callable[[], object], repeat: int) -> float:
+    """Fastest-of-N wall milliseconds for ``fn()`` (N >= 1)."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def run_plan_bench(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                   label: str = "plankern",
+                   repeat: int = 3,
+                   log: Optional[Callable[[str], None]] = None
+                   ) -> PlanBenchReport:
+    """Native vs pure-Python plan construction over the golden matrix.
+
+    For each benchmark, one kernel profiling run captures the event-tap
+    log (not timed); the stopwatch then covers (a) rebuilding the slack
+    profile from that log, (b) enumerating candidates — materialized to
+    ``Candidate`` objects on both legs, so lazy rehydration is charged
+    to the native side — and (c) scoring the full site list through
+    ``SlackProfileSelector.build_pool``. Parity between the legs is
+    asserted before any timing is recorded.
+    """
+    import pickle
+    import tempfile
+
+    from ..exec.store import ArtifactStore
+    from ..minigraph import candidates as candidates_mod
+    from ..minigraph.candidates import enumerate_candidates
+    from ..minigraph.selectors import SlackProfileSelector
+    from ..minigraph.slack import SlackCollector
+    from ..minigraph.templates import build_templates
+    from ..pipeline import ckern
+
+    if not ckern.available():
+        raise RuntimeError("plan bench needs the compiled kernel "
+                           "(C compiler available, REPRO_PURE_PY unset)")
+    config = config_by_name("reduced")
+    report = PlanBenchReport(
+        label=label,
+        created=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        python=platform.python_version(),
+        platform=f"{platform.system()}-{platform.machine()}",
+        config=config.name, repeat=repeat)
+    with tempfile.TemporaryDirectory(prefix="repro-planbench-") as scratch:
+        runner = Runner(store=ArtifactStore(scratch))
+        for name in benchmarks:
+            bench = runner._bench(name)
+            program = bench.program("train")
+
+            # -- capture one tap event log (not timed) ------------------
+            core, _finalize = runner.profile_prepared(bench, config,
+                                                      "train")
+            entry = core.kernel_batch_entry(200_000_000)
+            if entry is None:
+                raise RuntimeError(f"{name}: profiling core is not "
+                                   f"kernel-eligible")
+            (rc, out, events, n_words, overflowed), = \
+                ckern.run_batch([entry], 1)
+            if rc != ckern.RC_OK or overflowed:
+                raise RuntimeError(f"{name}: tap capture failed (rc={rc})")
+            committed = out[ckern.OUT_SLOTS_COMMITTED]
+            packed = core.records
+
+            # -- stage 1: profile build from the event log --------------
+            def build_profile():
+                collector = SlackCollector(program,
+                                           config_name=config.name,
+                                           input_name="train")
+                collector.ingest_ckern_tap(packed, events, n_words,
+                                           committed)
+                return collector.profile()
+
+            profile_native = build_profile()
+            profile_ms = _best_of(build_profile, repeat)
+            with _PurePy():
+                profile_py = build_profile()
+                profile_py_ms = _best_of(build_profile, repeat)
+            if pickle.dumps(profile_native) != pickle.dumps(profile_py):
+                raise RuntimeError(f"{name}: native profile diverged "
+                                   f"from the Python reference")
+
+            # -- stage 2: candidate enumeration -------------------------
+            def enumerate_fresh():
+                # Charge the native leg its full cost: packed-column
+                # build (caches cleared) plus Candidate rehydration.
+                candidates_mod._STATIC_CACHE.clear()
+                candidates_mod._PACK_CACHE.clear()
+                return list(enumerate_candidates(
+                    program, max_size=report.max_mg_size,
+                    max_ext_inputs=report.max_ext_inputs))
+
+            candidates = enumerate_candidates(
+                program, max_size=report.max_mg_size,
+                max_ext_inputs=report.max_ext_inputs)
+            enum_ms = _best_of(enumerate_fresh, repeat)
+            with _PurePy():
+                candidates_py = enumerate_fresh()
+                enum_py_ms = _best_of(enumerate_fresh, repeat)
+            if pickle.dumps(list(candidates)) != pickle.dumps(candidates_py):
+                raise RuntimeError(f"{name}: native enumeration diverged "
+                                   f"from the Python reference")
+
+            # -- stage 3: selector scoring ------------------------------
+            freq_counts = runner.trace(bench, "train").dynamic_count_of()
+            templates = build_templates(candidates, freq_counts)
+            sites = [site for template in templates
+                     for site in template.sites]
+            selector = SlackProfileSelector()
+
+            def score():
+                return selector.build_pool(sites, profile_native,
+                                           candidates)
+
+            pool_native = score()
+            score_ms = _best_of(score, repeat)
+            with _PurePy():
+                pool_py = score()
+                score_py_ms = _best_of(score, repeat)
+            if [site.id for site in pool_native] != \
+                    [site.id for site in pool_py]:
+                raise RuntimeError(f"{name}: native scoring diverged "
+                                   f"from the Python reference")
+
+            total_py = profile_py_ms + enum_py_ms + score_py_ms
+            total_native = profile_ms + enum_ms + score_ms
+            point = PlanBenchPoint(
+                bench=name, n_static=len(program),
+                n_candidates=len(candidates), tap_words=n_words,
+                profile_py_ms=profile_py_ms, profile_native_ms=profile_ms,
+                enumerate_py_ms=enum_py_ms, enumerate_native_ms=enum_ms,
+                score_py_ms=score_py_ms, score_native_ms=score_ms,
+                total_py_ms=total_py, total_native_ms=total_native,
+                speedup=total_py / total_native if total_native else 0.0)
+            report.points.append(point)
+            if log is not None:
+                log(f"[bench] plan/{name}: {point.speedup:.1f}x "
+                    f"({total_py:.1f} -> {total_native:.2f} ms, "
+                    f"{len(candidates)} candidates, {n_words} tap words)")
+    report.finalize()
+    return report
+
+
+def write_plan_report(report: PlanBenchReport,
+                      out_dir: Path = Path(".")) -> Path:
+    """Write ``BENCH_<label>.json`` for a plan report."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report.label}.json"
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_plan_report(path) -> PlanBenchReport:
+    """Load a plan report back from JSON."""
+    with open(path) as handle:
+        data = json.load(handle)
+    points = [PlanBenchPoint(**p) for p in data.pop("points", [])]
+    known = set(PlanBenchReport.__dataclass_fields__)
+    report = PlanBenchReport(
+        **{k: v for k, v in data.items() if k in known})
+    report.points = points
+    return report
+
+
+def check_plan_report(report: PlanBenchReport,
+                      min_speedup: float = 3.0) -> List[str]:
+    """Gate: native plan construction must beat Python per point.
+
+    Per point rather than in aggregate so a large benchmark cannot
+    amortize a regression on a small one; the profile-build stage
+    scales with the dynamic event log while enumeration and scoring
+    scale with the static program, so every point clears the bar on
+    its own.
+    """
+    failures: List[str] = []
+    if not report.points:
+        return ["plan report has no points"]
+    for point in report.points:
+        if point.speedup < min_speedup:
+            failures.append(
+                f"{point.bench}: native plan construction only "
+                f"{point.speedup:.2f}x the Python reference "
+                f"(gate {min_speedup:.1f}x, {point.total_py_ms:.1f} vs "
+                f"{point.total_native_ms:.2f} ms)")
+    return failures

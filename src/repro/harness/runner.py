@@ -36,6 +36,7 @@ from ..minigraph.dynamic import MiniGraphPolicy, SlackDynamicPolicy
 from ..minigraph.selection import MiniGraphPlan
 from ..minigraph.selectors import Selector, make_plan
 from ..minigraph.slack import SlackCollector, SlackProfile
+from ..minigraph.templates import build_templates
 from ..minigraph.transform import fold_trace
 from ..pipeline.config import MachineConfig, config_by_name
 from ..pipeline.core import OoOCore
@@ -101,6 +102,11 @@ class Runner:
         #: Degree of process fan-out used by drivers that schedule their
         #: own work through :mod:`repro.exec` (e.g. the limit study).
         self.jobs = jobs
+        # Hoisted template sites per (bench, input, profile_input):
+        # enumeration and template grouping are selector-independent,
+        # so the per-selector plan loop shares one build_templates pass
+        # (bounded; in-memory only — sites are cheap to rebuild).
+        self._sites_memo: Dict = {}
 
     @classmethod
     def from_params(cls, params: Dict, jobs: int = 1) -> "Runner":
@@ -232,7 +238,11 @@ class Runner:
 
         def compute() -> List[Candidate]:
             program = bench.program(input_name)
-            return enumerate_candidates(program, max_size=self.max_mg_size)
+            # Materialize: the native enumerator returns a lazy packed
+            # set, but the stored artifact must be the same plain list
+            # the Python reference produces (byte-identical pickles).
+            return list(enumerate_candidates(program,
+                                             max_size=self.max_mg_size))
 
         return self.store.get_or_compute("candidates", params, compute)
 
@@ -382,12 +392,38 @@ class Runner:
                 # same instruction sequence; candidate enumeration runs on
                 # the target program with frequencies from the profile run.
                 freq_counts = self._align_counts(program, freq_counts)
+            candidates = self.candidates(bench, input_name)
+            sites = self._hoisted_sites(bench.name, input_name,
+                                        profile_input, candidates,
+                                        freq_counts)
             return make_plan(
                 program, freq_counts, selector, profile=profile,
                 budget=self.budget, max_size=self.max_mg_size,
-                candidates=self.candidates(bench, input_name))
+                candidates=candidates, sites=sites)
 
         return self.store.get_or_compute("plan", params, compute)
+
+    def _hoisted_sites(self, bench_name: str, input_name: str,
+                       profile_input: str, candidates, freq_counts):
+        """Template sites shared across the per-selector plan loop.
+
+        Enumeration and ``build_templates`` are selector-independent, so
+        an experiment matrix that plans the same (bench, input) under
+        many selectors reuses one grouping pass. Safe to share: folds
+        reassign the per-site scratch pcs before reading them, and
+        pickled sites normalize those pcs (``MGSite.__getstate__``), so
+        plans built from reused sites are bit-identical to fresh ones.
+        """
+        key = (bench_name, input_name, profile_input, self.max_mg_size)
+        hit = self._sites_memo.get(key)
+        if hit is not None:
+            return hit
+        templates = build_templates(candidates, freq_counts)
+        sites = [site for template in templates for site in template.sites]
+        if len(self._sites_memo) >= 8:
+            self._sites_memo.clear()
+        self._sites_memo[key] = sites
+        return sites
 
     @staticmethod
     def _align_counts(program, counts: List[int]) -> List[int]:

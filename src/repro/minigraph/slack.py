@@ -22,7 +22,9 @@ from array import array
 from typing import Dict, List, Optional, Tuple
 
 from ..isa.program import Program
+from ..pipeline import ckern as _ckern
 from ..pipeline.ckern import (
+    PLAN_MAX_SRC as _PLAN_MAX_SRC,
     TAP_CONSUME as _TAP_CONSUME,
     TAP_ISSUE as _TAP_ISSUE,
     TAP_REDIRECT as _TAP_REDIRECT,
@@ -123,6 +125,10 @@ class SlackCollector:
         self._leaders = {block.start for block in program.basic_blocks()}
         self._anchor = 0
         self._acc: Dict[int, _Accumulator] = {}
+        # Packed SoA accumulator from the native one-call profile build
+        # (ckern.profile_build); exactly one of _acc / _packed_acc holds
+        # data — profile() reads whichever path ran.
+        self._packed_acc = None
         # Per-dynamic-producer minimum consumer slack, keyed by uop identity.
         self._pending_slack: Dict[int, int] = {}
         self._committed: List = []
@@ -222,6 +228,24 @@ class SlackCollector:
         if self._finished:
             return
         self._finished = True
+        if not self._acc:
+            # Preferred path: one C call fuses the event fold with the
+            # commit-prefix aggregation and hands back dense SoA columns
+            # (bit-identical: int sums, same order, same clamps). Any
+            # failure (REPRO_PURE_PY, no compiler, unsupported shape)
+            # returns None and the reference loop below runs instead.
+            n_static = len(self.program)
+            is_leader = array("b", bytes(n_static))
+            for pc in self._leaders:
+                if 0 <= pc < n_static:
+                    is_leader[pc] = 1
+            native = _ckern.profile_build(
+                events, n_words, n_committed, packed, is_leader,
+                n_static, self._anchor, SLACK_CAP)
+            if native is not None:
+                self._packed_acc = native
+                self._anchor = native.anchor
+                return
         n = packed.n
         none = 1 << 62
         cells = array("q", [none]) * n
@@ -316,6 +340,29 @@ class SlackCollector:
         if not self._finished:
             self.on_finish()
         entries: Dict[int, ProfileEntry] = {}
+        pk = self._packed_acc
+        if pk is not None:
+            # Rehydrate from the native SoA columns. `order` lists pcs
+            # in first-commit order — the same iteration order as the
+            # reference `_acc` dict — and every division below is the
+            # identical single int/int division the reference performs,
+            # so the resulting profile pickles byte-for-byte the same.
+            stride = _PLAN_MAX_SRC
+            for k in range(pk.n_order):
+                pc = pk.order[k]
+                count = pk.count[pc]
+                base = pc * stride
+                src_ready = tuple(
+                    (pk.src_sum[base + i] / pk.src_count[base + i])
+                    if pk.src_count[base + i] else NEVER_READY
+                    for i in range(pk.n_src[pc]))
+                out_ready = (pk.out_sum[pc] / pk.out_count[pc]
+                             if pk.out_count[pc] else None)
+                entries[pc] = ProfileEntry(
+                    pc, count, pk.issue_sum[pc] / count, src_ready,
+                    out_ready, pk.slack_sum[pc] / count, pk.min_slack[pc])
+            return SlackProfile(self.program.name, self.config_name,
+                                self.input_name, entries)
         for pc, acc in self._acc.items():
             count = acc.count
             src_ready = tuple(

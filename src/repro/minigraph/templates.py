@@ -93,6 +93,21 @@ class MGSite:
                 self.mem_pc = candidate.start + offset
                 break
 
+    def __getstate__(self):
+        # handle_pc / outlined_pc are scratch state owned by the trace
+        # fold (every fold reassigns them before they are read), so
+        # pickled sites normalize them to the unassigned sentinel: a
+        # plan built from hoisted, previously-folded sites serializes
+        # byte-identically to one built from fresh sites.
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["handle_pc"] = -1
+        state["outlined_pc"] = -1
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     @property
     def start(self) -> int:
         return self.candidate.start

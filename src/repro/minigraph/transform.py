@@ -63,7 +63,14 @@ class TransformedBinary:
         self._layout()
 
     def _layout(self) -> None:
-        """Assign post-outlining PCs (binary compaction + outlined bodies)."""
+        """Assign post-outlining PCs (binary compaction + outlined bodies).
+
+        ``site.handle_pc`` / ``site.outlined_pc`` are reassigned on
+        every fold before anything reads them — the contract that lets
+        the runner and fuzz paths hoist one site list across the
+        per-selector plan loop (and ``MGSite.__getstate__`` normalize
+        the scratch pcs away when plans are pickled).
+        """
         new_pc = 0
         site_iter = iter(self.plan.sites)
         site = next(site_iter, None)

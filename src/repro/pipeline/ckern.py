@@ -88,6 +88,12 @@ RC_OK = 0
 RC_BUDGET = 1
 RC_NO_COMMIT = 2
 RC_NOMEM = 3
+RC_UNSUPPORTED = 4  # plan kernels: shape outside packed bounds
+
+#: Source positions per singleton in the packed profile columns
+#: (stride of the ``src_sum``/``src_count``/``src_ready`` columns; the
+#: ISA has at most 3 operands, must match PLAN_MAX_SRC in _ckern.c).
+PLAN_MAX_SRC = 4
 
 # -- event-tap tags (must match _ckern.c) ------------------------------
 # Each event is three int64 words: ``(ix << 4) | tag, a, b``. See
@@ -113,6 +119,7 @@ MAX_PRODUCERS = 8
 
 _I64P = ctypes.POINTER(ctypes.c_int64)
 _I8P = ctypes.POINTER(ctypes.c_int8)
+_DBLP = ctypes.POINTER(ctypes.c_double)
 
 
 class _CTrace(ctypes.Structure):
@@ -162,6 +169,12 @@ counters = {
     "batch_fallbacks": 0,      # points degraded to the Python loop
     "batch_threads_last": 0,   # threads used by the most recent batch
     "tap_overflow_retries": 0,  # single-point 4x event-buffer retries
+    # Plan-construction kernels (profile build / enumeration / scoring).
+    "profiles_built_native": 0,       # repro_profile_build successes
+    "candidates_enumerated_native": 0,  # candidates packed by C enumeration
+    "scoring_calls": 0,               # repro_score_candidates calls
+    "global_folds_native": 0,         # repro_global_fold successes
+    "plan_fallbacks": 0,       # plan-kernel calls degraded to Python
 }
 
 
@@ -251,6 +264,34 @@ def _load():
         lib.repro_tap_fold.restype = None
         lib.repro_tap_fold.argtypes = [_I64P, ctypes.c_int64, _I64P, _I64P,
                                        _I64P]
+        lib.repro_profile_build.restype = ctypes.c_int64
+        lib.repro_profile_build.argtypes = [
+            _I64P, ctypes.c_int64, ctypes.c_int64,       # event log
+            _I8P, _I64P, _I64P, _I64P, _I64P,            # trace columns
+            ctypes.c_int64,                              # n
+            _I8P, ctypes.c_int64,                        # leaders, n_static
+            ctypes.c_int64, ctypes.c_int64,              # anchor, cap
+            _I64P, _I64P, _I64P, _I64P, _I64P,           # count..n_src
+            _I64P, _I64P, _I64P, _I64P,                  # out/slack/min
+            _I64P, _I64P]                                # order, meta
+        lib.repro_enumerate_candidates.restype = ctypes.c_int64
+        lib.repro_enumerate_candidates.argtypes = [
+            _I64P, _I64P, _I64P, _I64P, ctypes.c_int64,  # static listing
+            _I64P, _I64P, ctypes.c_int64,                # blocks
+            ctypes.c_int64, ctypes.c_int64,              # max_size/ext
+            _I64P, _I64P, _I64P, _I64P, _I64P, _I64P,    # candidate cols
+            ctypes.c_int64]                              # cap
+        lib.repro_score_candidates.restype = ctypes.c_int64
+        lib.repro_score_candidates.argtypes = [
+            ctypes.c_int64, _I64P, _I64P, _I64P, _I64P,  # candidates
+            _I64P, _I64P, ctypes.c_int64,                # static listing
+            _I8P, _DBLP, _DBLP, _DBLP, _DBLP, _I8P,      # profile columns
+            ctypes.c_int64, ctypes.c_double, _I64P]      # opts, verdicts
+        lib.repro_global_fold.restype = ctypes.c_int64
+        lib.repro_global_fold.argtypes = [
+            _I64P, ctypes.c_int64, ctypes.c_int64,       # event log
+            _I8P, _I64P, ctypes.c_int64,                 # kind, pc, n
+            ctypes.c_int64, _DBLP, _DBLP, _I64P]         # cap, aggregates
     except (OSError, AttributeError):
         _lib_failed = True
         return None
@@ -597,9 +638,12 @@ def tap_fold(events: array, n_words: int, cells: array,
     :meth:`~repro.minigraph.slack.SlackCollector.ingest_ckern_tap`
     (CONSUME min / ISSUE reset / REDIRECT zero) over the ``n_words``
     valid words of ``events``, mutating the three ``array('q')`` columns
-    in place. Returns False when the library is unavailable so callers
-    keep the pure-Python fold as a fallback.
+    in place. Returns False when the library is unavailable (or
+    ``REPRO_PURE_PY`` demands the reference loop) so callers keep the
+    pure-Python fold as a fallback.
     """
+    if not available():
+        return False
     lib = _load()
     if lib is None:
         return False
@@ -614,3 +658,229 @@ def tap_fold(events: array, n_words: int, cells: array,
             ctypes.cast(or_buf, _I64P))
         del ev_buf, cell_buf, ic_buf, or_buf
     return True
+
+
+# ---------------------------------------------------------------------
+# Plan-construction kernels
+# ---------------------------------------------------------------------
+#
+# Thin array-in/array-out wrappers over the _ckern.c plan entry points.
+# Domain logic (what the columns mean, how packed triples rehydrate to
+# Candidate objects) lives with the Python reference implementations in
+# minigraph/slack.py, minigraph/candidates.py, minigraph/delay_model.py
+# and analysis/global_slack.py; every wrapper returns None when the
+# library is unavailable (or the shape exceeds the packed-format
+# bounds) so those references remain the fallback path.
+
+
+class PackedProfileAcc:
+    """SoA accumulator columns from one native profile build.
+
+    Dense per-static-pc ``array('q')`` columns mirroring
+    ``minigraph.slack._Accumulator`` field for field (the source
+    columns use stride :data:`PLAN_MAX_SRC`); ``order`` lists the
+    first-commit pcs in commit order so ``profile()`` iterates entries
+    exactly as the reference ``_acc`` dict would.
+    """
+
+    __slots__ = ("n_static", "count", "issue_sum", "src_sum", "src_count",
+                 "n_src", "out_sum", "out_count", "slack_sum", "min_slack",
+                 "order", "n_order", "anchor")
+
+
+def profile_build(events: array, n_words: int, n_committed: int,
+                  packed, is_leader: array, n_static: int,
+                  anchor: int, slack_cap: int
+                  ) -> Optional[PackedProfileAcc]:
+    """One-call slack-profile build from a packed event log.
+
+    Fuses the :func:`tap_fold` first pass with the committed-prefix
+    aggregation loop of ``SlackCollector.ingest_ckern_tap``. Returns
+    the packed accumulator columns, or None (library unavailable,
+    ``REPRO_PURE_PY``, or unsupported shape) — the caller then runs the
+    Python reference loop.
+    """
+    if not available():
+        return None
+    lib = _load()
+    n = packed.n
+    if n == 0 or n_committed > n or n_static <= 0:
+        return None
+    acc = PackedProfileAcc()
+    acc.n_static = n_static
+    acc.count = array("q", bytes(8 * n_static))
+    acc.issue_sum = array("q", bytes(8 * n_static))
+    acc.src_sum = array("q", bytes(8 * n_static * PLAN_MAX_SRC))
+    acc.src_count = array("q", bytes(8 * n_static * PLAN_MAX_SRC))
+    acc.n_src = array("q", bytes(8 * n_static))
+    acc.out_sum = array("q", bytes(8 * n_static))
+    acc.out_count = array("q", bytes(8 * n_static))
+    acc.slack_sum = array("q", bytes(8 * n_static))
+    acc.min_slack = array("q", [slack_cap]) * n_static
+    acc.order = array("q", bytes(8 * n_static))
+    meta = array("q", [0, 0])
+    keep = []
+
+    def p64(arr):
+        buf, owner = _col(arr, ctypes.c_int64)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I64P)
+
+    def p8(arr):
+        buf, owner = _col(arr, ctypes.c_int8)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I8P)
+
+    rc = lib.repro_profile_build(
+        p64(events), n_words, n_committed,
+        p8(packed.kind), p64(packed.pc), p64(packed.rd),
+        p64(packed.srcs), p64(packed.srcs_start), n,
+        p8(is_leader), n_static, anchor, slack_cap,
+        p64(acc.count), p64(acc.issue_sum),
+        p64(acc.src_sum), p64(acc.src_count), p64(acc.n_src),
+        p64(acc.out_sum), p64(acc.out_count),
+        p64(acc.slack_sum), p64(acc.min_slack),
+        p64(acc.order), p64(meta))
+    del keep
+    if rc != RC_OK:
+        counters["plan_fallbacks"] += 1
+        return None
+    acc.n_order = meta[0]
+    acc.anchor = meta[1]
+    counters["profiles_built_native"] += 1
+    return acc
+
+
+def plan_enumerate(opclass: array, rd_eff: array, srcs3: array,
+                   live_mask: array, block_start: array, block_end: array,
+                   max_size: int, max_ext: int) -> Optional[tuple]:
+    """Native candidate enumeration over static-listing columns.
+
+    Returns ``(n, start, end, ext, out, edges, ser)`` packed candidate
+    columns (formats documented in ``_ckern.c``), or None when the
+    library is unavailable or the window bounds exceed the packed
+    format (``max_size > 4`` / ``max_ext > 3``) — the caller then runs
+    the Python enumeration loop.
+    """
+    if not available() or not (2 <= max_size <= 4) or not \
+            (0 <= max_ext <= 3):
+        return None
+    lib = _load()
+    n_static = len(opclass)
+    n_blocks = len(block_start)
+    cap = 3 * n_static + 8
+    cols = tuple(array("q", bytes(8 * cap)) for _ in range(6))
+    keep = []
+
+    def p64(arr):
+        buf, owner = _col(arr, ctypes.c_int64)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I64P)
+
+    n_cand = lib.repro_enumerate_candidates(
+        p64(opclass), p64(rd_eff), p64(srcs3), p64(live_mask), n_static,
+        p64(block_start), p64(block_end), n_blocks, max_size, max_ext,
+        p64(cols[0]), p64(cols[1]), p64(cols[2]), p64(cols[3]),
+        p64(cols[4]), p64(cols[5]), cap)
+    del keep
+    if n_cand < 0:
+        counters["plan_fallbacks"] += 1
+        return None
+    counters["candidates_enumerated_native"] += n_cand
+    return (n_cand,) + cols
+
+
+def plan_score(n_cand: int, c_start: array, c_end: array, c_ext: array,
+               c_out: array, opclass: array, latency: array,
+               p_present: array, p_rel_issue: array, p_src_ready: array,
+               p_slack: array, p_out_ready: array, p_has_out: array,
+               measured: bool, tolerance: float) -> Optional[array]:
+    """Delay-model rules #1-#4 for a whole candidate set, in C.
+
+    Returns one verdict bitmask per candidate (bit 0 profiled, bit 1
+    degrades, bit 2 degrades on any output delay, bit 3 SIAL), or None
+    when the library is unavailable — the caller then assesses per
+    candidate through ``delay_model.assess``.
+    """
+    if not available() or n_cand <= 0:
+        return None
+    lib = _load()
+    verdicts = array("q", bytes(8 * n_cand))
+    keep = []
+
+    def p64(arr):
+        buf, owner = _col(arr, ctypes.c_int64)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I64P)
+
+    def p8(arr):
+        buf, owner = _col(arr, ctypes.c_int8)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I8P)
+
+    def pd(arr):
+        if not len(arr):
+            arr = array("d", [0.0])
+        buf = (ctypes.c_double * len(arr)).from_buffer(arr)
+        keep.append((buf, arr))
+        return ctypes.cast(buf, _DBLP)
+
+    rc = lib.repro_score_candidates(
+        n_cand, p64(c_start), p64(c_end), p64(c_ext), p64(c_out),
+        p64(opclass), p64(latency), len(opclass),
+        p8(p_present), pd(p_rel_issue), pd(p_src_ready), pd(p_slack),
+        pd(p_out_ready), p8(p_has_out),
+        1 if measured else 0, float(tolerance), p64(verdicts))
+    del keep
+    if rc != RC_OK:
+        counters["plan_fallbacks"] += 1
+        return None
+    counters["scoring_calls"] += 1
+    return verdicts
+
+
+def global_fold(events: array, n_words: int, n_committed: int,
+                packed, n_static: int, slack_cap: int) -> Optional[tuple]:
+    """Global-slack event decode plus backward DP, in C.
+
+    Returns ``(n_singletons, sums, mins, counts)`` per-static-pc
+    aggregate columns (``sums``/``mins`` are ``array('d')`` holding the
+    exact doubles the Python DP would), or None — the caller then runs
+    the reference decode in ``analysis/global_slack.py``.
+    """
+    if not available():
+        return None
+    lib = _load()
+    n = packed.n
+    if n == 0 or n_committed > n or n_static <= 0:
+        return None
+    sums = array("d", bytes(8 * n_static))
+    mins = array("d", [float(slack_cap)]) * n_static
+    counts = array("q", bytes(8 * n_static))
+    keep = []
+
+    def p64(arr):
+        buf, owner = _col(arr, ctypes.c_int64)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I64P)
+
+    def p8(arr):
+        buf, owner = _col(arr, ctypes.c_int8)
+        keep.append((buf, owner))
+        return ctypes.cast(buf, _I8P)
+
+    def pd(arr):
+        buf = (ctypes.c_double * len(arr)).from_buffer(arr)
+        keep.append((buf, arr))
+        return ctypes.cast(buf, _DBLP)
+
+    rc = lib.repro_global_fold(
+        p64(events), n_words, n_committed,
+        p8(packed.kind), p64(packed.pc), n,
+        slack_cap, pd(sums), pd(mins), p64(counts))
+    del keep
+    if rc < 0:
+        counters["plan_fallbacks"] += 1
+        return None
+    counters["global_folds_native"] += 1
+    return int(rc), sums, mins, counts

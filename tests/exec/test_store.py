@@ -202,3 +202,40 @@ def test_layout_version_invalidates_cached_artifacts(tmp_path, monkeypatch):
     assert fresh.get(fresh.key("baseline", {"bench": "crc32"})) is MISS
     # Same parameters, same kind — only the layout version differs.
     assert fresh.key("baseline", {"bench": "crc32"}) != key
+
+
+def test_source_digest_covers_native_kernel_sources(tmp_path):
+    """Editing a ``.c`` source changes the salt like a ``.py`` edit does.
+
+    The plan kernels live in ``pipeline/_ckern.c``; the code-version
+    salt globs ``*.c`` next to the Python sources, so shipping new C
+    code invalidates every cached artifact automatically.
+    """
+    from repro.exec.store import source_digest
+
+    root = tmp_path / "repro"
+    pkg = root / "pipeline"
+    pkg.mkdir(parents=True)
+    (pkg / "core.py").write_text("python = 1\n")
+    (pkg / "_ckern.c").write_text("int kernel(void) { return 1; }\n")
+    baseline = source_digest(root, packages=("pipeline",))
+    assert baseline == source_digest(root, packages=("pipeline",))
+
+    (pkg / "_ckern.c").write_text("int kernel(void) { return 2; }\n")
+    assert source_digest(root, packages=("pipeline",)) != baseline
+
+    # A .py edit moves it too (sanity: the digest is not .c-only).
+    (pkg / "core.py").write_text("python = 2\n")
+    moved = source_digest(root, packages=("pipeline",))
+    assert moved != baseline
+
+
+def test_code_version_matches_source_digest_of_tree():
+    """code_version() is exactly the digest of the shipped tree."""
+    from pathlib import Path
+
+    import repro
+    from repro.exec.store import source_digest
+
+    root = Path(repro.__file__).resolve().parent
+    assert code_version() == source_digest(root)
